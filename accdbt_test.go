@@ -1,0 +1,132 @@
+package accdbt_test
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/ildp/accdbt"
+)
+
+// TestPublicAPIQuickstart exercises the façade end to end, mirroring the
+// README quick start.
+func TestPublicAPIQuickstart(t *testing.T) {
+	prog, err := accdbt.Assemble(`
+	.text 0x10000
+start:
+	ldiq  a0, 500
+	clr   v0
+loop:
+	addq  v0, a0, v0
+	subq  a0, #1, a0
+	bne   a0, loop
+	call_pal halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := accdbt.DefaultVMConfig()
+	cfg.HotThreshold = 10
+	v := accdbt.NewVM(accdbt.NewMemory(), cfg)
+	if err := v.LoadProgram(prog); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if v.CPU().Reg[0] != 500*501/2 {
+		t.Errorf("v0 = %d", v.CPU().Reg[0])
+	}
+	if v.Stats.Fragments == 0 {
+		t.Error("no translation")
+	}
+}
+
+func TestPublicAPIDecodeDisassemble(t *testing.T) {
+	prog := accdbt.MustAssemble("\t.text 0\n\taddq t0, #5, t1\n")
+	seg := prog.Segments[0]
+	w := uint32(seg.Data[0]) | uint32(seg.Data[1])<<8 | uint32(seg.Data[2])<<16 | uint32(seg.Data[3])<<24
+	inst := accdbt.DecodeAlpha(w)
+	if inst.Op.String() != "addq" {
+		t.Errorf("decoded %v", inst.Op)
+	}
+	if s := accdbt.DisassembleAlpha(w, 0); !strings.Contains(s, "addq") {
+		t.Errorf("disassembly %q", s)
+	}
+}
+
+func TestPublicAPITranslateDirect(t *testing.T) {
+	// Drive the translator through the façade without the VM.
+	prog := accdbt.MustAssemble(`
+	.text 0x9000
+	addq a0, a1, v0
+	subq v0, #1, v0
+	ret
+`)
+	seg := prog.Segments[0]
+	sb := &accdbt.Superblock{StartPC: 0x9000}
+	for off := 0; off+4 <= len(seg.Data); off += 4 {
+		w := uint32(seg.Data[off]) | uint32(seg.Data[off+1])<<8 |
+			uint32(seg.Data[off+2])<<16 | uint32(seg.Data[off+3])<<24
+		sb.Insts = append(sb.Insts, accdbt.SBInst{
+			PC: 0x9000 + uint64(off), Inst: accdbt.DecodeAlpha(w),
+		})
+	}
+	res, err := accdbt.Translate(sb, accdbt.TranslateConfig{
+		Form: accdbt.Modified, NumAcc: 4, Chain: accdbt.SWPredRAS,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Insts) == 0 || res.SrcCount != 3 {
+		t.Errorf("translation: %d insts, %d src", len(res.Insts), res.SrcCount)
+	}
+	str, err := accdbt.Straighten(sb, accdbt.SWPredRAS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !str.Straightened {
+		t.Error("straightened flag missing")
+	}
+}
+
+func TestPublicAPIWorkloadsAndExperiments(t *testing.T) {
+	if len(accdbt.WorkloadNames()) != 12 {
+		t.Fatal("workload count")
+	}
+	w, err := accdbt.WorkloadByName("mcf", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := accdbt.RunExperiment(accdbt.RunSpec{
+		Workload: w, Machine: accdbt.MachineILDPModified,
+		Chain: accdbt.SWPredRAS, Timing: true, HotThreshold: 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Timing.IPC() <= 0 {
+		t.Error("no timing result")
+	}
+	if _, err := accdbt.WorkloadByName("nope", 1); err == nil {
+		t.Error("bad workload accepted")
+	}
+}
+
+func TestPublicAPITimingModels(t *testing.T) {
+	ooo := accdbt.NewOoO(accdbt.DefaultOoOConfig())
+	core := accdbt.NewILDPCore(accdbt.DefaultILDPConfig())
+	rec := accdbt.TraceRec{
+		PC: 0x1000, Size: 4,
+		SrcReg: [2]uint8{0xFF, 0xFF}, DstReg: 1, SrcAcc: 0xFF, DstAcc: 0xFF,
+		DstOperational: true, VCredit: 1,
+	}
+	for i := 0; i < 100; i++ {
+		r := rec
+		r.PC += uint64(i) * 4
+		ooo.Append(r)
+		core.Append(r)
+	}
+	if ooo.Finish().Insts != 100 || core.Finish().Insts != 100 {
+		t.Error("timing models lost records")
+	}
+}

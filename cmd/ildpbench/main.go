@@ -1,0 +1,116 @@
+// Command ildpbench regenerates the tables and figures of Kim & Smith,
+// "Dynamic Binary Translation for Accumulator-Oriented Architectures"
+// (CGO 2003), over the synthetic SPEC CPU2000 INT stand-in workloads.
+//
+// Usage:
+//
+//	ildpbench -experiment=all -scale=1
+//	ildpbench -experiment=fig8 -scale=2 -threshold=50
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/ildp/accdbt/internal/experiments"
+)
+
+func main() {
+	experiment := flag.String("experiment", "all",
+		"which experiment to run: table1, table2, overhead, fig4..fig9, fusion, threshold, superblock, vmcost, ras, variance, all")
+	scale := flag.Int("scale", 1, "workload scale factor (loop trip multiplier)")
+	threshold := flag.Int("threshold", 50, "hot-trace threshold (the paper uses 50)")
+	flag.Parse()
+
+	run := func(name string) bool {
+		return *experiment == "all" || *experiment == name
+	}
+	ran := false
+
+	if run("table1") {
+		fmt.Println(table1())
+		ran = true
+	}
+	if run("table2") {
+		fmt.Println(experiments.FormatTable2(experiments.Table2(*scale, *threshold)))
+		ran = true
+	}
+	if run("overhead") {
+		fmt.Println(experiments.FormatOverhead(experiments.Overhead(*scale, *threshold)))
+		ran = true
+	}
+	if run("fig4") {
+		fmt.Println(experiments.FormatFig4(experiments.Fig4(*scale, *threshold)))
+		ran = true
+	}
+	if run("fig5") {
+		fmt.Println(experiments.FormatFig5(experiments.Fig5(*scale, *threshold)))
+		ran = true
+	}
+	if run("fig6") {
+		fmt.Println(experiments.FormatFig6(experiments.Fig6(*scale, *threshold)))
+		ran = true
+	}
+	if run("fig7") {
+		fmt.Println(experiments.FormatFig7(experiments.Fig7(*scale, *threshold)))
+		ran = true
+	}
+	if run("fig8") {
+		fmt.Println(experiments.FormatFig8(experiments.Fig8(*scale, *threshold)))
+		ran = true
+	}
+	if run("fig9") {
+		fmt.Println(experiments.FormatFig9(experiments.Fig9(*scale, *threshold)))
+		ran = true
+	}
+	if run("fusion") {
+		fmt.Println(experiments.FormatFusion(experiments.Fusion(*scale, *threshold)))
+		ran = true
+	}
+	if run("threshold") {
+		fmt.Println(experiments.FormatThreshold(experiments.Threshold(*scale, []int{5, 10, 25, 50, 100, 200})))
+		ran = true
+	}
+	if run("superblock") {
+		fmt.Println(experiments.FormatSuperblock(experiments.Superblock(*scale, *threshold, []int{25, 50, 100, 200})))
+		ran = true
+	}
+	if run("vmcost") {
+		fmt.Println(experiments.FormatVMCost(experiments.VMCost(*scale, *threshold)))
+		ran = true
+	}
+	if run("ras") {
+		fmt.Println(experiments.FormatRASSweep(experiments.RASSweep(*scale, *threshold, []int{2, 4, 8, 16, 32})))
+		ran = true
+	}
+	if run("variance") {
+		fmt.Println(experiments.FormatVariance(experiments.Variance(*scale, *threshold, []uint64{0, 1, 2, 3, 4})))
+		ran = true
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *experiment)
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func table1() string {
+	rows := []string{
+		"Table 1. Microarchitecture parameters",
+		strings.Repeat("-", 72),
+		"Branch prediction   16K-entry 12-bit-history g-share, 8-entry RAS,",
+		"                    512-entry 4-way BTB, 3-cycle redirect latency",
+		"I-cache             128B lines, direct-mapped, 32KB; <=3 basic blocks/cycle",
+		"D-cache             64B lines, 4-way, 32KB, 2-cycle, random replacement",
+		"                    (ILDP variant: 64B, 2-way, 8KB, replicated per PE)",
+		"L2 cache            128B lines, 4-way, 1MB, 8-cycle, random replacement",
+		"Memory              72-cycle latency, 4-cycle burst",
+		"Reorder buffer      128 instructions; retire 4/cycle",
+		"Issue (superscalar) 128-entry window, 4 symmetric FUs, oldest-first",
+		"Issue (ILDP)        4/6/8 in-order PE FIFOs, 1 issue per PE per cycle",
+		"Communication       0 or 2 cycle global wire latency between PEs",
+	}
+	return strings.Join(rows, "\n") + "\n"
+}

@@ -1,0 +1,239 @@
+// Command ildpvm runs an Alpha program (a named workload, an assembly
+// source file, or an alphaasm image) through the co-designed virtual
+// machine, and reports the dynamic binary translation statistics —
+// optionally with a disassembly of the hottest translated fragments and a
+// timing-model IPC estimate.
+//
+// Usage:
+//
+//	ildpvm -workload gzip -form modified -chain sw_pred.ras
+//	ildpvm -src prog.s -threshold 20 -dump 3
+//	ildpvm -img prog.img -timing
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"github.com/ildp/accdbt/internal/alpha/alphaasm"
+	"github.com/ildp/accdbt/internal/alphaprog"
+	"github.com/ildp/accdbt/internal/ildp"
+	"github.com/ildp/accdbt/internal/mem"
+	"github.com/ildp/accdbt/internal/tcache"
+	"github.com/ildp/accdbt/internal/translate"
+	"github.com/ildp/accdbt/internal/uarch"
+	"github.com/ildp/accdbt/internal/vm"
+	"github.com/ildp/accdbt/internal/workload"
+)
+
+func main() {
+	wl := flag.String("workload", "", "run a named synthetic workload (see -list)")
+	list := flag.Bool("list", false, "list available workloads")
+	srcFile := flag.String("src", "", "run an Alpha assembly source file")
+	imgFile := flag.String("img", "", "run an alphaasm program image")
+	scale := flag.Int("scale", 1, "workload scale factor")
+	form := flag.String("form", "modified", "I-ISA form: basic | modified | straighten")
+	chain := flag.String("chain", "sw_pred.ras", "chaining: no_pred | sw_pred.no_ras | sw_pred.ras")
+	threshold := flag.Int("threshold", 50, "hot-trace threshold")
+	numAcc := flag.Int("acc", 4, "logical accumulators (basic/modified)")
+	maxV := flag.Int64("max", 0, "V-instruction budget (0 = unlimited)")
+	fuse := flag.Bool("fuse", false, "unsplit memory operations (the §4.5 extension)")
+	dump := flag.Int("dump", 0, "disassemble the N hottest translated fragments")
+	timing := flag.Bool("timing", false, "attach the matching timing model and report IPC")
+	pes := flag.Int("pes", 8, "ILDP processing elements (with -timing)")
+	commLat := flag.Int64("comm", 0, "ILDP global wire latency in cycles (with -timing)")
+	flag.Parse()
+
+	if *list {
+		for _, name := range workload.Names() {
+			s, _ := workload.ByName(name, 1)
+			fmt.Printf("  %-8s %s\n", name, s.Description)
+		}
+		return
+	}
+
+	prog, name := loadProgram(*wl, *srcFile, *imgFile, *scale)
+
+	cfg := vm.DefaultConfig()
+	cfg.HotThreshold = *threshold
+	cfg.NumAcc = *numAcc
+	cfg.FuseMemOps = *fuse
+	switch *chain {
+	case "no_pred":
+		cfg.Chain = translate.NoPred
+	case "sw_pred.no_ras":
+		cfg.Chain = translate.SWPred
+	case "sw_pred.ras":
+		cfg.Chain = translate.SWPredRAS
+	default:
+		fatal(fmt.Errorf("unknown chaining mode %q", *chain))
+	}
+	switch *form {
+	case "basic":
+		cfg.Form = ildp.Basic
+	case "modified":
+		cfg.Form = ildp.Modified
+	case "straighten":
+		cfg.Straighten = true
+	default:
+		fatal(fmt.Errorf("unknown form %q", *form))
+	}
+
+	var ooo *uarch.OoO
+	var core *uarch.ILDP
+	if *timing {
+		if cfg.Straighten {
+			mc := uarch.DefaultOoO()
+			mc.UseHWRAS = false
+			mc.DualRASTrace = cfg.Chain == translate.SWPredRAS
+			ooo = uarch.NewOoO(mc)
+			cfg.Sink = ooo
+		} else {
+			mc := uarch.DefaultILDP()
+			mc.PEs = *pes
+			mc.CommLat = *commLat
+			mc.CacheOpts.Replicas = *pes
+			mc.DualRASTrace = cfg.Chain == translate.SWPredRAS
+			core = uarch.NewILDP(mc)
+			cfg.Sink = core
+		}
+	}
+
+	v := vm.New(mem.New(), cfg)
+	if err := v.LoadProgram(prog); err != nil {
+		fatal(err)
+	}
+	if err := v.Run(*maxV); err != nil && err != vm.ErrBudget {
+		fatal(err)
+	}
+
+	report(name, v, cfg)
+	if ooo != nil {
+		printTiming("out-of-order superscalar", ooo.Finish())
+	}
+	if core != nil {
+		printTiming(fmt.Sprintf("ILDP %d-PE", *pes), core.Finish())
+	}
+	if *dump > 0 {
+		dumpFragments(v, *dump)
+	}
+}
+
+func loadProgram(wl, src, img string, scale int) (*alphaprog.Program, string) {
+	switch {
+	case wl != "":
+		spec, err := workload.ByName(wl, scale)
+		if err != nil {
+			fatal(err)
+		}
+		p, err := spec.Program()
+		if err != nil {
+			fatal(err)
+		}
+		return p, wl
+	case src != "":
+		text, err := os.ReadFile(src)
+		if err != nil {
+			fatal(err)
+		}
+		p, err := alphaasm.Assemble(string(text))
+		if err != nil {
+			fatal(err)
+		}
+		return p, src
+	case img != "":
+		f, err := os.Open(img)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		p, err := alphaprog.Load(f)
+		if err != nil {
+			fatal(err)
+		}
+		return p, img
+	}
+	fmt.Fprintln(os.Stderr, "ildpvm: one of -workload, -src, or -img is required (see -list)")
+	os.Exit(2)
+	return nil, ""
+}
+
+func report(name string, v *vm.VM, cfg vm.Config) {
+	s := &v.Stats
+	formName := cfg.Form.String()
+	if cfg.Straighten {
+		formName = "straightened"
+	}
+	fmt.Printf("program:            %s (%s, %v)\n", name, formName, cfg.Chain)
+	fmt.Printf("exit status:        %d, console %q\n", v.CPU().ExitStatus, v.CPU().ConsoleString())
+	fmt.Printf("V-insts total:      %d (interpreted %d, translated %d, %.1f%% translated)\n",
+		s.TotalVInsts(), s.InterpInsts, s.TransVInsts,
+		100*float64(s.TransVInsts)/float64(s.TotalVInsts()))
+	fmt.Printf("I-insts executed:   %d (expansion %.2fx)\n", s.TransIInsts,
+		float64(s.TransIInsts)/float64(max64(s.TransVInsts, 1)))
+	fmt.Printf("fragments:          %d (%d source insts, %d NOPs removed, %d branches straightened)\n",
+		s.Fragments, s.SrcInstsTranslated, s.NOPsRemoved, s.BranchElims)
+	fmt.Printf("translation cost:   %d work units (%.0f per source inst)\n",
+		s.TranslateCost, float64(s.TranslateCost)/float64(max64i(s.SrcInstsTranslated, 1)))
+	fmt.Printf("copies executed:    %d (%.1f%% of I-insts)\n", s.CopiesExecuted,
+		100*float64(s.CopiesExecuted)/float64(max64(s.TransIInsts, 1)))
+	fmt.Printf("chaining:           %d dispatch runs (%d hit), sw-pred %d/%d hit, dual-RAS %d/%d hit, %d patches\n",
+		s.DispatchRuns, s.DispatchHits,
+		s.SWPredHits, s.SWPredHits+s.SWPredMisses,
+		s.RASHits, s.RASHits+s.RASMisses, v.TCache().Patches)
+	fmt.Printf("static code:        %d I-bytes for %d V-bytes (%.2fx)\n",
+		s.StaticCodeBytes, s.StaticSrcBytes,
+		float64(s.StaticCodeBytes)/float64(max64i(s.StaticSrcBytes, 1)))
+}
+
+func printTiming(machine string, r uarch.Result) {
+	fmt.Printf("timing (%s):\n", machine)
+	fmt.Printf("  cycles %d, V-IPC %.2f, native IPC %.2f\n", r.Cycles, r.IPC(), r.NativeIPC())
+	fmt.Printf("  mispredicts/1000: %.2f (cond %d, target %d, misfetch %d)\n",
+		r.MispredictsPer1000(), r.CondMispredicts, r.TargetMispredicts, r.Misfetches)
+	fmt.Printf("  cache misses: I %d, D %d, L2 %d\n", r.ICacheMisses, r.DCacheMisses, r.L2Misses)
+	fmt.Printf("  stalls: icache %d, dcache %d, redirects %d cycles\n",
+		r.ICacheStall, r.DCacheStall, r.RedirectLoss)
+}
+
+func dumpFragments(v *vm.VM, n int) {
+	tc := v.TCache()
+	var frags []*tcache.Fragment
+	for id := int32(0); int(id) < tc.Len(); id++ {
+		frags = append(frags, tc.Frag(id))
+	}
+	sort.Slice(frags, func(i, j int) bool {
+		return frags[i].ExecCount > frags[j].ExecCount
+	})
+	if n > len(frags) {
+		n = len(frags)
+	}
+	for _, f := range frags[:n] {
+		fmt.Printf("\nfragment %d: V %#x, %d entries, %d insts\n",
+			f.ID, f.VStart, f.ExecCount, len(f.Insts))
+		for i := range f.Insts {
+			fmt.Printf("  %#010x: %s\n", f.IAddrs[i], f.Insts[i].String())
+		}
+	}
+}
+
+func max64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func max64i(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ildpvm:", err)
+	os.Exit(1)
+}

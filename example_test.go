@@ -1,0 +1,108 @@
+package accdbt_test
+
+import (
+	"fmt"
+
+	"github.com/ildp/accdbt"
+)
+
+// Example shows the end-to-end flow: assemble an Alpha program, run it
+// through the co-designed VM, and inspect the translation statistics.
+func Example() {
+	prog := accdbt.MustAssemble(`
+	.text 0x10000
+start:
+	ldiq  a0, 100
+	clr   v0
+loop:
+	addq  v0, a0, v0
+	subq  a0, #1, a0
+	bne   a0, loop
+	call_pal halt
+`)
+	cfg := accdbt.DefaultVMConfig()
+	cfg.HotThreshold = 10
+	v := accdbt.NewVM(accdbt.NewMemory(), cfg)
+	if err := v.LoadProgram(prog); err != nil {
+		panic(err)
+	}
+	if err := v.Run(0); err != nil {
+		panic(err)
+	}
+	fmt.Println("v0:", v.CPU().Reg[0])
+	fmt.Println("fragments:", v.Stats.Fragments)
+	// Output:
+	// v0: 5050
+	// fragments: 1
+}
+
+// ExampleTranslate translates the paper's Figure 2 loop directly and
+// prints it in the paper's notation.
+func ExampleTranslate() {
+	prog := accdbt.MustAssemble(`
+	.text 0x12000
+L1:
+	ldbu   t2, 0(a0)
+	subl   a1, #1, a1
+	xor    t2, t0, t0
+	bne    a1, L1
+`)
+	seg := prog.Segments[0]
+	sb := &accdbt.Superblock{StartPC: 0x12000, NextPC: 0x12010}
+	for off := 0; off+4 <= len(seg.Data); off += 4 {
+		w := uint32(seg.Data[off]) | uint32(seg.Data[off+1])<<8 |
+			uint32(seg.Data[off+2])<<16 | uint32(seg.Data[off+3])<<24
+		rec := accdbt.SBInst{PC: 0x12000 + uint64(off), Inst: accdbt.DecodeAlpha(w)}
+		if rec.Inst.IsCondBranch() {
+			rec.Taken = true
+		}
+		sb.Insts = append(sb.Insts, rec)
+	}
+	sb.End = 1 // backward taken branch ends the fragment
+
+	res, err := accdbt.Translate(sb, accdbt.TranslateConfig{
+		Form: accdbt.Modified, NumAcc: 4, Chain: accdbt.SWPredRAS,
+	})
+	if err != nil {
+		panic(err)
+	}
+	for i := range res.Insts {
+		fmt.Println(res.Insts[i].String())
+	}
+	// Output:
+	// vpc <- 0x12000
+	// R3 (A0) <- mem[R16]
+	// R17 (A1) <- R17 subl #1
+	// R1 (A0) <- A0 xor R1
+	// call-translator 0x12000, if bne(A1)
+	// call-translator 0x12010
+}
+
+// ExampleDisassembleAlpha decodes a raw Alpha instruction word.
+func ExampleDisassembleAlpha() {
+	// s8addq t2, v0, t2 : opcode 0x10, fn 0x32
+	w := uint32(0x10<<26 | 3<<21 | 0<<16 | 0x32<<5 | 3)
+	fmt.Println(accdbt.DisassembleAlpha(w, 0x1000))
+	// Output:
+	// s8addq t2, v0, t2
+}
+
+// ExampleWorkloadByName runs a synthetic SPEC stand-in under the
+// experiment harness.
+func ExampleWorkloadByName() {
+	w, err := accdbt.WorkloadByName("gzip", 1)
+	if err != nil {
+		panic(err)
+	}
+	out, err := accdbt.RunExperiment(accdbt.RunSpec{
+		Workload: w, Machine: accdbt.MachineILDPModified,
+		Chain: accdbt.SWPredRAS, HotThreshold: 25,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("translated most of the run:",
+		float64(out.VM.TransVInsts)/float64(out.VM.TotalVInsts()) > 0.9)
+	// Output:
+	// translated most of the run: true
+}

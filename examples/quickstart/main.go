@@ -1,0 +1,53 @@
+// Quickstart: assemble a small Alpha program, run it through the
+// co-designed virtual machine, and watch the dynamic binary translator
+// turn its hot loop into an accumulator-ISA fragment.
+package main
+
+import (
+	"fmt"
+
+	"github.com/ildp/accdbt"
+)
+
+const src = `
+	.text 0x10000
+start:
+	ldiq  a0, 2000        ; loop count
+	clr   v0
+loop:
+	addq  v0, a0, v0      ; v0 += a0
+	subq  a0, #1, a0
+	bne   a0, loop
+	call_pal halt
+`
+
+func main() {
+	prog := accdbt.MustAssemble(src)
+
+	cfg := accdbt.DefaultVMConfig()
+	cfg.HotThreshold = 20 // translate after 20 visits (the paper uses 50)
+
+	v := accdbt.NewVM(accdbt.NewMemory(), cfg)
+	if err := v.LoadProgram(prog); err != nil {
+		panic(err)
+	}
+	if err := v.Run(0); err != nil {
+		panic(err)
+	}
+
+	fmt.Printf("result: v0 = %d (want %d)\n", v.CPU().Reg[0], 2000*2001/2)
+	fmt.Printf("V-ISA instructions: %d total, %d executed as translated code (%.1f%%)\n",
+		v.Stats.TotalVInsts(), v.Stats.TransVInsts,
+		100*float64(v.Stats.TransVInsts)/float64(v.Stats.TotalVInsts()))
+	fmt.Printf("fragments translated: %d\n\n", v.Stats.Fragments)
+
+	// Show the translated loop in the paper's notation.
+	tc := v.TCache()
+	for id := int32(0); int(id) < tc.Len(); id++ {
+		f := tc.Frag(id)
+		fmt.Printf("fragment %d (from V-PC %#x, entered %d times):\n", f.ID, f.VStart, f.ExecCount)
+		for i := range f.Insts {
+			fmt.Printf("    %s\n", f.Insts[i].String())
+		}
+	}
+}

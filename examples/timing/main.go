@@ -1,0 +1,80 @@
+// Timing drives the two Table-1 timing models directly through the public
+// API: the same workload's committed-instruction trace is fed to the
+// idealised out-of-order superscalar (running straightened Alpha) and to
+// the ILDP distributed core (running the modified accumulator ISA), and
+// the models' cycle accounting is broken down side by side — a miniature
+// of the paper's Figure 8 methodology for one benchmark.
+package main
+
+import (
+	"fmt"
+
+	"github.com/ildp/accdbt"
+)
+
+func main() {
+	const bench = "mcf" // pointer chasing: load latency dominates
+
+	fmt.Printf("workload: %s\n\n", bench)
+
+	// Machine 1: code-straightened Alpha on the 4-wide OoO superscalar.
+	ooo := accdbt.NewOoO(func() accdbt.MachineConfig {
+		c := accdbt.DefaultOoOConfig()
+		c.UseHWRAS = false
+		c.DualRASTrace = true
+		return c
+	}())
+	runVM(bench, func(cfg *accdbt.VMConfig) {
+		cfg.Straighten = true
+		cfg.Sink = ooo
+	})
+	report("out-of-order superscalar (straightened Alpha)", ooo.Finish())
+
+	// Machine 2: modified accumulator ISA on the 8-PE ILDP core.
+	core := accdbt.NewILDPCore(accdbt.DefaultILDPConfig())
+	runVM(bench, func(cfg *accdbt.VMConfig) {
+		cfg.Sink = core
+	})
+	report("ILDP 8-PE distributed core (modified accumulator ISA)", core.Finish())
+
+	// Machine 2b: the same core with a 2-cycle global wire latency —
+	// the paper's central "technology constraint" question (Fig. 9).
+	slow := accdbt.NewILDPCore(func() accdbt.MachineConfig {
+		c := accdbt.DefaultILDPConfig()
+		c.CommLat = 2
+		return c
+	}())
+	runVM(bench, func(cfg *accdbt.VMConfig) {
+		cfg.Sink = slow
+	})
+	report("ILDP 8-PE with 2-cycle global wire latency", slow.Finish())
+}
+
+func runVM(bench string, mut func(*accdbt.VMConfig)) {
+	w, err := accdbt.WorkloadByName(bench, 1)
+	if err != nil {
+		panic(err)
+	}
+	prog, err := w.Program()
+	if err != nil {
+		panic(err)
+	}
+	cfg := accdbt.DefaultVMConfig()
+	cfg.HotThreshold = 20
+	mut(&cfg)
+	v := accdbt.NewVM(accdbt.NewMemory(), cfg)
+	if err := v.LoadProgram(prog); err != nil {
+		panic(err)
+	}
+	if err := v.Run(0); err != nil {
+		panic(err)
+	}
+}
+
+func report(name string, r accdbt.TimingResult) {
+	fmt.Printf("%s:\n", name)
+	fmt.Printf("  %d instructions over %d cycles\n", r.Insts, r.Cycles)
+	fmt.Printf("  V-ISA IPC %.2f (native %.2f)\n", r.IPC(), r.NativeIPC())
+	fmt.Printf("  %.2f mispredicts/1000 insts, %d D-cache misses, %d L2 misses\n\n",
+		r.MispredictsPer1000(), r.DCacheMisses, r.L2Misses)
+}

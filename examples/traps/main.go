@@ -1,0 +1,74 @@
+// Traps demonstrates precise trap recovery inside translated code (§2.2).
+// A hot loop walks an array until it crosses into unmapped memory. The
+// fault is raised in the middle of an accumulator-ISA fragment, yet the VM
+// reports the exact faulting V-ISA program counter and fully precise
+// architected register state — in the Basic form by materialising
+// registers whose current values live only in accumulators (via the PEI
+// table built at translation time), and in the Modified form directly from
+// the destination-register specifiers.
+package main
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/ildp/accdbt"
+)
+
+const src = `
+	.text 0x10000
+start:
+	ldiq  a0, 0x20000      ; walk from here...
+	ldiq  a1, 0x30000      ; ...towards an unmapped page
+	clr   v0
+	clr   t3
+loop:
+	ldq   t0, 0(a0)        ; <- will eventually fault here
+	addq  v0, t0, v0
+	addq  t3, #1, t3       ; iteration counter
+	lda   a0, 8(a0)
+	subq  a1, a0, t1
+	bne   t1, loop
+	call_pal halt
+`
+
+func run(form accdbt.Form, name string) {
+	m := accdbt.NewMemory()
+	m.Strict = true
+	m.Map(0x20000, 0x1000) // one 4KB page; 0x21000.. faults
+
+	cfg := accdbt.DefaultVMConfig()
+	cfg.Form = form
+	cfg.HotThreshold = 5
+
+	v := accdbt.NewVM(m, cfg)
+	if err := v.LoadProgram(accdbt.MustAssemble(src)); err != nil {
+		panic(err)
+	}
+	err := v.Run(0)
+
+	var trap *accdbt.Trap
+	if !errors.As(err, &trap) {
+		panic(fmt.Sprintf("expected a trap, got %v", err))
+	}
+
+	fmt.Printf("=== %s ISA ===\n", name)
+	fmt.Printf("  trap: %v\n", trap)
+	fmt.Printf("  faulting V-PC: %#x (the ldq at the loop head)\n", trap.PC)
+	fmt.Printf("  architected state at the trap:\n")
+	fmt.Printf("    a0 (pointer)  = %#x  <- exactly the faulting address\n", v.CPU().Reg[16])
+	fmt.Printf("    t3 (counter)  = %d   <- iterations completed (0x1000/8)\n", v.CPU().Reg[4])
+	fmt.Printf("    v0 (checksum) = %d\n", v.CPU().Reg[0])
+	fmt.Printf("  executed in translated mode: %d V-insts across %d fragment entries\n\n",
+		v.Stats.TransVInsts, v.Stats.FragEntries)
+}
+
+func main() {
+	fmt.Println("Precise traps in translated code (CGO 2003, §2.2)")
+	fmt.Println()
+	run(accdbt.Basic, "Basic")
+	run(accdbt.Modified, "Modified")
+	fmt.Println("Both forms recover the same precise state; the Basic form needed the")
+	fmt.Println("PEI-table accumulator mapping, the Modified form its destination")
+	fmt.Println("specifiers — the paper's argument for the modified ISA (§2.3).")
+}

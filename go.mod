@@ -1,0 +1,3 @@
+module github.com/ildp/accdbt
+
+go 1.22

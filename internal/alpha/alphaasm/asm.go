@@ -1,0 +1,464 @@
+// Package alphaasm implements a two-pass text assembler for the Alpha
+// integer subset defined in package alpha. It exists so that test programs
+// and synthetic workloads can be written as readable assembly rather than
+// hand-encoded words.
+//
+// Syntax overview:
+//
+//	.text 0x120000000      ; switch to code emission at an address
+//	.data 0x140000000      ; switch to data emission
+//	.align 8
+//	.quad 1, 2, label      ; 64/32/16/8-bit data
+//	.space 64              ; zero fill
+//	.entry start           ; program entry point
+//
+//	start:
+//	    ldiq  a0, 4096         ; pseudo: 32-bit immediate (ldah+lda pair)
+//	    lda   t0, 8(sp)
+//	    ldq   t1, 0(t0)
+//	    addq  t1, #1, t1       ; '#' literal or bare integer
+//	    beq   t1, done
+//	    jsr   (pv)
+//	    ret
+//	done:
+//	    call_pal halt
+//
+// Registers accept conventional names (v0,t0..,a0..,ra,sp,zero,...) or rN.
+package alphaasm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"github.com/ildp/accdbt/internal/alpha"
+	"github.com/ildp/accdbt/internal/alphaprog"
+)
+
+// Program is an assembled memory image plus entry point.
+type Program = alphaprog.Program
+
+// Segment is a contiguous run of initialised bytes.
+type Segment = alphaprog.Segment
+
+// Error describes an assembly failure with source position.
+type Error struct {
+	Line int
+	Msg  string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("asm: line %d: %s", e.Line, e.Msg) }
+
+type section struct {
+	addr uint64 // current emission address
+	data []byte
+	base uint64
+}
+
+type assembler struct {
+	labels   map[string]uint64
+	sections []*section
+	cur      *section
+	entry    string
+	entrySet bool
+	pass     int
+	line     int
+	err      error
+}
+
+// Assemble assembles the given source text.
+func Assemble(src string) (*Program, error) {
+	a := &assembler{labels: map[string]uint64{}}
+	// Pass 1 computes label addresses; pass 2 emits bytes.
+	for pass := 1; pass <= 2; pass++ {
+		a.pass = pass
+		a.sections = nil
+		a.cur = nil
+		for lineNo, raw := range strings.Split(src, "\n") {
+			a.line = lineNo + 1
+			if err := a.doLine(raw); err != nil {
+				return nil, err
+			}
+		}
+	}
+	prog := &Program{}
+	if a.entrySet {
+		addr, ok := a.labels[a.entry]
+		if !ok {
+			return nil, fmt.Errorf("asm: undefined entry label %q", a.entry)
+		}
+		prog.Entry = addr
+	} else if addr, ok := a.labels["start"]; ok {
+		prog.Entry = addr
+	} else if len(a.sections) > 0 {
+		prog.Entry = a.sections[0].base
+	}
+	for _, s := range a.sections {
+		if len(s.data) > 0 {
+			prog.Segments = append(prog.Segments, Segment{Addr: s.base, Data: s.data})
+		}
+	}
+	if !prog.Normalize() {
+		return nil, fmt.Errorf("asm: overlapping segments")
+	}
+	return prog, nil
+}
+
+// MustAssemble is Assemble that panics on error, for tests and examples.
+func MustAssemble(src string) *Program {
+	p, err := Assemble(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func (a *assembler) errorf(format string, args ...any) error {
+	return &Error{Line: a.line, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (a *assembler) newSection(addr uint64) {
+	s := &section{addr: addr, base: addr}
+	a.sections = append(a.sections, s)
+	a.cur = s
+}
+
+func (a *assembler) here() (uint64, error) {
+	if a.cur == nil {
+		return 0, a.errorf("no .text/.data section active")
+	}
+	return a.cur.addr, nil
+}
+
+func (a *assembler) emitBytes(b []byte) {
+	if a.pass == 2 {
+		a.cur.data = append(a.cur.data, b...)
+	}
+	a.cur.addr += uint64(len(b))
+}
+
+func (a *assembler) emitWord(w alpha.Word) {
+	a.emitBytes([]byte{byte(w), byte(w >> 8), byte(w >> 16), byte(w >> 24)})
+}
+
+func stripComment(s string) string {
+	inStr := false
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			inStr = !inStr
+		case ';', '#':
+			// '#' only starts a comment at the beginning of a token position
+			// if not an immediate: immediates are always preceded by space
+			// and followed by a digit or '-'. Keep it simple: ';' and "//"
+			// are comments; '#' is a comment only at line start.
+			if s[i] == ';' && !inStr {
+				return s[:i]
+			}
+		case '/':
+			if !inStr && i+1 < len(s) && s[i+1] == '/' {
+				return s[:i]
+			}
+		}
+	}
+	return s
+}
+
+func (a *assembler) doLine(raw string) error {
+	line := strings.TrimSpace(stripComment(raw))
+	if line == "" {
+		return nil
+	}
+	// Labels (possibly several on one line).
+	for {
+		idx := strings.Index(line, ":")
+		if idx < 0 {
+			break
+		}
+		name := strings.TrimSpace(line[:idx])
+		if !isIdent(name) {
+			break
+		}
+		here, err := a.here()
+		if err != nil {
+			return err
+		}
+		if a.pass == 1 {
+			if _, dup := a.labels[name]; dup {
+				return a.errorf("duplicate label %q", name)
+			}
+			a.labels[name] = here
+		}
+		line = strings.TrimSpace(line[idx+1:])
+		if line == "" {
+			return nil
+		}
+	}
+	if strings.HasPrefix(line, ".") {
+		return a.doDirective(line)
+	}
+	return a.doInstruction(line)
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c == '_' || c == '.' || c == '$':
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func splitFields(s string) (string, []string) {
+	i := strings.IndexAny(s, " \t")
+	if i < 0 {
+		return s, nil
+	}
+	mnemonic := s[:i]
+	rest := strings.TrimSpace(s[i:])
+	if rest == "" {
+		return mnemonic, nil
+	}
+	parts := strings.Split(rest, ",")
+	for j := range parts {
+		parts[j] = strings.TrimSpace(parts[j])
+	}
+	return mnemonic, parts
+}
+
+func (a *assembler) doDirective(line string) error {
+	dir, args := splitFields(line)
+	switch dir {
+	case ".text", ".data", ".org":
+		if len(args) != 1 {
+			return a.errorf("%s requires an address argument", dir)
+		}
+		v, err := a.evalExpr(args[0])
+		if err != nil {
+			return err
+		}
+		a.newSection(uint64(v))
+		return nil
+	case ".entry":
+		if len(args) != 1 || !isIdent(args[0]) {
+			return a.errorf(".entry requires a label")
+		}
+		a.entry = args[0]
+		a.entrySet = true
+		return nil
+	case ".align":
+		if len(args) != 1 {
+			return a.errorf(".align requires an argument")
+		}
+		n, err := a.evalExpr(args[0])
+		if err != nil {
+			return err
+		}
+		if n <= 0 || n&(n-1) != 0 {
+			return a.errorf(".align %d: not a power of two", n)
+		}
+		here, err := a.here()
+		if err != nil {
+			return err
+		}
+		pad := (uint64(n) - here%uint64(n)) % uint64(n)
+		a.emitBytes(make([]byte, pad))
+		return nil
+	case ".quad", ".long", ".word", ".byte":
+		size := map[string]int{".quad": 8, ".long": 4, ".word": 2, ".byte": 1}[dir]
+		if _, err := a.here(); err != nil {
+			return err
+		}
+		for _, arg := range args {
+			v, err := a.evalExpr(arg)
+			if err != nil {
+				return err
+			}
+			buf := make([]byte, size)
+			for i := 0; i < size; i++ {
+				buf[i] = byte(uint64(v) >> (8 * i))
+			}
+			a.emitBytes(buf)
+		}
+		return nil
+	case ".space":
+		if len(args) < 1 || len(args) > 2 {
+			return a.errorf(".space requires size [, fill]")
+		}
+		n, err := a.evalExpr(args[0])
+		if err != nil {
+			return err
+		}
+		if n < 0 {
+			return a.errorf(".space size must be non-negative")
+		}
+		fill := byte(0)
+		if len(args) == 2 {
+			f, err := a.evalExpr(args[1])
+			if err != nil {
+				return err
+			}
+			fill = byte(f)
+		}
+		if _, err := a.here(); err != nil {
+			return err
+		}
+		buf := make([]byte, n)
+		for i := range buf {
+			buf[i] = fill
+		}
+		a.emitBytes(buf)
+		return nil
+	case ".ascii", ".asciz":
+		rest := strings.TrimSpace(strings.TrimPrefix(line, dir))
+		s, err := strconv.Unquote(rest)
+		if err != nil {
+			return a.errorf("%s: bad string literal %s", dir, rest)
+		}
+		if _, err := a.here(); err != nil {
+			return err
+		}
+		b := []byte(s)
+		if dir == ".asciz" {
+			b = append(b, 0)
+		}
+		a.emitBytes(b)
+		return nil
+	}
+	return a.errorf("unknown directive %s", dir)
+}
+
+// evalExpr evaluates an integer expression: numbers, labels, '.', unary -,
+// and left-to-right + and - chains.
+func (a *assembler) evalExpr(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	s = strings.TrimPrefix(s, "#")
+	if s == "" {
+		return 0, a.errorf("empty expression")
+	}
+	// Tokenize into terms separated by +/- (respecting a leading sign).
+	total := int64(0)
+	sign := int64(1)
+	term := strings.Builder{}
+	flush := func() error {
+		t := strings.TrimSpace(term.String())
+		term.Reset()
+		if t == "" {
+			return a.errorf("malformed expression %q", s)
+		}
+		v, err := a.evalTerm(t)
+		if err != nil {
+			return err
+		}
+		total += sign * v
+		return nil
+	}
+	started := false
+	for _, c := range s {
+		switch c {
+		case '+', '-':
+			if !started && term.Len() == 0 {
+				if c == '-' {
+					sign = -sign
+				}
+				continue
+			}
+			if term.Len() == 0 {
+				if c == '-' {
+					sign = -sign
+				}
+				continue
+			}
+			if err := flush(); err != nil {
+				return 0, err
+			}
+			sign = 1
+			if c == '-' {
+				sign = -1
+			}
+		default:
+			started = true
+			term.WriteRune(c)
+		}
+	}
+	if err := flush(); err != nil {
+		return 0, err
+	}
+	return total, nil
+}
+
+func (a *assembler) evalTerm(t string) (int64, error) {
+	if t == "." {
+		h, err := a.here()
+		return int64(h), err
+	}
+	if v, err := strconv.ParseInt(t, 0, 64); err == nil {
+		return v, nil
+	}
+	if v, err := strconv.ParseUint(t, 0, 64); err == nil {
+		return int64(v), nil
+	}
+	if isIdent(t) {
+		if v, ok := a.labels[t]; ok {
+			return int64(v), nil
+		}
+		if a.pass == 1 {
+			return 0, nil // forward reference; resolved in pass 2
+		}
+		return 0, a.errorf("undefined symbol %q", t)
+	}
+	return 0, a.errorf("cannot evaluate %q", t)
+}
+
+var regByName = func() map[string]alpha.Reg {
+	m := map[string]alpha.Reg{}
+	for r := 0; r < alpha.NumRegs; r++ {
+		reg := alpha.Reg(r)
+		m[reg.String()] = reg
+		m[fmt.Sprintf("r%d", r)] = reg
+	}
+	m["s6"] = alpha.RegFP
+	m["t12"] = alpha.RegPV
+	return m
+}()
+
+func (a *assembler) parseReg(s string) (alpha.Reg, error) {
+	r, ok := regByName[strings.ToLower(strings.TrimSpace(s))]
+	if !ok {
+		return 0, a.errorf("bad register %q", s)
+	}
+	return r, nil
+}
+
+// parseMemOperand parses "disp(rb)" / "(rb)" / "disp".
+func (a *assembler) parseMemOperand(s string) (int64, alpha.Reg, error) {
+	s = strings.TrimSpace(s)
+	open := strings.Index(s, "(")
+	if open < 0 {
+		v, err := a.evalExpr(s)
+		return v, alpha.RegZero, err
+	}
+	if !strings.HasSuffix(s, ")") {
+		return 0, 0, a.errorf("malformed memory operand %q", s)
+	}
+	reg, err := a.parseReg(s[open+1 : len(s)-1])
+	if err != nil {
+		return 0, 0, err
+	}
+	dispStr := strings.TrimSpace(s[:open])
+	if dispStr == "" {
+		return 0, reg, nil
+	}
+	v, err := a.evalExpr(dispStr)
+	return v, reg, err
+}

@@ -1,0 +1,332 @@
+package alphaasm
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/ildp/accdbt/internal/alpha"
+)
+
+// wordsOf extracts the code words of the segment containing addr.
+func wordsOf(t *testing.T, p *Program, addr uint64) []alpha.Word {
+	t.Helper()
+	for _, s := range p.Segments {
+		if s.Addr <= addr && addr < s.Addr+uint64(len(s.Data)) {
+			var words []alpha.Word
+			for i := 0; i+4 <= len(s.Data); i += 4 {
+				w := alpha.Word(uint32(s.Data[i]) | uint32(s.Data[i+1])<<8 |
+					uint32(s.Data[i+2])<<16 | uint32(s.Data[i+3])<<24)
+				words = append(words, w)
+			}
+			return words
+		}
+	}
+	t.Fatalf("no segment contains %#x", addr)
+	return nil
+}
+
+func TestAssembleBasicProgram(t *testing.T) {
+	prog, err := Assemble(`
+	.text 0x10000
+start:
+	lda   a0, 100(zero)
+loop:
+	subq  a0, #1, a0
+	bne   a0, loop
+	call_pal halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Entry != 0x10000 {
+		t.Errorf("entry = %#x, want 0x10000", prog.Entry)
+	}
+	words := wordsOf(t, prog, 0x10000)
+	if len(words) != 4 {
+		t.Fatalf("got %d words, want 4", len(words))
+	}
+	i0 := alpha.Decode(words[0])
+	if i0.Op != alpha.OpLDA || i0.Ra != alpha.RegA0 || i0.Disp != 100 {
+		t.Errorf("word0 = %+v", i0)
+	}
+	i1 := alpha.Decode(words[1])
+	if i1.Op != alpha.OpSUBQ || !i1.UseLit || i1.Lit != 1 {
+		t.Errorf("word1 = %+v", i1)
+	}
+	i2 := alpha.Decode(words[2])
+	if i2.Op != alpha.OpBNE || i2.Ra != alpha.RegA0 {
+		t.Errorf("word2 = %+v", i2)
+	}
+	// bne at 0x10008 targeting loop at 0x10004: disp = (0x10004-0x1000C)/4 = -2
+	if i2.Disp != -2 {
+		t.Errorf("bne disp = %d, want -2", i2.Disp)
+	}
+	i3 := alpha.Decode(words[3])
+	if i3.Op != alpha.OpCallPAL || i3.PALFn != alpha.PALHalt {
+		t.Errorf("word3 = %+v", i3)
+	}
+}
+
+func TestForwardReferences(t *testing.T) {
+	prog, err := Assemble(`
+	.text 0x1000
+	beq v0, fwd
+	nop
+fwd:
+	ret
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	words := wordsOf(t, prog, 0x1000)
+	beq := alpha.Decode(words[0])
+	if beq.Disp != 1 { // skips the nop
+		t.Errorf("forward beq disp = %d, want 1", beq.Disp)
+	}
+	ret := alpha.Decode(words[2])
+	if ret.Op != alpha.OpRET || ret.Rb != alpha.RegRA {
+		t.Errorf("bare ret = %+v", ret)
+	}
+}
+
+func TestDataDirectives(t *testing.T) {
+	prog, err := Assemble(`
+	.data 0x2000
+tbl:
+	.quad 0x1122334455667788
+	.long 0xAABBCCDD
+	.word 0x0102
+	.byte 0xFF, 1
+	.align 8
+	.quad tbl
+	.asciz "hi"
+	.space 3, 0xEE
+	.text 0x1000
+start:
+	nop
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var data []byte
+	for _, s := range prog.Segments {
+		if s.Addr == 0x2000 {
+			data = s.Data
+		}
+	}
+	if data == nil {
+		t.Fatal("no data segment")
+	}
+	// little-endian quad
+	if data[0] != 0x88 || data[7] != 0x11 {
+		t.Errorf("quad bytes = % x", data[:8])
+	}
+	if data[8] != 0xDD || data[11] != 0xAA {
+		t.Errorf("long bytes = % x", data[8:12])
+	}
+	if data[12] != 0x02 || data[13] != 0x01 {
+		t.Errorf("word bytes = % x", data[12:14])
+	}
+	if data[14] != 0xFF || data[15] != 1 {
+		t.Errorf("byte values = % x", data[14:16])
+	}
+	// .align 8 pads to offset 16 (already aligned), then .quad tbl
+	if data[16] != 0x00 || data[17] != 0x20 {
+		t.Errorf(".quad tbl = % x, want le(0x2000)", data[16:24])
+	}
+	if string(data[24:26]) != "hi" || data[26] != 0 {
+		t.Errorf("asciz = % x", data[24:27])
+	}
+	if data[27] != 0xEE || data[29] != 0xEE {
+		t.Errorf("space fill = % x", data[27:30])
+	}
+}
+
+func TestLdiqExpansion(t *testing.T) {
+	prog, err := Assemble(`
+	.text 0x1000
+	ldiq t0, 0x12345678
+	call_pal halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	words := wordsOf(t, prog, 0x1000)
+	ldah := alpha.Decode(words[0])
+	lda := alpha.Decode(words[1])
+	if ldah.Op != alpha.OpLDAH || lda.Op != alpha.OpLDA {
+		t.Fatalf("ldiq expanded to %v, %v", ldah.Op, lda.Op)
+	}
+	// Reconstruct: value = (hi<<16) + signext(lo)
+	got := int64(ldah.Disp)<<16 + int64(lda.Disp)
+	if got != 0x12345678 {
+		t.Errorf("ldiq reconstructs to %#x, want 0x12345678", got)
+	}
+}
+
+func TestLdiqNegative(t *testing.T) {
+	prog := MustAssemble(`
+	.text 0x1000
+	ldiq t0, -123456
+`)
+	words := wordsOf(t, prog, 0x1000)
+	ldah := alpha.Decode(words[0])
+	lda := alpha.Decode(words[1])
+	got := int64(ldah.Disp)<<16 + int64(lda.Disp)
+	if got != -123456 {
+		t.Errorf("ldiq reconstructs to %d, want -123456", got)
+	}
+}
+
+func TestPseudoOps(t *testing.T) {
+	prog := MustAssemble(`
+	.text 0x1000
+	mov  t0, t1
+	mov  42, t2
+	mov  1000, t3
+	clr  t4
+	negq t0, t5
+	not  t0, t6
+	unop
+`)
+	words := wordsOf(t, prog, 0x1000)
+	i := alpha.Decode(words[0])
+	if i.Op != alpha.OpBIS || i.Ra != 1 || i.Rb != 1 || i.Rc != 2 {
+		t.Errorf("mov reg = %+v", i)
+	}
+	i = alpha.Decode(words[1])
+	if i.Op != alpha.OpBIS || !i.UseLit || i.Lit != 42 || i.Rc != 3 {
+		t.Errorf("mov lit = %+v", i)
+	}
+	i = alpha.Decode(words[2])
+	if i.Op != alpha.OpLDA || i.Disp != 1000 || i.Ra != 4 {
+		t.Errorf("mov 1000 = %+v", i)
+	}
+	i = alpha.Decode(words[3])
+	if i.Op != alpha.OpBIS || i.Ra != alpha.RegZero || i.Rc != 5 {
+		t.Errorf("clr = %+v", i)
+	}
+	i = alpha.Decode(words[4])
+	if i.Op != alpha.OpSUBQ || i.Ra != alpha.RegZero || i.Rb != 1 || i.Rc != 6 {
+		t.Errorf("negq = %+v", i)
+	}
+	i = alpha.Decode(words[5])
+	if i.Op != alpha.OpORNOT || i.Ra != alpha.RegZero {
+		t.Errorf("not = %+v", i)
+	}
+	i = alpha.Decode(words[6])
+	if !i.IsNOP() {
+		t.Errorf("unop = %+v not a NOP", i)
+	}
+}
+
+func TestJumpForms(t *testing.T) {
+	prog := MustAssemble(`
+	.text 0x1000
+	jsr (pv)
+	jmp (t0)
+	ret
+	ret zero, (ra)
+	jsr ra, (pv)
+`)
+	words := wordsOf(t, prog, 0x1000)
+	jsr := alpha.Decode(words[0])
+	if jsr.Op != alpha.OpJSR || jsr.Ra != alpha.RegRA || jsr.Rb != alpha.RegPV {
+		t.Errorf("jsr (pv) = %+v", jsr)
+	}
+	jmp := alpha.Decode(words[1])
+	if jmp.Op != alpha.OpJMP || jmp.Ra != alpha.RegZero || jmp.Rb != 1 {
+		t.Errorf("jmp (t0) = %+v", jmp)
+	}
+	for _, i := range []int{2, 3} {
+		ret := alpha.Decode(words[i])
+		if ret.Op != alpha.OpRET || ret.Rb != alpha.RegRA {
+			t.Errorf("ret[%d] = %+v", i, ret)
+		}
+	}
+}
+
+func TestBsrForms(t *testing.T) {
+	prog := MustAssemble(`
+	.text 0x1000
+	bsr  sub
+	br   over
+sub:
+	ret
+over:
+	call_pal halt
+`)
+	words := wordsOf(t, prog, 0x1000)
+	bsr := alpha.Decode(words[0])
+	if bsr.Op != alpha.OpBSR || bsr.Ra != alpha.RegRA || bsr.Disp != 1 {
+		t.Errorf("bsr = %+v", bsr)
+	}
+	br := alpha.Decode(words[1])
+	if br.Op != alpha.OpBR || br.Ra != alpha.RegZero || br.Disp != 1 {
+		t.Errorf("br = %+v", br)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := []struct {
+		name, src, wantSub string
+	}{
+		{"no-section", "nop", "no .text"},
+		{"bad-mnemonic", ".text 0\n frobnicate t0", "unknown mnemonic"},
+		{"bad-reg", ".text 0\n addq q9, t0, t1", "bad register"},
+		{"dup-label", ".text 0\nx:\nx:\n nop", "duplicate label"},
+		{"undef-symbol", ".text 0\n br nowhere", "undefined symbol"},
+		{"lit-range", ".text 0\n addq t0, #300, t1", "out of 8-bit range"},
+		{"bad-align", ".text 0\n .align 3", "not a power of two"},
+		{"overlap", ".text 0x100\n nop\n .text 0x100\n nop", "overlapping"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Assemble(c.src)
+			if err == nil {
+				t.Fatalf("expected error containing %q, got nil", c.wantSub)
+			}
+			if !strings.Contains(err.Error(), c.wantSub) {
+				t.Errorf("error = %q, want substring %q", err, c.wantSub)
+			}
+		})
+	}
+}
+
+func TestEntryDirective(t *testing.T) {
+	prog := MustAssemble(`
+	.entry main
+	.text 0x1000
+helper:
+	ret
+main:
+	call_pal halt
+`)
+	if prog.Entry != 0x1004 {
+		t.Errorf("entry = %#x, want 0x1004", prog.Entry)
+	}
+}
+
+func TestComments(t *testing.T) {
+	prog := MustAssemble(`
+	.text 0x1000        ; section comment
+	nop                 // line comment
+	nop ; trailing
+`)
+	if got := len(wordsOf(t, prog, 0x1000)); got != 2 {
+		t.Errorf("got %d words, want 2", got)
+	}
+}
+
+func TestTotalBytes(t *testing.T) {
+	prog := MustAssemble(`
+	.text 0x1000
+	nop
+	nop
+	.data 0x2000
+	.quad 1
+`)
+	if got := prog.TotalBytes(); got != 16 {
+		t.Errorf("TotalBytes = %d, want 16", got)
+	}
+}

@@ -1,0 +1,370 @@
+package alphaasm
+
+import (
+	"strings"
+
+	"github.com/ildp/accdbt/internal/alpha"
+)
+
+// doInstruction assembles one instruction line (mnemonic already known not
+// to be a directive or label).
+func (a *assembler) doInstruction(line string) error {
+	if _, err := a.here(); err != nil {
+		return err
+	}
+	mnemonic, args := splitFields(line)
+	mnemonic = strings.ToLower(mnemonic)
+
+	// Pseudo-instructions first.
+	switch mnemonic {
+	case "nop":
+		a.emitWord(alpha.NOP())
+		return nil
+	case "unop":
+		w, err := alpha.EncodeMem(alpha.OpLDQU, alpha.RegZero, alpha.RegZero, 0)
+		if err != nil {
+			return a.errorf("%v", err)
+		}
+		a.emitWord(w)
+		return nil
+	case "clr":
+		if len(args) != 1 {
+			return a.errorf("clr requires one register")
+		}
+		rd, err := a.parseReg(args[0])
+		if err != nil {
+			return err
+		}
+		w, err := alpha.EncodeOperateR(alpha.OpBIS, alpha.RegZero, alpha.RegZero, rd)
+		if err != nil {
+			return a.errorf("%v", err)
+		}
+		a.emitWord(w)
+		return nil
+	case "mov":
+		if len(args) != 2 {
+			return a.errorf("mov requires src, dst")
+		}
+		rd, err := a.parseReg(args[1])
+		if err != nil {
+			return err
+		}
+		if rs, err2 := a.parseReg(args[0]); err2 == nil {
+			w, err := alpha.EncodeOperateR(alpha.OpBIS, rs, rs, rd)
+			if err != nil {
+				return a.errorf("%v", err)
+			}
+			a.emitWord(w)
+			return nil
+		}
+		v, err := a.evalExpr(args[0])
+		if err != nil {
+			return err
+		}
+		if v >= 0 && v <= 255 {
+			w, err := alpha.EncodeOperateL(alpha.OpBIS, alpha.RegZero, uint8(v), rd)
+			if err != nil {
+				return a.errorf("%v", err)
+			}
+			a.emitWord(w)
+			return nil
+		}
+		if v >= -32768 && v <= 32767 {
+			w, err := alpha.EncodeMem(alpha.OpLDA, rd, alpha.RegZero, int32(v))
+			if err != nil {
+				return a.errorf("%v", err)
+			}
+			a.emitWord(w)
+			return nil
+		}
+		return a.errorf("mov immediate %d out of range; use ldiq", v)
+	case "ldiq", "ldil":
+		// Fixed two-instruction 32-bit immediate: ldah rd, hi(zero);
+		// lda rd, lo(rd). Emitted unconditionally so pass-1 sizing is
+		// stable even with forward label references.
+		if len(args) != 2 {
+			return a.errorf("%s requires rd, imm", mnemonic)
+		}
+		rd, err := a.parseReg(args[0])
+		if err != nil {
+			return err
+		}
+		v, err := a.evalExpr(args[1])
+		if err != nil {
+			return err
+		}
+		lo := int64(int16(v))
+		hi := (v - lo) >> 16
+		if a.pass == 2 && (hi < -32768 || hi > 32767) {
+			return a.errorf("%s immediate %#x out of 32-bit range", mnemonic, v)
+		}
+		wh, err := alpha.EncodeMem(alpha.OpLDAH, rd, alpha.RegZero, int32(int16(hi)))
+		if err != nil {
+			return a.errorf("%v", err)
+		}
+		wl, err := alpha.EncodeMem(alpha.OpLDA, rd, rd, int32(lo))
+		if err != nil {
+			return a.errorf("%v", err)
+		}
+		a.emitWord(wh)
+		a.emitWord(wl)
+		return nil
+	case "negq":
+		if len(args) != 2 {
+			return a.errorf("negq requires rs, rd")
+		}
+		rs, err := a.parseReg(args[0])
+		if err != nil {
+			return err
+		}
+		rd, err := a.parseReg(args[1])
+		if err != nil {
+			return err
+		}
+		w, err := alpha.EncodeOperateR(alpha.OpSUBQ, alpha.RegZero, rs, rd)
+		if err != nil {
+			return a.errorf("%v", err)
+		}
+		a.emitWord(w)
+		return nil
+	case "not":
+		if len(args) != 2 {
+			return a.errorf("not requires rs, rd")
+		}
+		rs, err := a.parseReg(args[0])
+		if err != nil {
+			return err
+		}
+		rd, err := a.parseReg(args[1])
+		if err != nil {
+			return err
+		}
+		w, err := alpha.EncodeOperateR(alpha.OpORNOT, alpha.RegZero, rs, rd)
+		if err != nil {
+			return a.errorf("%v", err)
+		}
+		a.emitWord(w)
+		return nil
+	case "call_pal":
+		return a.asmCallPAL(args)
+	case "halt":
+		return a.asmCallPAL([]string{"halt"})
+	}
+
+	op, ok := alpha.OpByName(mnemonic)
+	if !ok {
+		return a.errorf("unknown mnemonic %q", mnemonic)
+	}
+	switch alpha.EncodingFormat(op) {
+	case alpha.FormatMemory:
+		return a.asmMemory(op, args)
+	case alpha.FormatBranch:
+		return a.asmBranch(op, args)
+	case alpha.FormatOperate:
+		return a.asmOperate(op, args)
+	case alpha.FormatMemJump:
+		return a.asmJump(op, args)
+	case alpha.FormatMemFunc:
+		return a.asmMisc(op, args)
+	}
+	return a.errorf("cannot assemble %q", mnemonic)
+}
+
+func (a *assembler) asmCallPAL(args []string) error {
+	if len(args) != 1 {
+		return a.errorf("call_pal requires a function")
+	}
+	var fn uint32
+	switch strings.ToLower(args[0]) {
+	case "halt":
+		fn = alpha.PALHalt
+	case "bpt":
+		fn = alpha.PALBpt
+	case "callsys":
+		fn = alpha.PALCallSys
+	default:
+		v, err := a.evalExpr(args[0])
+		if err != nil {
+			return err
+		}
+		fn = uint32(v)
+	}
+	w, err := alpha.EncodePAL(fn)
+	if err != nil {
+		return a.errorf("%v", err)
+	}
+	a.emitWord(w)
+	return nil
+}
+
+func (a *assembler) asmMemory(op alpha.Op, args []string) error {
+	if len(args) != 2 {
+		return a.errorf("%v requires ra, disp(rb)", op)
+	}
+	ra, err := a.parseReg(args[0])
+	if err != nil {
+		return err
+	}
+	disp, rb, err := a.parseMemOperand(args[1])
+	if err != nil {
+		return err
+	}
+	if a.pass == 1 {
+		disp = 0 // forward labels may be unresolved; size is fixed anyway
+	}
+	if disp < -32768 || disp > 32767 {
+		return a.errorf("%v displacement %d out of range", op, disp)
+	}
+	w, err := alpha.EncodeMem(op, ra, rb, int32(disp))
+	if err != nil {
+		return a.errorf("%v", err)
+	}
+	a.emitWord(w)
+	return nil
+}
+
+func (a *assembler) asmBranch(op alpha.Op, args []string) error {
+	var ra alpha.Reg
+	var targetExpr string
+	switch {
+	case len(args) == 1 && (op == alpha.OpBR || op == alpha.OpBSR):
+		// br label / bsr label: BR discards, BSR saves to ra.
+		ra = alpha.RegZero
+		if op == alpha.OpBSR {
+			ra = alpha.RegRA
+		}
+		targetExpr = args[0]
+	case len(args) == 2:
+		r, err := a.parseReg(args[0])
+		if err != nil {
+			return err
+		}
+		ra = r
+		targetExpr = args[1]
+	default:
+		return a.errorf("%v requires [ra,] target", op)
+	}
+	target, err := a.evalExpr(targetExpr)
+	if err != nil {
+		return err
+	}
+	here, err := a.here()
+	if err != nil {
+		return err
+	}
+	disp := (target - int64(here) - alpha.InstBytes) / alpha.InstBytes
+	if a.pass == 1 {
+		disp = 0
+	} else if (target-int64(here)-alpha.InstBytes)%alpha.InstBytes != 0 {
+		return a.errorf("%v target %#x not instruction-aligned", op, target)
+	}
+	w, err := alpha.EncodeBranch(op, ra, int32(disp))
+	if err != nil {
+		return a.errorf("%v", err)
+	}
+	a.emitWord(w)
+	return nil
+}
+
+func (a *assembler) asmOperate(op alpha.Op, args []string) error {
+	if len(args) != 3 {
+		return a.errorf("%v requires ra, rb|#lit, rc", op)
+	}
+	ra, err := a.parseReg(args[0])
+	if err != nil {
+		return err
+	}
+	rc, err := a.parseReg(args[2])
+	if err != nil {
+		return err
+	}
+	if rb, err2 := a.parseReg(args[1]); err2 == nil && !strings.HasPrefix(strings.TrimSpace(args[1]), "#") {
+		w, err := alpha.EncodeOperateR(op, ra, rb, rc)
+		if err != nil {
+			return a.errorf("%v", err)
+		}
+		a.emitWord(w)
+		return nil
+	}
+	v, err := a.evalExpr(args[1])
+	if err != nil {
+		return err
+	}
+	if v < 0 || v > 255 {
+		return a.errorf("%v literal %d out of 8-bit range", op, v)
+	}
+	w, err := alpha.EncodeOperateL(op, ra, uint8(v), rc)
+	if err != nil {
+		return a.errorf("%v", err)
+	}
+	a.emitWord(w)
+	return nil
+}
+
+func (a *assembler) asmJump(op alpha.Op, args []string) error {
+	var ra, rb alpha.Reg
+	switch {
+	case len(args) == 0 && op == alpha.OpRET:
+		ra, rb = alpha.RegZero, alpha.RegRA
+	case len(args) == 1:
+		r, err := a.parseRegOrParen(args[0])
+		if err != nil {
+			return err
+		}
+		rb = r
+		switch op {
+		case alpha.OpJSR, alpha.OpJSRCoroutine:
+			ra = alpha.RegRA
+		default:
+			ra = alpha.RegZero
+		}
+	case len(args) == 2:
+		r1, err := a.parseReg(args[0])
+		if err != nil {
+			return err
+		}
+		r2, err := a.parseRegOrParen(args[1])
+		if err != nil {
+			return err
+		}
+		ra, rb = r1, r2
+	default:
+		return a.errorf("%v requires [ra,] (rb)", op)
+	}
+	w, err := alpha.EncodeJump(op, ra, rb, 0)
+	if err != nil {
+		return a.errorf("%v", err)
+	}
+	a.emitWord(w)
+	return nil
+}
+
+func (a *assembler) parseRegOrParen(s string) (alpha.Reg, error) {
+	s = strings.TrimSpace(s)
+	if strings.HasPrefix(s, "(") && strings.HasSuffix(s, ")") {
+		s = s[1 : len(s)-1]
+	}
+	return a.parseReg(s)
+}
+
+func (a *assembler) asmMisc(op alpha.Op, args []string) error {
+	ra := alpha.RegZero
+	if op == alpha.OpRPCC {
+		if len(args) != 1 {
+			return a.errorf("rpcc requires a destination register")
+		}
+		r, err := a.parseReg(args[0])
+		if err != nil {
+			return err
+		}
+		ra = r
+	} else if len(args) != 0 {
+		return a.errorf("%v takes no operands", op)
+	}
+	w, err := alpha.EncodeMisc(op, ra)
+	if err != nil {
+		return a.errorf("%v", err)
+	}
+	a.emitWord(w)
+	return nil
+}

@@ -1,0 +1,124 @@
+package alpha
+
+import "testing"
+
+// TestEveryOpRoundTrips exercises the full encode/decode table: every
+// operation that the encoder knows must decode back to itself with all
+// fields intact, for every format.
+func TestEveryOpRoundTrips(t *testing.T) {
+	for op, info := range encTable {
+		op, info := op, info
+		t.Run(op.String(), func(t *testing.T) {
+			switch info.format {
+			case FormatMemory:
+				w, err := EncodeMem(op, 7, 21, -1234)
+				if err != nil {
+					t.Fatal(err)
+				}
+				d := Decode(w)
+				if d.Op != op || d.Ra != 7 || d.Rb != 21 || d.Disp != -1234 {
+					t.Errorf("memory round trip: %+v", d)
+				}
+			case FormatBranch:
+				w, err := EncodeBranch(op, 13, -99)
+				if err != nil {
+					t.Fatal(err)
+				}
+				d := Decode(w)
+				if d.Op != op || d.Ra != 13 || d.Disp != -99 {
+					t.Errorf("branch round trip: %+v", d)
+				}
+			case FormatOperate:
+				w, err := EncodeOperateR(op, 3, 14, 25)
+				if err != nil {
+					t.Fatal(err)
+				}
+				d := Decode(w)
+				if d.Op != op || d.Ra != 3 || d.Rb != 14 || d.Rc != 25 || d.UseLit {
+					t.Errorf("operate-R round trip: %+v", d)
+				}
+				w, err = EncodeOperateL(op, 3, 77, 25)
+				if err != nil {
+					t.Fatal(err)
+				}
+				d = Decode(w)
+				if d.Op != op || !d.UseLit || d.Lit != 77 {
+					t.Errorf("operate-L round trip: %+v", d)
+				}
+			case FormatMemJump:
+				w, err := EncodeJump(op, 26, 27, 0x155)
+				if err != nil {
+					t.Fatal(err)
+				}
+				d := Decode(w)
+				if d.Op != op || d.Ra != 26 || d.Rb != 27 || d.Hint != 0x155 {
+					t.Errorf("jump round trip: %+v", d)
+				}
+			case FormatMemFunc:
+				w, err := EncodeMisc(op, 9)
+				if err != nil {
+					t.Fatal(err)
+				}
+				d := Decode(w)
+				if d.Op != op {
+					t.Errorf("misc round trip: %+v", d)
+				}
+			case FormatPAL:
+				w, err := EncodePAL(PALCallSys)
+				if err != nil {
+					t.Fatal(err)
+				}
+				d := Decode(w)
+				if d.Op != OpCallPAL || d.PALFn != PALCallSys {
+					t.Errorf("PAL round trip: %+v", d)
+				}
+			default:
+				t.Fatalf("op %v has unknown format", op)
+			}
+		})
+	}
+}
+
+// TestEveryOpHasName ensures the mnemonic table covers the op space.
+func TestEveryOpHasName(t *testing.T) {
+	for op := range encTable {
+		name := op.String()
+		if len(name) == 0 || name[0] == 'o' && name[1] == 'p' {
+			t.Errorf("op %d has no mnemonic", op)
+		}
+		back, ok := OpByName(name)
+		if !ok || back != op {
+			t.Errorf("OpByName(%q) = %v, %v", name, back, ok)
+		}
+	}
+}
+
+// TestDisassembleEveryOp smoke-tests the disassembler over the whole
+// encode table: output must be non-empty and never the raw-word fallback.
+func TestDisassembleEveryOp(t *testing.T) {
+	for op, info := range encTable {
+		var w Word
+		var err error
+		switch info.format {
+		case FormatMemory:
+			w, err = EncodeMem(op, 1, 2, 4)
+		case FormatBranch:
+			w, err = EncodeBranch(op, 1, 2)
+		case FormatOperate:
+			w, err = EncodeOperateR(op, 1, 2, 3)
+		case FormatMemJump:
+			w, err = EncodeJump(op, 26, 27, 0)
+		case FormatMemFunc:
+			w, err = EncodeMisc(op, 1)
+		case FormatPAL:
+			w, err = EncodePAL(PALHalt)
+		}
+		if err != nil {
+			t.Fatalf("%v: %v", op, err)
+		}
+		s := DisassembleWord(w, 0x1000)
+		if len(s) == 0 || s[0] == '.' {
+			t.Errorf("%v disassembles to %q", op, s)
+		}
+	}
+}

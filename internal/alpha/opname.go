@@ -1,0 +1,26 @@
+package alpha
+
+var opsByName = func() map[string]Op {
+	m := make(map[string]Op, len(opNames))
+	for op, name := range opNames {
+		m[name] = op
+	}
+	return m
+}()
+
+// OpByName returns the operation with the given assembler mnemonic.
+func OpByName(name string) (Op, bool) {
+	op, ok := opsByName[name]
+	if !ok || op == OpInvalid || op == OpUnsupported {
+		return OpInvalid, false
+	}
+	return op, ok
+}
+
+// EncodingFormat returns the instruction format used to encode op.
+func EncodingFormat(op Op) Format {
+	if info, ok := encTable[op]; ok {
+		return info.format
+	}
+	return FormatInvalid
+}

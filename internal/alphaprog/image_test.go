@@ -1,0 +1,75 @@
+package alphaprog
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestImageRoundTrip(t *testing.T) {
+	p := &Program{
+		Entry: 0x10000,
+		Segments: []Segment{
+			{Addr: 0x10000, Data: []byte{1, 2, 3, 4}},
+			{Addr: 0x20000, Data: []byte{5, 6}},
+		},
+	}
+	var buf bytes.Buffer
+	if err := p.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Entry != p.Entry || len(got.Segments) != 2 {
+		t.Fatalf("round trip lost data: %+v", got)
+	}
+	for i := range p.Segments {
+		if got.Segments[i].Addr != p.Segments[i].Addr ||
+			!bytes.Equal(got.Segments[i].Data, p.Segments[i].Data) {
+			t.Errorf("segment %d differs", i)
+		}
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("not an image"))); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := Load(bytes.NewReader(nil)); err == nil {
+		t.Error("empty input accepted")
+	}
+	// Truncated after the header.
+	p := &Program{Entry: 1, Segments: []Segment{{Addr: 0, Data: make([]byte, 100)}}}
+	var buf bytes.Buffer
+	if err := p.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:30]
+	if _, err := Load(bytes.NewReader(trunc)); err == nil {
+		t.Error("truncated image accepted")
+	}
+}
+
+func TestNormalizeDetectsOverlap(t *testing.T) {
+	p := &Program{Segments: []Segment{
+		{Addr: 0x100, Data: make([]byte, 16)},
+		{Addr: 0x108, Data: make([]byte, 16)},
+	}}
+	if p.Normalize() {
+		t.Error("overlap not detected")
+	}
+	q := &Program{Segments: []Segment{
+		{Addr: 0x200, Data: make([]byte, 8)},
+		{Addr: 0x100, Data: make([]byte, 8)},
+	}}
+	if !q.Normalize() {
+		t.Error("disjoint segments rejected")
+	}
+	if q.Segments[0].Addr != 0x100 {
+		t.Error("segments not sorted")
+	}
+	if q.TotalBytes() != 16 {
+		t.Errorf("TotalBytes = %d", q.TotalBytes())
+	}
+}

@@ -1,0 +1,38 @@
+// Package alphaprog defines the loadable program image shared between the
+// assembler, workload generators, and the interpreter/VM.
+package alphaprog
+
+import "sort"
+
+// Program is a memory image plus entry point.
+type Program struct {
+	Entry    uint64
+	Segments []Segment
+}
+
+// Segment is a contiguous run of initialised bytes.
+type Segment struct {
+	Addr uint64
+	Data []byte
+}
+
+// TotalBytes returns the total number of initialised bytes in the program.
+func (p *Program) TotalBytes() int {
+	n := 0
+	for _, s := range p.Segments {
+		n += len(s.Data)
+	}
+	return n
+}
+
+// Normalize sorts segments by address and reports whether any overlap.
+func (p *Program) Normalize() bool {
+	sort.Slice(p.Segments, func(i, j int) bool { return p.Segments[i].Addr < p.Segments[j].Addr })
+	for i := 1; i < len(p.Segments); i++ {
+		prev, cur := p.Segments[i-1], p.Segments[i]
+		if prev.Addr+uint64(len(prev.Data)) > cur.Addr {
+			return false
+		}
+	}
+	return true
+}

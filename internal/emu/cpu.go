@@ -1,0 +1,323 @@
+package emu
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/ildp/accdbt/internal/alpha"
+	"github.com/ildp/accdbt/internal/alphaprog"
+	"github.com/ildp/accdbt/internal/mem"
+)
+
+// Trap is a precise architectural trap raised during interpretation or
+// translated-code execution. PC is the V-ISA address of the faulting
+// instruction.
+type Trap struct {
+	PC    uint64
+	Cause error
+}
+
+func (t *Trap) Error() string { return fmt.Sprintf("trap at pc=%#x: %v", t.PC, t.Cause) }
+
+// Unwrap exposes the underlying cause (e.g. *mem.AccessFault).
+func (t *Trap) Unwrap() error { return t.Cause }
+
+// Trap causes that are not memory faults.
+var (
+	ErrIllegalInstruction = errors.New("illegal instruction")
+	ErrUnsupported        = errors.New("unsupported instruction (FP or PAL-reserved)")
+	ErrBreakpoint         = errors.New("breakpoint")
+	ErrBadSyscall         = errors.New("unknown system call")
+)
+
+// ErrInstLimit is returned by Run when the instruction budget is exhausted
+// before the program halts.
+var ErrInstLimit = errors.New("instruction limit reached")
+
+// CPU is the architected state of an Alpha processor plus a little console
+// for the PAL putchar surface. The zero value is not usable; call New.
+type CPU struct {
+	PC  uint64
+	Reg [alpha.NumRegs]uint64
+	Mem *mem.Memory
+
+	Halted     bool
+	ExitStatus uint64
+
+	// InstCount counts architecturally executed (committed) instructions,
+	// including NOPs.
+	InstCount uint64
+
+	// Console accumulates bytes written via SysPutChar.
+	Console []byte
+
+	// lockFlag models LDx_L/STx_C on a uniprocessor.
+	lockFlag bool
+	lockAddr uint64
+}
+
+// New returns a CPU with the given memory, PC 0, and all registers zero.
+func New(m *mem.Memory) *CPU {
+	return &CPU{Mem: m}
+}
+
+// LoadProgram copies an assembled program into memory and sets the PC to
+// its entry point. Pages touched by the program are mapped, so they remain
+// accessible in Strict mode.
+func (c *CPU) LoadProgram(p *alphaprog.Program) error {
+	for _, seg := range p.Segments {
+		c.Mem.Map(seg.Addr, uint64(len(seg.Data)))
+		if err := c.Mem.Write8s(seg.Addr, seg.Data); err != nil {
+			return err
+		}
+	}
+	c.PC = p.Entry
+	return nil
+}
+
+// ReadReg returns the value of r, respecting the hardwired zero register.
+func (c *CPU) ReadReg(r alpha.Reg) uint64 {
+	if r == alpha.RegZero {
+		return 0
+	}
+	return c.Reg[r]
+}
+
+// WriteReg sets r to v; writes to the zero register are discarded.
+func (c *CPU) WriteReg(r alpha.Reg, v uint64) {
+	if r != alpha.RegZero {
+		c.Reg[r] = v
+	}
+}
+
+// FetchDecode fetches and decodes the instruction at PC without executing
+// it.
+func (c *CPU) FetchDecode() (alpha.Inst, error) {
+	w, err := c.Mem.Read32(c.PC)
+	if err != nil {
+		return alpha.Inst{}, &Trap{PC: c.PC, Cause: err}
+	}
+	return alpha.Decode(alpha.Word(w)), nil
+}
+
+// Step fetches, decodes, and executes one instruction.
+func (c *CPU) Step() error {
+	inst, err := c.FetchDecode()
+	if err != nil {
+		return err
+	}
+	return c.Exec(inst)
+}
+
+// Run executes instructions until the CPU halts, a trap occurs, or max
+// instructions have executed (ErrInstLimit). max <= 0 means no limit.
+func (c *CPU) Run(max int64) error {
+	for !c.Halted {
+		if max > 0 && int64(c.InstCount) >= max {
+			return ErrInstLimit
+		}
+		if err := c.Step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Exec executes a single decoded instruction, updating PC and state. A
+// returned error is always a *Trap; architected state is exactly the state
+// before the faulting instruction (precise).
+func (c *CPU) Exec(inst alpha.Inst) error {
+	pc := c.PC
+	next := pc + alpha.InstBytes
+
+	switch {
+	case inst.Op == alpha.OpInvalid:
+		return &Trap{PC: pc, Cause: ErrIllegalInstruction}
+	case inst.Op == alpha.OpUnsupported:
+		return &Trap{PC: pc, Cause: ErrUnsupported}
+
+	case inst.Op == alpha.OpCallPAL:
+		if err := c.execPAL(inst, pc); err != nil {
+			return err
+		}
+
+	case inst.Format == alpha.FormatMemory:
+		if err := c.execMemory(inst, pc); err != nil {
+			return err
+		}
+
+	case inst.Format == alpha.FormatOperate:
+		b := c.ReadReg(inst.Rb)
+		if inst.UseLit {
+			b = uint64(inst.Lit)
+		}
+		if inst.IsCMOV() {
+			if EvalCond(inst.Op, c.ReadReg(inst.Ra)) {
+				c.WriteReg(inst.Rc, b)
+			}
+		} else {
+			c.WriteReg(inst.Rc, EvalOp(inst.Op, c.ReadReg(inst.Ra), b))
+		}
+
+	case inst.Format == alpha.FormatBranch:
+		if inst.Op == alpha.OpBR || inst.Op == alpha.OpBSR {
+			c.WriteReg(inst.Ra, next)
+			next = inst.BranchTarget(pc)
+		} else if EvalCond(inst.Op, c.ReadReg(inst.Ra)) {
+			next = inst.BranchTarget(pc)
+		}
+
+	case inst.Format == alpha.FormatMemJump:
+		target := c.ReadReg(inst.Rb) &^ 3
+		c.WriteReg(inst.Ra, next)
+		next = target
+
+	case inst.Format == alpha.FormatMemFunc:
+		if inst.Op == alpha.OpRPCC {
+			c.WriteReg(inst.Ra, c.InstCount)
+		}
+		// MB/WMB/TRAPB/EXCB: no effect on this uniprocessor model.
+
+	default:
+		return &Trap{PC: pc, Cause: ErrIllegalInstruction}
+	}
+
+	c.PC = next
+	c.InstCount++
+	return nil
+}
+
+func (c *CPU) execMemory(inst alpha.Inst, pc uint64) error {
+	switch inst.Op {
+	case alpha.OpLDA:
+		c.WriteReg(inst.Ra, c.ReadReg(inst.Rb)+uint64(int64(inst.Disp)))
+		return nil
+	case alpha.OpLDAH:
+		c.WriteReg(inst.Ra, c.ReadReg(inst.Rb)+uint64(int64(inst.Disp))<<16)
+		return nil
+	}
+	addr := c.ReadReg(inst.Rb) + uint64(int64(inst.Disp))
+	trap := func(err error) error { return &Trap{PC: pc, Cause: err} }
+	switch inst.Op {
+	case alpha.OpLDBU:
+		v, err := c.Mem.Read8(addr)
+		if err != nil {
+			return trap(err)
+		}
+		c.WriteReg(inst.Ra, uint64(v))
+	case alpha.OpLDWU:
+		v, err := c.Mem.Read16(addr)
+		if err != nil {
+			return trap(err)
+		}
+		c.WriteReg(inst.Ra, uint64(v))
+	case alpha.OpLDL:
+		v, err := c.Mem.Read32(addr)
+		if err != nil {
+			return trap(err)
+		}
+		c.WriteReg(inst.Ra, sext32(uint64(v)))
+	case alpha.OpLDQ:
+		v, err := c.Mem.Read64(addr)
+		if err != nil {
+			return trap(err)
+		}
+		c.WriteReg(inst.Ra, v)
+	case alpha.OpLDQU:
+		v, err := c.Mem.Read64(addr &^ 7)
+		if err != nil {
+			return trap(err)
+		}
+		c.WriteReg(inst.Ra, v)
+	case alpha.OpLDLL:
+		v, err := c.Mem.Read32(addr)
+		if err != nil {
+			return trap(err)
+		}
+		c.lockFlag, c.lockAddr = true, addr
+		c.WriteReg(inst.Ra, sext32(uint64(v)))
+	case alpha.OpLDQL:
+		v, err := c.Mem.Read64(addr)
+		if err != nil {
+			return trap(err)
+		}
+		c.lockFlag, c.lockAddr = true, addr
+		c.WriteReg(inst.Ra, v)
+	case alpha.OpSTB:
+		if err := c.Mem.Write8(addr, byte(c.ReadReg(inst.Ra))); err != nil {
+			return trap(err)
+		}
+	case alpha.OpSTW:
+		if err := c.Mem.Write16(addr, uint16(c.ReadReg(inst.Ra))); err != nil {
+			return trap(err)
+		}
+	case alpha.OpSTL:
+		if err := c.Mem.Write32(addr, uint32(c.ReadReg(inst.Ra))); err != nil {
+			return trap(err)
+		}
+	case alpha.OpSTQ:
+		if err := c.Mem.Write64(addr, c.ReadReg(inst.Ra)); err != nil {
+			return trap(err)
+		}
+	case alpha.OpSTQU:
+		if err := c.Mem.Write64(addr&^7, c.ReadReg(inst.Ra)); err != nil {
+			return trap(err)
+		}
+	case alpha.OpSTLC:
+		ok := c.lockFlag && c.lockAddr == addr
+		if ok {
+			if err := c.Mem.Write32(addr, uint32(c.ReadReg(inst.Ra))); err != nil {
+				return trap(err)
+			}
+		}
+		c.lockFlag = false
+		if ok {
+			c.WriteReg(inst.Ra, 1)
+		} else {
+			c.WriteReg(inst.Ra, 0)
+		}
+	case alpha.OpSTQC:
+		ok := c.lockFlag && c.lockAddr == addr
+		if ok {
+			if err := c.Mem.Write64(addr, c.ReadReg(inst.Ra)); err != nil {
+				return trap(err)
+			}
+		}
+		c.lockFlag = false
+		if ok {
+			c.WriteReg(inst.Ra, 1)
+		} else {
+			c.WriteReg(inst.Ra, 0)
+		}
+	default:
+		return trap(ErrIllegalInstruction)
+	}
+	return nil
+}
+
+func (c *CPU) execPAL(inst alpha.Inst, pc uint64) error {
+	switch inst.PALFn {
+	case alpha.PALHalt:
+		c.Halted = true
+	case alpha.PALBpt:
+		return &Trap{PC: pc, Cause: ErrBreakpoint}
+	case alpha.PALCallSys:
+		switch c.Reg[alpha.RegV0] {
+		case alpha.SysExit:
+			c.Halted = true
+			c.ExitStatus = c.Reg[alpha.RegA0]
+		case alpha.SysPutChar:
+			c.Console = append(c.Console, byte(c.Reg[alpha.RegA0]))
+		case alpha.SysGetTime:
+			c.Reg[alpha.RegV0] = c.InstCount
+		default:
+			return &Trap{PC: pc, Cause: ErrBadSyscall}
+		}
+	default:
+		return &Trap{PC: pc, Cause: ErrIllegalInstruction}
+	}
+	return nil
+}
+
+// ConsoleString returns the console output accumulated so far.
+func (c *CPU) ConsoleString() string { return string(c.Console) }

@@ -1,0 +1,373 @@
+package emu
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/ildp/accdbt/internal/alpha"
+	"github.com/ildp/accdbt/internal/alpha/alphaasm"
+	"github.com/ildp/accdbt/internal/mem"
+)
+
+func run(t *testing.T, src string, max int64) *CPU {
+	t.Helper()
+	cpu := New(mem.New())
+	if err := cpu.LoadProgram(alphaasm.MustAssemble(src)); err != nil {
+		t.Fatal(err)
+	}
+	if err := cpu.Run(max); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return cpu
+}
+
+func TestCountdownLoop(t *testing.T) {
+	cpu := run(t, `
+	.text 0x10000
+start:
+	lda  a0, 10(zero)
+	clr  v0
+loop:
+	addq v0, a0, v0
+	subq a0, #1, a0
+	bne  a0, loop
+	call_pal halt
+`, 1000)
+	if cpu.Reg[alpha.RegV0] != 55 {
+		t.Errorf("sum = %d, want 55", cpu.Reg[alpha.RegV0])
+	}
+	// 2 setup + 3*10 loop + 1 halt
+	if cpu.InstCount != 33 {
+		t.Errorf("InstCount = %d, want 33", cpu.InstCount)
+	}
+}
+
+func TestMemoryOps(t *testing.T) {
+	cpu := run(t, `
+	.text 0x10000
+start:
+	ldiq a0, 0x20000
+	ldiq t0, 0x12345678
+	stq  t0, 0(a0)
+	ldq  t1, 0(a0)
+	ldl  t2, 0(a0)
+	ldwu t3, 0(a0)
+	ldbu t4, 1(a0)
+	stb  t0, 9(a0)
+	ldbu t5, 9(a0)
+	stw  t0, 16(a0)
+	ldwu t6, 16(a0)
+	stl  t0, 24(a0)
+	ldl  t7, 24(a0)
+	call_pal halt
+`, 1000)
+	r := func(reg alpha.Reg) uint64 { return cpu.Reg[reg] }
+	if r(2) != 0x12345678 {
+		t.Errorf("ldq = %#x", r(2))
+	}
+	if r(3) != 0x12345678 {
+		t.Errorf("ldl = %#x", r(3))
+	}
+	if r(4) != 0x5678 {
+		t.Errorf("ldwu = %#x", r(4))
+	}
+	if r(5) != 0x56 {
+		t.Errorf("ldbu = %#x", r(5))
+	}
+	if r(6) != 0x78 {
+		t.Errorf("stb/ldbu = %#x", r(6))
+	}
+	if r(7) != 0x5678 {
+		t.Errorf("stw/ldwu = %#x", r(7))
+	}
+	if r(8) != 0x12345678 {
+		t.Errorf("stl/ldl = %#x", r(8))
+	}
+}
+
+func TestLDLSignExtends(t *testing.T) {
+	cpu := run(t, `
+	.text 0x10000
+start:
+	ldiq a0, 0x20000
+	ldiq t0, -2147483648 ; 0x80000000 sign-extended (stl truncates)
+	stl  t0, 0(a0)
+	ldl  t1, 0(a0)
+	call_pal halt
+`, 100)
+	if cpu.Reg[2] != 0xFFFFFFFF80000000 {
+		t.Errorf("ldl sign-extension = %#x", cpu.Reg[2])
+	}
+}
+
+func TestCallReturn(t *testing.T) {
+	cpu := run(t, `
+	.text 0x10000
+start:
+	lda  a0, 5(zero)
+	bsr  double
+	mov  v0, s0
+	lda  a0, 21(zero)
+	ldiq pv, double
+	jsr  (pv)
+	call_pal halt
+double:
+	addq a0, a0, v0
+	ret
+`, 1000)
+	if cpu.Reg[alpha.RegS0] != 10 {
+		t.Errorf("bsr call: s0 = %d, want 10", cpu.Reg[alpha.RegS0])
+	}
+	if cpu.Reg[alpha.RegV0] != 42 {
+		t.Errorf("jsr call: v0 = %d, want 42", cpu.Reg[alpha.RegV0])
+	}
+}
+
+func TestCMOV(t *testing.T) {
+	cpu := run(t, `
+	.text 0x10000
+start:
+	lda t0, 1(zero)
+	lda t1, 100(zero)
+	lda t2, 200(zero)
+	clr t3
+	cmoveq t3, t1, v0   ; t3==0 -> v0=100
+	cmoveq t0, t2, v0   ; t0!=0 -> unchanged
+	call_pal halt
+`, 100)
+	if cpu.Reg[alpha.RegV0] != 100 {
+		t.Errorf("cmov result = %d, want 100", cpu.Reg[alpha.RegV0])
+	}
+}
+
+func TestSyscallConsoleAndExit(t *testing.T) {
+	cpu := run(t, `
+	.text 0x10000
+start:
+	lda v0, 2(zero)     ; SysPutChar
+	lda a0, 72(zero)    ; 'H'
+	call_pal callsys
+	lda a0, 105(zero)   ; 'i'
+	call_pal callsys
+	lda v0, 1(zero)     ; SysExit
+	lda a0, 7(zero)
+	call_pal callsys
+`, 100)
+	if got := cpu.ConsoleString(); got != "Hi" {
+		t.Errorf("console = %q, want \"Hi\"", got)
+	}
+	if !cpu.Halted || cpu.ExitStatus != 7 {
+		t.Errorf("halted=%v status=%d", cpu.Halted, cpu.ExitStatus)
+	}
+}
+
+func TestZeroRegisterHardwired(t *testing.T) {
+	cpu := run(t, `
+	.text 0x10000
+start:
+	lda  zero, 99(zero)
+	addq zero, #7, t0
+	call_pal halt
+`, 100)
+	if cpu.Reg[alpha.RegZero] != 0 {
+		t.Errorf("r31 = %d, want 0", cpu.Reg[alpha.RegZero])
+	}
+	if cpu.Reg[1] != 7 {
+		t.Errorf("t0 = %d, want 7", cpu.Reg[1])
+	}
+}
+
+func TestPreciseTrapState(t *testing.T) {
+	m := mem.New()
+	m.Strict = true
+	cpu := New(m)
+	prog := alphaasm.MustAssemble(`
+	.text 0x10000
+start:
+	lda  t0, 1(zero)
+	lda  t1, 2(zero)
+	ldiq a0, 0x900000     ; unmapped
+	ldq  t2, 0(a0)        ; faults here
+	lda  t3, 4(zero)
+	call_pal halt
+`)
+	if err := cpu.LoadProgram(prog); err != nil {
+		t.Fatal(err)
+	}
+	err := cpu.Run(100)
+	var trap *Trap
+	if !errors.As(err, &trap) {
+		t.Fatalf("expected trap, got %v", err)
+	}
+	// The ldq is the 5th instruction (ldiq is two).
+	wantPC := uint64(0x10000 + 4*4)
+	if trap.PC != wantPC {
+		t.Errorf("trap PC = %#x, want %#x", trap.PC, wantPC)
+	}
+	var af *mem.AccessFault
+	if !errors.As(trap, &af) || af.Addr != 0x900000 {
+		t.Errorf("trap cause = %v", trap.Cause)
+	}
+	// State must be precise: everything before the fault retired, nothing
+	// after.
+	if cpu.Reg[1] != 1 || cpu.Reg[2] != 2 {
+		t.Error("pre-fault registers lost")
+	}
+	if cpu.Reg[3] != 0 || cpu.Reg[4] != 0 {
+		t.Error("post-fault register written")
+	}
+	if cpu.PC != wantPC {
+		t.Errorf("PC = %#x, want faulting PC %#x", cpu.PC, wantPC)
+	}
+}
+
+func TestIllegalInstructionTrap(t *testing.T) {
+	m := mem.New()
+	cpu := New(m)
+	m.Map(0x1000, 8)
+	// All-ones is not a valid encoding (opcode 0x3F is BGT; make opcode
+	// 0x07 which is unassigned).
+	if err := m.Write32(0x1000, 0x07<<26); err != nil {
+		t.Fatal(err)
+	}
+	cpu.PC = 0x1000
+	err := cpu.Step()
+	var trap *Trap
+	if !errors.As(err, &trap) || !errors.Is(trap, ErrIllegalInstruction) {
+		t.Errorf("got %v, want illegal instruction trap", err)
+	}
+}
+
+func TestUnsupportedFPTrap(t *testing.T) {
+	m := mem.New()
+	cpu := New(m)
+	m.Map(0x1000, 8)
+	if err := m.Write32(0x1000, 0x21<<26); err != nil { // ldg
+		t.Fatal(err)
+	}
+	cpu.PC = 0x1000
+	err := cpu.Step()
+	if err == nil || !errors.Is(err, ErrUnsupported) {
+		t.Errorf("got %v, want unsupported trap", err)
+	}
+}
+
+func TestInstLimit(t *testing.T) {
+	cpu := New(mem.New())
+	prog := alphaasm.MustAssemble(`
+	.text 0x1000
+start:
+	br start
+`)
+	if err := cpu.LoadProgram(prog); err != nil {
+		t.Fatal(err)
+	}
+	if err := cpu.Run(10); !errors.Is(err, ErrInstLimit) {
+		t.Errorf("got %v, want ErrInstLimit", err)
+	}
+	if cpu.InstCount != 10 {
+		t.Errorf("InstCount = %d, want 10", cpu.InstCount)
+	}
+}
+
+func TestLoadLockStoreConditional(t *testing.T) {
+	cpu := run(t, `
+	.text 0x10000
+start:
+	ldiq a0, 0x20000
+	lda  t0, 5(zero)
+	stq  t0, 0(a0)
+	ldq_l t1, 0(a0)
+	addq t1, #1, t1
+	stq_c t1, 0(a0)
+	ldq  t2, 0(a0)
+	call_pal halt
+`, 100)
+	if cpu.Reg[2] != 1 {
+		t.Errorf("stq_c success flag = %d, want 1", cpu.Reg[2])
+	}
+	if cpu.Reg[3] != 6 {
+		t.Errorf("memory after ll/sc = %d, want 6", cpu.Reg[3])
+	}
+}
+
+func TestRPCC(t *testing.T) {
+	cpu := run(t, `
+	.text 0x10000
+start:
+	nop
+	nop
+	rpcc t0
+	call_pal halt
+`, 100)
+	if cpu.Reg[1] != 2 {
+		t.Errorf("rpcc = %d, want 2 (instructions before it)", cpu.Reg[1])
+	}
+}
+
+func TestUnalignedAccessTrap(t *testing.T) {
+	m := mem.New()
+	cpu := New(m)
+	prog := alphaasm.MustAssemble(`
+	.text 0x10000
+start:
+	ldiq a0, 0x20001
+	ldq  t0, 0(a0)
+	call_pal halt
+`)
+	if err := cpu.LoadProgram(prog); err != nil {
+		t.Fatal(err)
+	}
+	err := cpu.Run(100)
+	var af *mem.AlignmentFault
+	if !errors.As(err, &af) {
+		t.Errorf("got %v, want alignment fault", err)
+	}
+}
+
+func TestLDQUIgnoresLowBits(t *testing.T) {
+	cpu := run(t, `
+	.text 0x10000
+start:
+	ldiq a0, 0x20000
+	ldiq t0, 0x55667788
+	stl  t0, 0(a0)
+	ldiq t0, 0x11223344
+	stl  t0, 4(a0)
+	ldq_u t1, 3(a0)      ; rounds down to 0x20000
+	call_pal halt
+`, 100)
+	if cpu.Reg[2] != 0x1122334455667788 {
+		t.Errorf("ldq_u = %#x", cpu.Reg[2])
+	}
+}
+
+func TestBranchConditions(t *testing.T) {
+	cpu := run(t, `
+	.text 0x10000
+start:
+	clr   v0
+	lda   t0, -1(zero)
+	blt   t0, l1
+	br    fail
+l1:	lda   t1, 1(zero)
+	bgt   t1, l2
+	br    fail
+l2:	blbs  t1, l3
+	br    fail
+l3:	blbc  t0, fail
+	beq   zero, l4
+	br    fail
+l4:	bge   zero, l5
+	br    fail
+l5:	ble   zero, ok
+	br    fail
+fail:
+	lda   v0, 1(zero)
+ok:
+	call_pal halt
+`, 1000)
+	if cpu.Reg[alpha.RegV0] != 0 {
+		t.Error("branch condition test failed")
+	}
+}

@@ -1,0 +1,108 @@
+package emu
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/ildp/accdbt/internal/alpha"
+	"github.com/ildp/accdbt/internal/mem"
+)
+
+// Property: EvalOp agrees with the full interpreter for every ALU
+// operation over random operands — the helper the translated-code executor
+// uses must be bit-identical to what the interpreter does.
+func TestEvalOpMatchesInterpreter(t *testing.T) {
+	ops := []alpha.Op{
+		alpha.OpADDL, alpha.OpS4ADDL, alpha.OpS8ADDL, alpha.OpSUBL,
+		alpha.OpS4SUBL, alpha.OpS8SUBL, alpha.OpADDQ, alpha.OpS4ADDQ,
+		alpha.OpS8ADDQ, alpha.OpSUBQ, alpha.OpS4SUBQ, alpha.OpS8SUBQ,
+		alpha.OpCMPEQ, alpha.OpCMPLT, alpha.OpCMPLE, alpha.OpCMPULT,
+		alpha.OpCMPULE, alpha.OpCMPBGE, alpha.OpAND, alpha.OpBIC,
+		alpha.OpBIS, alpha.OpORNOT, alpha.OpXOR, alpha.OpEQV,
+		alpha.OpSLL, alpha.OpSRL, alpha.OpSRA,
+		alpha.OpEXTBL, alpha.OpEXTWL, alpha.OpEXTLL, alpha.OpEXTQL,
+		alpha.OpEXTWH, alpha.OpEXTLH, alpha.OpEXTQH,
+		alpha.OpINSBL, alpha.OpINSWL, alpha.OpINSLL, alpha.OpINSQL,
+		alpha.OpINSWH, alpha.OpINSLH, alpha.OpINSQH,
+		alpha.OpMSKBL, alpha.OpMSKWL, alpha.OpMSKLL, alpha.OpMSKQL,
+		alpha.OpMSKWH, alpha.OpMSKLH, alpha.OpMSKQH,
+		alpha.OpZAP, alpha.OpZAPNOT, alpha.OpMULL, alpha.OpMULQ, alpha.OpUMULH,
+	}
+	m := mem.New()
+	cpu := New(m)
+	f := func(opIdx uint8, a, b uint64) bool {
+		op := ops[int(opIdx)%len(ops)]
+		// Run the real instruction: r3 = r1 op r2.
+		w, err := alpha.EncodeOperateR(op, 1, 2, 3)
+		if err != nil {
+			return false
+		}
+		cpu.PC = 0x1000
+		if err := m.Write32(0x1000, uint32(w)); err != nil {
+			return false
+		}
+		cpu.Reg[1], cpu.Reg[2] = a, b
+		if err := cpu.Step(); err != nil {
+			return false
+		}
+		return cpu.Reg[3] == EvalOp(op, a, b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: EvalCond agrees with the interpreter's branch decision.
+func TestEvalCondMatchesInterpreter(t *testing.T) {
+	ops := []alpha.Op{
+		alpha.OpBEQ, alpha.OpBNE, alpha.OpBLT, alpha.OpBGE,
+		alpha.OpBLE, alpha.OpBGT, alpha.OpBLBC, alpha.OpBLBS,
+	}
+	m := mem.New()
+	cpu := New(m)
+	f := func(opIdx uint8, v uint64) bool {
+		op := ops[int(opIdx)%len(ops)]
+		w, err := alpha.EncodeBranch(op, 1, 8)
+		if err != nil {
+			return false
+		}
+		cpu.PC = 0x1000
+		if err := m.Write32(0x1000, uint32(w)); err != nil {
+			return false
+		}
+		cpu.Reg[1] = v
+		if err := cpu.Step(); err != nil {
+			return false
+		}
+		taken := cpu.PC != 0x1004
+		return taken == EvalCond(op, v)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: literal-form operate instructions zero-extend the 8-bit
+// literal, matching EvalOp with the literal as the b operand.
+func TestLiteralOperandMatches(t *testing.T) {
+	m := mem.New()
+	cpu := New(m)
+	f := func(a uint64, lit uint8) bool {
+		w, err := alpha.EncodeOperateL(alpha.OpSUBQ, 1, lit, 3)
+		if err != nil {
+			return false
+		}
+		cpu.PC = 0x1000
+		if err := m.Write32(0x1000, uint32(w)); err != nil {
+			return false
+		}
+		cpu.Reg[1] = a
+		if err := cpu.Step(); err != nil {
+			return false
+		}
+		return cpu.Reg[3] == a-uint64(lit)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,201 @@
+package emu
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/ildp/accdbt/internal/alpha"
+)
+
+func TestEvalOpArithmetic(t *testing.T) {
+	tests := []struct {
+		op      alpha.Op
+		a, b    uint64
+		want    uint64
+		comment string
+	}{
+		{alpha.OpADDQ, 1, 2, 3, ""},
+		{alpha.OpADDQ, ^uint64(0), 1, 0, "wraparound"},
+		{alpha.OpADDL, 0x7FFFFFFF, 1, 0xFFFFFFFF80000000, "32-bit overflow sign-extends"},
+		{alpha.OpSUBQ, 5, 7, ^uint64(1), "-2"},
+		{alpha.OpSUBL, 0, 1, ^uint64(0), "-1 sign-extended"},
+		{alpha.OpS4ADDQ, 3, 10, 22, ""},
+		{alpha.OpS8ADDQ, 3, 10, 34, ""},
+		{alpha.OpS4SUBQ, 3, 10, 2, ""},
+		{alpha.OpS8SUBL, 1, 4, 4, ""},
+		{alpha.OpMULQ, 7, 6, 42, ""},
+		{alpha.OpMULL, 1 << 20, 1 << 20, 0, "low 32 bits zero"},
+		{alpha.OpUMULH, 1 << 63, 4, 2, "high word"},
+		{alpha.OpCMPEQ, 4, 4, 1, ""},
+		{alpha.OpCMPEQ, 4, 5, 0, ""},
+		{alpha.OpCMPLT, ^uint64(0), 0, 1, "-1 < 0 signed"},
+		{alpha.OpCMPULT, ^uint64(0), 0, 0, "max > 0 unsigned"},
+		{alpha.OpCMPLE, 3, 3, 1, ""},
+		{alpha.OpCMPULE, 4, 3, 0, ""},
+	}
+	for _, tt := range tests {
+		if got := EvalOp(tt.op, tt.a, tt.b); got != tt.want {
+			t.Errorf("EvalOp(%v, %#x, %#x) = %#x, want %#x (%s)",
+				tt.op, tt.a, tt.b, got, tt.want, tt.comment)
+		}
+	}
+}
+
+func TestEvalOpLogicalShift(t *testing.T) {
+	tests := []struct {
+		op   alpha.Op
+		a, b uint64
+		want uint64
+	}{
+		{alpha.OpAND, 0xF0F0, 0xFF00, 0xF000},
+		{alpha.OpBIC, 0xF0F0, 0xFF00, 0x00F0},
+		{alpha.OpBIS, 0xF0F0, 0x0F0F, 0xFFFF},
+		{alpha.OpORNOT, 0, 0, ^uint64(0)},
+		{alpha.OpXOR, 0xFF, 0x0F, 0xF0},
+		{alpha.OpEQV, 0xFF, 0xFF, ^uint64(0)},
+		{alpha.OpSLL, 1, 63, 1 << 63},
+		{alpha.OpSLL, 1, 64, 1}, // shift count mod 64
+		{alpha.OpSRL, 1 << 63, 63, 1},
+		{alpha.OpSRA, 1 << 63, 63, ^uint64(0)},
+		{alpha.OpSRA, 4, 1, 2},
+		{alpha.OpZAPNOT, 0x1122334455667788, 0x0F, 0x55667788},
+		{alpha.OpZAP, 0x1122334455667788, 0x0F, 0x1122334400000000},
+	}
+	for _, tt := range tests {
+		if got := EvalOp(tt.op, tt.a, tt.b); got != tt.want {
+			t.Errorf("EvalOp(%v, %#x, %#x) = %#x, want %#x", tt.op, tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestEvalOpCMPBGE(t *testing.T) {
+	// Classic strlen idiom: cmpbge zero, data -> bits set where bytes are 0.
+	data := uint64(0x0041424300444546) // bytes: 46 45 44 00 43 42 41 00
+	got := EvalOp(alpha.OpCMPBGE, 0, data)
+	// byte i of zero (0) >= byte i of data iff data byte == 0: bytes 3 and 7.
+	if got != 0x88 {
+		t.Errorf("CMPBGE = %#x, want 0x88", got)
+	}
+}
+
+func TestByteManipulation(t *testing.T) {
+	v := uint64(0x8877665544332211)
+	if got := EvalOp(alpha.OpEXTBL, v, 2); got != 0x33 {
+		t.Errorf("EXTBL = %#x", got)
+	}
+	if got := EvalOp(alpha.OpEXTWL, v, 2); got != 0x4433 {
+		t.Errorf("EXTWL = %#x", got)
+	}
+	if got := EvalOp(alpha.OpEXTLL, v, 4); got != 0x88776655 {
+		t.Errorf("EXTLL = %#x", got)
+	}
+	if got := EvalOp(alpha.OpEXTQL, v, 0); got != v {
+		t.Errorf("EXTQL bn=0 = %#x", got)
+	}
+	// EXTQH with bn=0 must return the value unchanged (mod-64 shift),
+	// preserving the aligned-case unaligned-load idiom.
+	if got := EvalOp(alpha.OpEXTQH, v, 0); got != v {
+		t.Errorf("EXTQH bn=0 = %#x, want %#x", got, v)
+	}
+	if got := EvalOp(alpha.OpINSBL, 0xAB, 3); got != 0xAB000000 {
+		t.Errorf("INSBL = %#x", got)
+	}
+	if got := EvalOp(alpha.OpMSKBL, v, 0); got != 0x8877665544332200 {
+		t.Errorf("MSKBL = %#x", got)
+	}
+	if got := EvalOp(alpha.OpMSKQL, v, 0); got != 0 {
+		t.Errorf("MSKQL bn=0 = %#x, want 0", got)
+	}
+}
+
+// Property: the unaligned-store idiom (mskql/insql + mskqh/insqh applied to
+// the same quad when the address is aligned) reproduces a plain store.
+func TestUnalignedStoreIdiomProperty(t *testing.T) {
+	f := func(memLo, val uint64, bnRaw uint8) bool {
+		bn := uint64(bnRaw & 7)
+		if bn != 0 {
+			return true // only the aligned case collapses to one quad
+		}
+		lo := EvalOp(alpha.OpMSKQL, memLo, bn) | EvalOp(alpha.OpINSQL, val, bn)
+		hi := EvalOp(alpha.OpMSKQH, lo, bn) | EvalOp(alpha.OpINSQH, val, bn)
+		return hi == val
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: EXTQL/EXTQH reassembly of an unaligned quadword recovers the
+// original bytes for every byte offset.
+func TestUnalignedLoadIdiomProperty(t *testing.T) {
+	f := func(lo, hi uint64, bnRaw uint8) bool {
+		bn := uint64(bnRaw & 7)
+		// Bytes of the conceptual 16-byte buffer [lo, hi] starting at bn.
+		var want uint64
+		for i := uint64(0); i < 8; i++ {
+			pos := bn + i
+			var b byte
+			if pos < 8 {
+				b = byte(lo >> (8 * pos))
+			} else {
+				b = byte(hi >> (8 * (pos - 8)))
+			}
+			want |= uint64(b) << (8 * i)
+		}
+		var got uint64
+		if bn == 0 {
+			// Aligned: both ldq_u hit the same quad (lo).
+			got = EvalOp(alpha.OpEXTQL, lo, bn) | EvalOp(alpha.OpEXTQH, lo, bn)
+		} else {
+			got = EvalOp(alpha.OpEXTQL, lo, bn) | EvalOp(alpha.OpEXTQH, hi, bn)
+		}
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEvalCond(t *testing.T) {
+	tests := []struct {
+		op   alpha.Op
+		v    uint64
+		want bool
+	}{
+		{alpha.OpBEQ, 0, true}, {alpha.OpBEQ, 1, false},
+		{alpha.OpBNE, 0, false}, {alpha.OpBNE, 5, true},
+		{alpha.OpBLT, ^uint64(0), true}, {alpha.OpBLT, 0, false},
+		{alpha.OpBGE, 0, true}, {alpha.OpBGE, ^uint64(0), false},
+		{alpha.OpBLE, 0, true}, {alpha.OpBLE, 1, false},
+		{alpha.OpBGT, 1, true}, {alpha.OpBGT, 0, false},
+		{alpha.OpBLBC, 2, true}, {alpha.OpBLBC, 3, false},
+		{alpha.OpBLBS, 3, true}, {alpha.OpBLBS, 2, false},
+		{alpha.OpCMOVEQ, 0, true}, {alpha.OpCMOVGT, 7, true},
+	}
+	for _, tt := range tests {
+		if got := EvalCond(tt.op, tt.v); got != tt.want {
+			t.Errorf("EvalCond(%v, %#x) = %v, want %v", tt.op, tt.v, got, tt.want)
+		}
+	}
+}
+
+// Property: comparison results are always 0 or 1.
+func TestCompareBooleanProperty(t *testing.T) {
+	ops := []alpha.Op{alpha.OpCMPEQ, alpha.OpCMPLT, alpha.OpCMPLE, alpha.OpCMPULT, alpha.OpCMPULE}
+	f := func(a, b uint64, i uint8) bool {
+		v := EvalOp(ops[int(i)%len(ops)], a, b)
+		return v == 0 || v == 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIsALUOp(t *testing.T) {
+	if !IsALUOp(alpha.OpADDQ) || !IsALUOp(alpha.OpZAPNOT) || !IsALUOp(alpha.OpUMULH) {
+		t.Error("ALU ops not recognised")
+	}
+	if IsALUOp(alpha.OpLDQ) || IsALUOp(alpha.OpBNE) || IsALUOp(alpha.OpCMOVEQ) || IsALUOp(alpha.OpJMP) {
+		t.Error("non-ALU ops recognised as ALU")
+	}
+}

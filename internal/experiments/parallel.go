@@ -1,0 +1,25 @@
+package experiments
+
+import (
+	"sync"
+
+	"github.com/ildp/accdbt/internal/workload"
+)
+
+// perWorkload evaluates f over all workloads concurrently, preserving
+// order. Every run is deterministic, so parallelism never changes
+// results — it only makes regenerating the full evaluation fast.
+func perWorkload[T any](scale int, f func(*workload.Spec) T) []T {
+	specs := workload.All(scale)
+	out := make([]T, len(specs))
+	var wg sync.WaitGroup
+	for i, w := range specs {
+		wg.Add(1)
+		go func(i int, w *workload.Spec) {
+			defer wg.Done()
+			out[i] = f(w)
+		}(i, w)
+	}
+	wg.Wait()
+	return out
+}

@@ -1,0 +1,191 @@
+// Package mem provides the sparse, little-endian, 64-bit byte-addressable
+// memory used by both the Alpha interpreter and the translated-code
+// executor. Pages are allocated lazily. In Strict mode, accesses to
+// unmapped pages raise an AccessFault, which the VM turns into a precise
+// trap; in relaxed mode pages are materialised on demand (convenient for
+// tests).
+package mem
+
+import "fmt"
+
+// Page geometry.
+const (
+	PageBits = 12
+	PageSize = 1 << PageBits
+	pageMask = PageSize - 1
+)
+
+// AccessFault reports an access to unmapped memory (Strict mode only).
+type AccessFault struct {
+	Addr  uint64
+	Write bool
+}
+
+func (f *AccessFault) Error() string {
+	kind := "read"
+	if f.Write {
+		kind = "write"
+	}
+	return fmt.Sprintf("memory access fault: %s of unmapped address %#x", kind, f.Addr)
+}
+
+// AlignmentFault reports a misaligned access.
+type AlignmentFault struct {
+	Addr uint64
+	Size int
+}
+
+func (f *AlignmentFault) Error() string {
+	return fmt.Sprintf("alignment fault: %d-byte access at %#x", f.Size, f.Addr)
+}
+
+// Memory is a sparse paged memory. The zero value is a usable relaxed-mode
+// memory.
+type Memory struct {
+	pages map[uint64]*[PageSize]byte
+	// Strict, when true, makes access to unmapped pages fault rather than
+	// allocate.
+	Strict bool
+}
+
+// New returns an empty relaxed-mode memory.
+func New() *Memory { return &Memory{pages: map[uint64]*[PageSize]byte{}} }
+
+func (m *Memory) page(addr uint64, write bool, allocate bool) (*[PageSize]byte, error) {
+	if m.pages == nil {
+		m.pages = map[uint64]*[PageSize]byte{}
+	}
+	pn := addr >> PageBits
+	p, ok := m.pages[pn]
+	if !ok {
+		if m.Strict && !allocate {
+			return nil, &AccessFault{Addr: addr, Write: write}
+		}
+		p = new([PageSize]byte)
+		m.pages[pn] = p
+	}
+	return p, nil
+}
+
+// Map ensures [addr, addr+size) is mapped (zero-filled), regardless of
+// Strict mode.
+func (m *Memory) Map(addr, size uint64) {
+	if size == 0 {
+		return
+	}
+	for pn := addr >> PageBits; pn <= (addr+size-1)>>PageBits; pn++ {
+		if _, err := m.page(pn<<PageBits, false, true); err != nil {
+			panic("unreachable: allocate=true never faults")
+		}
+	}
+}
+
+// Mapped reports whether addr falls on a mapped page.
+func (m *Memory) Mapped(addr uint64) bool {
+	_, ok := m.pages[addr>>PageBits]
+	return ok
+}
+
+// PageCount returns the number of mapped pages.
+func (m *Memory) PageCount() int { return len(m.pages) }
+
+// Read8s copies n bytes starting at addr into a fresh slice.
+func (m *Memory) Read8s(addr uint64, n int) ([]byte, error) {
+	out := make([]byte, n)
+	for i := 0; i < n; i++ {
+		b, err := m.Read8(addr + uint64(i))
+		if err != nil {
+			return nil, err
+		}
+		out[i] = b
+	}
+	return out, nil
+}
+
+// Write8s stores b at addr.
+func (m *Memory) Write8s(addr uint64, b []byte) error {
+	for i, v := range b {
+		if err := m.Write8(addr+uint64(i), v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Read8 loads one byte.
+func (m *Memory) Read8(addr uint64) (byte, error) {
+	p, err := m.page(addr, false, false)
+	if err != nil {
+		return 0, err
+	}
+	return p[addr&pageMask], nil
+}
+
+// Write8 stores one byte.
+func (m *Memory) Write8(addr uint64, v byte) error {
+	p, err := m.page(addr, true, false)
+	if err != nil {
+		return err
+	}
+	p[addr&pageMask] = v
+	return nil
+}
+
+// read reads a naturally-aligned little-endian value of the given size.
+func (m *Memory) read(addr uint64, size int) (uint64, error) {
+	if addr&uint64(size-1) != 0 {
+		return 0, &AlignmentFault{Addr: addr, Size: size}
+	}
+	p, err := m.page(addr, false, false)
+	if err != nil {
+		return 0, err
+	}
+	off := addr & pageMask
+	var v uint64
+	for i := size - 1; i >= 0; i-- {
+		v = v<<8 | uint64(p[off+uint64(i)])
+	}
+	return v, nil
+}
+
+// write stores a naturally-aligned little-endian value of the given size.
+func (m *Memory) write(addr uint64, size int, v uint64) error {
+	if addr&uint64(size-1) != 0 {
+		return &AlignmentFault{Addr: addr, Size: size}
+	}
+	p, err := m.page(addr, true, false)
+	if err != nil {
+		return err
+	}
+	off := addr & pageMask
+	for i := 0; i < size; i++ {
+		p[off+uint64(i)] = byte(v >> (8 * i))
+	}
+	return nil
+}
+
+// Read16 loads an aligned little-endian 16-bit value.
+func (m *Memory) Read16(addr uint64) (uint16, error) {
+	v, err := m.read(addr, 2)
+	return uint16(v), err
+}
+
+// Read32 loads an aligned little-endian 32-bit value.
+func (m *Memory) Read32(addr uint64) (uint32, error) {
+	v, err := m.read(addr, 4)
+	return uint32(v), err
+}
+
+// Read64 loads an aligned little-endian 64-bit value.
+func (m *Memory) Read64(addr uint64) (uint64, error) {
+	return m.read(addr, 8)
+}
+
+// Write16 stores an aligned little-endian 16-bit value.
+func (m *Memory) Write16(addr uint64, v uint16) error { return m.write(addr, 2, uint64(v)) }
+
+// Write32 stores an aligned little-endian 32-bit value.
+func (m *Memory) Write32(addr uint64, v uint32) error { return m.write(addr, 4, uint64(v)) }
+
+// Write64 stores an aligned little-endian 64-bit value.
+func (m *Memory) Write64(addr uint64, v uint64) error { return m.write(addr, 8, v) }

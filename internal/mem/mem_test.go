@@ -1,0 +1,172 @@
+package mem
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestReadWriteWidths(t *testing.T) {
+	m := New()
+	if err := m.Write64(0x1000, 0x1122334455667788); err != nil {
+		t.Fatal(err)
+	}
+	v64, err := m.Read64(0x1000)
+	if err != nil || v64 != 0x1122334455667788 {
+		t.Errorf("Read64 = %#x, %v", v64, err)
+	}
+	v32, err := m.Read32(0x1000)
+	if err != nil || v32 != 0x55667788 {
+		t.Errorf("Read32 low = %#x, %v", v32, err)
+	}
+	v32, err = m.Read32(0x1004)
+	if err != nil || v32 != 0x11223344 {
+		t.Errorf("Read32 high = %#x, %v", v32, err)
+	}
+	v16, err := m.Read16(0x1000)
+	if err != nil || v16 != 0x7788 {
+		t.Errorf("Read16 = %#x, %v", v16, err)
+	}
+	b, err := m.Read8(0x1007)
+	if err != nil || b != 0x11 {
+		t.Errorf("Read8 = %#x, %v", b, err)
+	}
+}
+
+func TestAlignmentFaults(t *testing.T) {
+	m := New()
+	if _, err := m.Read64(0x1001); err == nil {
+		t.Error("unaligned Read64 did not fault")
+	} else {
+		var af *AlignmentFault
+		if !errors.As(err, &af) || af.Addr != 0x1001 || af.Size != 8 {
+			t.Errorf("wrong fault %v", err)
+		}
+	}
+	if err := m.Write32(0x1002, 0); err == nil {
+		t.Error("unaligned Write32 did not fault")
+	}
+	if err := m.Write16(0x1001, 0); err == nil {
+		t.Error("unaligned Write16 did not fault")
+	}
+	// Byte accesses never alignment-fault.
+	if _, err := m.Read8(0x1003); err != nil {
+		t.Errorf("byte read faulted: %v", err)
+	}
+}
+
+func TestStrictMode(t *testing.T) {
+	m := New()
+	m.Strict = true
+	if _, err := m.Read64(0x5000); err == nil {
+		t.Fatal("strict read of unmapped page did not fault")
+	} else {
+		var af *AccessFault
+		if !errors.As(err, &af) || af.Write {
+			t.Errorf("wrong fault %v", err)
+		}
+	}
+	if err := m.Write64(0x5000, 1); err == nil {
+		t.Fatal("strict write of unmapped page did not fault")
+	} else {
+		var af *AccessFault
+		if !errors.As(err, &af) || !af.Write {
+			t.Errorf("wrong fault %v", err)
+		}
+	}
+	m.Map(0x5000, 16)
+	if err := m.Write64(0x5000, 42); err != nil {
+		t.Fatalf("write after Map: %v", err)
+	}
+	v, err := m.Read64(0x5000)
+	if err != nil || v != 42 {
+		t.Errorf("read after Map = %d, %v", v, err)
+	}
+	if !m.Mapped(0x5000) || m.Mapped(0x100000) {
+		t.Error("Mapped() wrong")
+	}
+}
+
+func TestMapSpansPages(t *testing.T) {
+	m := New()
+	m.Strict = true
+	m.Map(PageSize-8, 16) // spans two pages
+	if err := m.Write64(PageSize-8, 1); err != nil {
+		t.Errorf("first page: %v", err)
+	}
+	if err := m.Write64(PageSize, 2); err != nil {
+		t.Errorf("second page: %v", err)
+	}
+	if m.PageCount() != 2 {
+		t.Errorf("PageCount = %d, want 2", m.PageCount())
+	}
+	m.Map(0x9000, 0) // zero-size map is a no-op
+	if m.PageCount() != 2 {
+		t.Errorf("PageCount after empty Map = %d, want 2", m.PageCount())
+	}
+}
+
+func TestCrossPageBytes(t *testing.T) {
+	m := New()
+	data := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	addr := uint64(PageSize - 4)
+	if err := m.Write8s(addr, data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.Read8s(addr, len(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range data {
+		if got[i] != data[i] {
+			t.Fatalf("cross-page bytes: got % x want % x", got, data)
+		}
+	}
+}
+
+func TestZeroValueUsable(t *testing.T) {
+	var m Memory
+	if err := m.Write8(0x10, 0xAB); err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.Read8(0x10)
+	if err != nil || b != 0xAB {
+		t.Errorf("zero-value memory: %#x, %v", b, err)
+	}
+}
+
+// Property: Write64 then Read64 round-trips at any aligned address.
+func TestRoundTripProperty(t *testing.T) {
+	m := New()
+	f := func(addr uint64, v uint64) bool {
+		addr &^= 7
+		if err := m.Write64(addr, v); err != nil {
+			return false
+		}
+		got, err := m.Read64(addr)
+		return err == nil && got == v
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: byte decomposition agrees with Write64 (little-endian).
+func TestEndiannessProperty(t *testing.T) {
+	m := New()
+	f := func(v uint64) bool {
+		if err := m.Write64(0x4000, v); err != nil {
+			return false
+		}
+		for i := uint64(0); i < 8; i++ {
+			b, err := m.Read8(0x4000 + i)
+			if err != nil || b != byte(v>>(8*i)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}

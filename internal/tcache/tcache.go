@@ -1,0 +1,258 @@
+// Package tcache implements the translation cache of the co-designed VM:
+// fragment storage with I-address layout, the PC translation lookup table,
+// fragment linking (patching call-translator exits into direct branches
+// once their targets are translated), and the shared dispatch routine.
+package tcache
+
+import (
+	"fmt"
+
+	"github.com/ildp/accdbt/internal/alpha"
+	"github.com/ildp/accdbt/internal/ildp"
+	"github.com/ildp/accdbt/internal/translate"
+)
+
+// Base is the I-address where the translation cache starts; the dispatch
+// routine occupies the first bytes.
+const Base uint64 = 0x4000_0000
+
+// DispatchLen is the dispatch routine length in instructions, including
+// its final indirect jump (§3.2: "The dispatch code takes 20
+// instructions").
+const DispatchLen = 20
+
+// Fragment is one translated superblock installed in the cache.
+type Fragment struct {
+	ID     int32
+	VStart uint64
+	Insts  []ildp.Inst
+
+	// IAddr is the fragment's base I-address; IAddrs the per-instruction
+	// addresses (laid out by encoded size for I-cache modelling).
+	IAddr  uint64
+	IAddrs []uint64
+	Sizes  []uint8
+
+	PEI        []uint64
+	PEIRecover [][]translate.RegAcc
+
+	SrcCount  int
+	CodeBytes int
+	SrcBytes  int
+
+	// ExecCount counts entries into this fragment.
+	ExecCount uint64
+
+	Straightened bool
+}
+
+// Cache is the translation cache. It is unbounded, as in the paper (§4.1:
+// SPEC-sized programs fit comfortably; management overhead is negligible).
+type Cache struct {
+	form     ildp.Form
+	frags    []*Fragment
+	byVPC    map[uint64]int32
+	next     uint64
+	pending  map[uint64][]patchSite // V-target -> unlinked exit sites
+	dispatch []ildp.Inst
+	dispAddr []uint64
+
+	// Patches counts call-translator exits converted to direct branches.
+	Patches int
+
+	// capacity is the flush threshold in code bytes (0 = unbounded, the
+	// paper's configuration); Flushes counts whole-cache flushes.
+	capacity int
+	// Flushes counts whole-cache flushes triggered by the capacity limit.
+	Flushes int
+}
+
+type patchSite struct {
+	frag int32
+	idx  int
+}
+
+// New creates an empty cache for the given ISA form and builds the shared
+// dispatch routine.
+func New(form ildp.Form) *Cache {
+	c := &Cache{
+		form:    form,
+		byVPC:   map[uint64]int32{},
+		pending: map[uint64][]patchSite{},
+		next:    Base,
+	}
+	c.buildDispatch()
+	return c
+}
+
+// buildDispatch synthesises the 20-instruction shared dispatch routine: a
+// hash of the V-ISA target, a two-probe table walk, tag compare, and the
+// final register-indirect jump into the predicted fragment. The routine is
+// modelled instruction-by-instruction so that fetch, execution bandwidth,
+// and the (poorly predictable) final indirect jump cost what they cost on
+// both microarchitectures; its table lookup is performed functionally by
+// the executor at the final jump.
+func (c *Cache) buildDispatch() {
+	mk := func(kind ildp.Kind, op alpha.Op, ldst bool) ildp.Inst {
+		inst := ildp.Inst{
+			Kind: kind, Op: op,
+			SrcA: ildp.GPRSrc(ildp.RegJTarget), SrcB: ildp.ImmSrc(0),
+			Acc: 0, WritesAcc: kind == ildp.KindALU || kind == ildp.KindLoad,
+			Dest: alpha.RegZero, Frag: ildp.NoFrag,
+			Class: ildp.ClassChain,
+		}
+		_ = ldst
+		return inst
+	}
+	// 19 work instructions + the final indirect jump.
+	ops := []alpha.Op{
+		alpha.OpSRL, alpha.OpXOR, alpha.OpAND, alpha.OpSLL, alpha.OpADDQ,
+		alpha.OpSRL, alpha.OpXOR, alpha.OpAND, alpha.OpS8ADDQ, alpha.OpADDQ,
+		alpha.OpADDQ, alpha.OpXOR, alpha.OpAND, alpha.OpADDQ, alpha.OpSLL,
+		alpha.OpADDQ, alpha.OpXOR, alpha.OpBIS, alpha.OpADDQ,
+	}
+	for _, op := range ops {
+		inst := mk(ildp.KindDispatchOp, op, false)
+		c.dispatch = append(c.dispatch, inst)
+	}
+	c.dispatch = append(c.dispatch, ildp.Inst{
+		Kind: ildp.KindJumpInd, SrcA: ildp.GPRSrc(ildp.RegJTarget),
+		Acc: ildp.NoAcc, Dest: alpha.RegZero, Frag: ildp.NoFrag,
+		Class: ildp.ClassChain,
+	})
+	for i := range c.dispatch {
+		c.dispAddr = append(c.dispAddr, c.next)
+		c.next += uint64(c.dispatch[i].EncodedSize(c.form))
+	}
+	// Round up to a line-ish boundary.
+	c.next = (c.next + 63) &^ 63
+}
+
+// Dispatch returns the dispatch routine instructions and their I-addresses.
+func (c *Cache) Dispatch() ([]ildp.Inst, []uint64) { return c.dispatch, c.dispAddr }
+
+// Lookup returns the fragment translated from the given V-ISA address, or
+// nil (the PC translation lookup table of Fig. 3).
+func (c *Cache) Lookup(vpc uint64) *Fragment {
+	if id, ok := c.byVPC[vpc]; ok {
+		return c.frags[id]
+	}
+	return nil
+}
+
+// Frag returns a fragment by ID.
+func (c *Cache) Frag(id int32) *Fragment {
+	if id < 0 || int(id) >= len(c.frags) {
+		return nil
+	}
+	return c.frags[id]
+}
+
+// Len returns the number of installed fragments.
+func (c *Cache) Len() int { return len(c.frags) }
+
+// CodeBytes returns the total encoded bytes of installed fragments.
+func (c *Cache) CodeBytes() int {
+	n := 0
+	for _, f := range c.frags {
+		n += f.CodeBytes
+	}
+	return n
+}
+
+// SetCapacity sets a code-byte budget; installing past it flushes the
+// whole cache first (Dynamo-style preemptive flush, §4.1). Zero restores
+// the paper's unbounded configuration.
+func (c *Cache) SetCapacity(bytes int) { c.capacity = bytes }
+
+// Flush evicts every fragment (the dispatch routine survives). Pending
+// links are dropped; the VM re-translates on the next hot trace, which
+// also gives sub-optimal early fragments a second chance — the paper notes
+// there may be a performance cost in NOT occasionally flushing.
+func (c *Cache) Flush() {
+	c.frags = c.frags[:0]
+	c.byVPC = map[uint64]int32{}
+	c.pending = map[uint64][]patchSite{}
+	// Lay new fragments out after the dispatch routine again.
+	c.next = c.dispAddr[len(c.dispAddr)-1] + 64
+	c.next = (c.next + 63) &^ 63
+	c.Flushes++
+}
+
+// Install places a translation into the cache: it assigns I-addresses,
+// links the new fragment's exits against already-translated targets, and
+// patches other fragments' pending exits that were waiting for this
+// fragment's start address.
+func (c *Cache) Install(res *translate.Result) (*Fragment, error) {
+	if c.capacity > 0 && c.CodeBytes()+res.CodeBytes > c.capacity && len(c.frags) > 0 {
+		c.Flush()
+	}
+	if _, dup := c.byVPC[res.VStart]; dup {
+		return nil, fmt.Errorf("tcache: duplicate fragment for %#x", res.VStart)
+	}
+	f := &Fragment{
+		ID:           int32(len(c.frags)),
+		VStart:       res.VStart,
+		Insts:        res.Insts,
+		PEI:          res.PEI,
+		PEIRecover:   res.PEIRecover,
+		SrcCount:     res.SrcCount,
+		CodeBytes:    res.CodeBytes,
+		SrcBytes:     res.SrcBytes,
+		Straightened: res.Straightened,
+		IAddr:        c.next,
+	}
+	form := c.form
+	for i := range f.Insts {
+		size := f.Insts[i].EncodedSize(form)
+		if f.Straightened {
+			size = alpha.InstBytes
+		}
+		f.IAddrs = append(f.IAddrs, c.next)
+		f.Sizes = append(f.Sizes, uint8(size))
+		c.next += uint64(size)
+	}
+	c.next = (c.next + 63) &^ 63
+
+	c.frags = append(c.frags, f)
+	c.byVPC[f.VStart] = f.ID
+
+	// Link this fragment's own exits against existing fragments.
+	for i := range f.Insts {
+		inst := &f.Insts[i]
+		if !inst.IsExit() {
+			continue
+		}
+		if tgt := c.Lookup(inst.VAddr); tgt != nil {
+			c.patch(f, i, tgt.ID)
+		} else if inst.VAddr != 0 {
+			c.pending[inst.VAddr] = append(c.pending[inst.VAddr], patchSite{frag: f.ID, idx: i})
+		}
+	}
+
+	// Patch pending exits elsewhere that target this fragment.
+	for _, site := range c.pending[f.VStart] {
+		c.patch(c.frags[site.frag], site.idx, f.ID)
+	}
+	delete(c.pending, f.VStart)
+	return f, nil
+}
+
+// patch converts a call-translator exit into a direct branch to the target
+// fragment (§3.2: "the DBT system replaces the call-translator-if-
+// condition-is-met instruction with a normal conditional branch").
+func (c *Cache) patch(f *Fragment, idx int, target int32) {
+	inst := &f.Insts[idx]
+	switch inst.Kind {
+	case ildp.KindCallTransCond:
+		inst.Kind = ildp.KindCondBranch
+	case ildp.KindCallTrans:
+		inst.Kind = ildp.KindBranch
+	case ildp.KindCondBranch, ildp.KindBranch:
+		// already patched kind; only the link was missing
+	default:
+		return
+	}
+	inst.Frag = target
+	c.Patches++
+}

@@ -1,0 +1,127 @@
+// Package trace defines the dynamic instruction records exchanged between
+// the co-designed VM's functional execution and the trace-driven timing
+// models. One record stream format serves all four simulated machines:
+// native Alpha on the superscalar ("original"), code-straightened Alpha on
+// the superscalar, and Basic/Modified accumulator code on the ILDP
+// microarchitecture.
+package trace
+
+// Class is the execution class of a dynamic instruction.
+type Class uint8
+
+const (
+	ClassALU Class = iota
+	ClassMul       // long-latency integer op
+	ClassLoad
+	ClassStore
+	ClassBranch // conditional branch
+	ClassJump   // unconditional direct branch
+	ClassCall   // direct call (pushes a return address)
+	ClassRet    // return (pops a return address)
+	ClassInd    // other indirect jump
+	ClassNop
+)
+
+var classNames = [...]string{
+	"alu", "mul", "load", "store", "branch", "jump", "call", "ret", "ind", "nop",
+}
+
+func (c Class) String() string {
+	if int(c) < len(classNames) {
+		return classNames[c]
+	}
+	return "class?"
+}
+
+// NoReg marks an absent register operand; NoAcc an absent accumulator.
+const (
+	NoReg uint8 = 0xFF
+	NoAcc uint8 = 0xFF
+)
+
+// Rec is one committed dynamic instruction.
+type Rec struct {
+	// PC is the fetch address: the Alpha PC for native traces, the
+	// translation-cache I-address for translated traces.
+	PC   uint64
+	Size uint8 // encoded bytes at PC (4 for Alpha; 2/4/8 for I-ISA)
+
+	Class Class
+
+	// Register operands (GPR numbers; NoReg when absent). SrcAcc/DstAcc
+	// carry the accumulator (strand) for ILDP traces.
+	SrcReg [2]uint8
+	DstReg uint8
+	SrcAcc uint8
+	DstAcc uint8
+
+	// DstOperational marks a GPR write that must reach the
+	// latency-critical operational register file (inter-strand
+	// communication); architected-state-only writes in the Modified form
+	// go off the critical path.
+	DstOperational bool
+
+	// Memory access (loads/stores).
+	MemAddr  uint64
+	MemWidth uint8
+
+	// Control flow.
+	Taken  bool
+	Target uint64 // actual next fetch address when Taken
+	// Indirect marks control transfers whose target is not encoded in the
+	// instruction (JSR/JMP): a wrong BTB target is discovered at execute,
+	// not decode.
+	Indirect bool
+
+	// RASPush carries the predicted return target pushed by a call; for
+	// ClassRet records under the dual-address RAS, PredHit reports whether
+	// the functional RAS supplied the correct target.
+	PredHit bool
+
+	// VCredit is the number of V-ISA instructions retired at this record.
+	VCredit uint8
+}
+
+// IsBranch reports whether the record can redirect fetch.
+func (r *Rec) IsBranch() bool {
+	switch r.Class {
+	case ClassBranch, ClassJump, ClassCall, ClassRet, ClassInd:
+		return true
+	}
+	return false
+}
+
+// Sink consumes a committed-instruction stream.
+type Sink interface {
+	Append(Rec)
+}
+
+// Multi fans a record stream out to several sinks.
+type Multi []Sink
+
+// Append implements Sink.
+func (m Multi) Append(r Rec) {
+	for _, s := range m {
+		s.Append(r)
+	}
+}
+
+// Counter is a Sink that just counts records and V-credits.
+type Counter struct {
+	Recs    uint64
+	VCredit uint64
+}
+
+// Append implements Sink.
+func (c *Counter) Append(r Rec) {
+	c.Recs++
+	c.VCredit += uint64(r.VCredit)
+}
+
+// Buffer is a Sink that retains all records, for tests.
+type Buffer struct {
+	Recs []Rec
+}
+
+// Append implements Sink.
+func (b *Buffer) Append(r Rec) { b.Recs = append(b.Recs, r) }

@@ -1,0 +1,56 @@
+package trace
+
+import "testing"
+
+func TestIsBranch(t *testing.T) {
+	branchy := []Class{ClassBranch, ClassJump, ClassCall, ClassRet, ClassInd}
+	for _, c := range branchy {
+		r := Rec{Class: c}
+		if !r.IsBranch() {
+			t.Errorf("%v should be a branch", c)
+		}
+	}
+	for _, c := range []Class{ClassALU, ClassMul, ClassLoad, ClassStore, ClassNop} {
+		r := Rec{Class: c}
+		if r.IsBranch() {
+			t.Errorf("%v should not be a branch", c)
+		}
+	}
+}
+
+func TestCounterSink(t *testing.T) {
+	var c Counter
+	c.Append(Rec{VCredit: 1})
+	c.Append(Rec{VCredit: 0})
+	c.Append(Rec{VCredit: 2})
+	if c.Recs != 3 || c.VCredit != 3 {
+		t.Errorf("counter = %d recs, %d credit", c.Recs, c.VCredit)
+	}
+}
+
+func TestMultiSink(t *testing.T) {
+	var a, b Counter
+	m := Multi{&a, &b}
+	m.Append(Rec{VCredit: 1})
+	if a.Recs != 1 || b.Recs != 1 {
+		t.Error("multi sink did not fan out")
+	}
+}
+
+func TestBufferSink(t *testing.T) {
+	var b Buffer
+	b.Append(Rec{PC: 1})
+	b.Append(Rec{PC: 2})
+	if len(b.Recs) != 2 || b.Recs[1].PC != 2 {
+		t.Errorf("buffer = %+v", b.Recs)
+	}
+}
+
+func TestClassString(t *testing.T) {
+	if ClassLoad.String() != "load" || ClassRet.String() != "ret" {
+		t.Error("class names wrong")
+	}
+	if Class(200).String() != "class?" {
+		t.Error("out-of-range class name")
+	}
+}

@@ -1,0 +1,175 @@
+package translate
+
+import (
+	"github.com/ildp/accdbt/internal/alpha"
+	"github.com/ildp/accdbt/internal/ildp"
+)
+
+// analyze computes, for every value-producing node: its in-superblock use
+// count, the single consumer that may chain through the accumulator, its
+// live-out status, and whether a superblock exit or potentially excepting
+// instruction is encountered while the value is the current definition of
+// its register (the Basic form must then save it for precise traps).
+func (t *xlat) analyze() {
+	n := len(t.nodes)
+
+	// Reads of each node's output, and the overwrite point of each def.
+	type useRec struct {
+		consumer  int
+		chainable bool
+	}
+	uses := make([][]useRec, n)
+	overwrite := make([]int, n) // node index of next def of the same reg, or n
+	for i := range overwrite {
+		overwrite[i] = n
+	}
+	cur := [alpha.NumRegs]int{} // current def node per register
+	for i := range cur {
+		cur[i] = -1
+	}
+
+	for i := range t.nodes {
+		nd := &t.nodes[i]
+		t.cost.charge(costAnalyzeNode)
+		for s := 0; s < 2; s++ {
+			src := nd.srcs[s]
+			switch src.kind {
+			case srcTemp:
+				uses[src.def] = append(uses[src.def], useRec{consumer: i, chainable: true})
+			case srcReg:
+				if src.def >= 0 {
+					chainable := true
+					// Indirect-jump targets are read from GPRs; a CMOV
+					// select's move source shares the instruction with the
+					// temp accumulator, so it cannot chain either.
+					if nd.kind == nkIndirect {
+						chainable = false
+					}
+					if nd.kind == nkCMOVSel && s == 1 {
+						chainable = false
+					}
+					uses[src.def] = append(uses[src.def], useRec{consumer: i, chainable: chainable})
+				}
+			}
+		}
+		if nd.phantomDef >= 0 {
+			uses[nd.phantomDef] = append(uses[nd.phantomDef], useRec{consumer: i, chainable: false})
+		}
+		if nd.output() && !nd.isTemp && nd.dest != alpha.RegZero {
+			if prev := cur[nd.dest]; prev >= 0 {
+				overwrite[prev] = i
+			}
+			cur[nd.dest] = i
+		}
+	}
+
+	// Prefix counts for exposure queries. Exits are superblock side exits
+	// (conditional branches); trap recovery can read a value still held in
+	// an accumulator (the co-designed trap hardware knows the static
+	// acc-to-register mapping at each PEI), so PEIs force a save only in
+	// the window after the accumulator has been overwritten by a consumer
+	// that does not redefine the same architected register.
+	prefixExit := make([]int, n+1)
+	prefixBoth := make([]int, n+1) // exits and PEIs
+	for i := range t.nodes {
+		e, b := 0, 0
+		if t.nodes[i].kind == nkCondBranch {
+			e, b = 1, 1
+		} else if t.nodes[i].isPEI {
+			b = 1
+		}
+		prefixExit[i+1] = prefixExit[i] + e
+		prefixBoth[i+1] = prefixBoth[i] + b
+	}
+	exitIn := func(lo, hi int) bool { return prefixExit[hi]-prefixExit[lo+1] > 0 }
+	bothIn := func(lo, hi int) bool { return prefixBoth[hi]-prefixBoth[lo+1] > 0 }
+
+	for i := range t.nodes {
+		nd := &t.nodes[i]
+		if !nd.output() {
+			continue
+		}
+		nd.uses = len(uses[i])
+		ow := overwrite[i]
+		if nd.isTemp || nd.dest == alpha.RegZero {
+			nd.liveOut = false
+		} else {
+			nd.liveOut = ow == n
+		}
+		// Single-use defs may chain their consumer through the accumulator;
+		// conditional-move selects always publish through the GPR, and
+		// save-VRA writes the GPR directly.
+		chained := -1
+		if nd.uses == 1 && uses[i][0].chainable &&
+			nd.kind != nkCMOVSel && nd.kind != nkSaveVRA {
+			chained = uses[i][0].consumer
+			nd.chainUse = chained
+		}
+		if nd.isTemp || nd.dest == alpha.RegZero {
+			continue
+		}
+		// Exposure rule 1: the value must be in its GPR at any side exit
+		// while it is the current definition.
+		nd.exitPEI = exitIn(i, ow)
+		// Exposure rule 2: once a chained consumer overwrites the
+		// accumulator without redefining the register, a later PEI or exit
+		// can no longer recover the value from the accumulator.
+		if !nd.exitPEI && chained >= 0 && chained < ow &&
+			t.nodes[chained].dest != nd.dest && bothIn(chained, ow) {
+			nd.exitPEI = true
+		}
+		// Exposure rule 3: the overwriting instruction itself is a PEI and
+		// the accumulator no longer holds this value at that point.
+		if !nd.exitPEI && ow < n && t.nodes[ow].isPEI && chained != ow {
+			nd.exitPEI = true
+		}
+	}
+}
+
+// classify assigns the paper's output-usage categories after strand
+// formation has resolved two-local-input conflicts.
+func (t *xlat) classify() {
+	for i := range t.nodes {
+		nd := &t.nodes[i]
+		if !nd.output() {
+			nd.usage = ildp.UsageNone
+			continue
+		}
+		t.cost.charge(costClassifyNode)
+		switch {
+		case nd.isTemp:
+			nd.usage = ildp.UsageTemp
+		case nd.liveOut:
+			nd.usage = ildp.UsageLiveOut
+		case nd.uses >= 2 || (nd.uses == 1 && nd.chainUse < 0):
+			// Multi-use values, and single-use values that cannot chain
+			// (spilled by the two-local rule, CMOV publishes, jump
+			// targets), communicate through GPRs.
+			nd.usage = ildp.UsageComm
+		case nd.uses == 1:
+			if nd.exitPEI {
+				nd.usage = ildp.UsageLocalGlobal
+			} else {
+				nd.usage = ildp.UsageLocal
+			}
+		default:
+			if nd.exitPEI {
+				nd.usage = ildp.UsageNoUserGlobal
+			} else {
+				nd.usage = ildp.UsageNoUser
+			}
+		}
+		t.res.Usage[nd.usage]++
+	}
+}
+
+// needsGPRHome reports whether the node's value must be available in a GPR:
+// in the Basic form this forces an explicit copy-to-GPR after the producing
+// instruction; in the Modified form the destination-GPR specifier covers it.
+func needsGPRHome(u ildp.UsageClass) bool {
+	switch u {
+	case ildp.UsageLiveOut, ildp.UsageComm, ildp.UsageLocalGlobal, ildp.UsageNoUserGlobal:
+		return true
+	}
+	return false
+}

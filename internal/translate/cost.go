@@ -1,0 +1,36 @@
+package translate
+
+// Translation-overhead cost model (§4.2). The paper measured the DBT with
+// Atom on an Alpha 21164 and reported an average of about 1,125 Alpha
+// instructions executed per translated Alpha instruction, roughly 20% of
+// it spent copying translated-instruction structures into the translation
+// cache field by field. The constants below charge work units (modelled
+// Alpha instructions) to each translator step with that granularity, so
+// per-benchmark overhead varies with instruction mix exactly as in Table 2
+// (more memory decomposition, chaining exits, and spills cost more).
+const (
+	costDecodeInst    = 90   // fetch + decode one source instruction
+	costDecomposeNode = 55   // build one dependence node
+	costAnalyzeNode   = 130  // def-use and exposure analysis per node
+	costStrandNode    = 85   // strand formation per node
+	costClassifyNode  = 55   // usage classification per node
+	costEmitNode      = 35   // per-node emission dispatch
+	costEmitInst      = 160  // construct one I-ISA instruction
+	costAssignInst    = 55   // linear-scan accumulator assignment per inst
+	costInstallInst   = 185  // copy the instruction into the tcache (the 20%)
+	costChainExit     = 320  // chaining code generation per indirect exit
+	costSpill         = 70   // strand termination / resumption handling
+	costPEIEntry      = 15   // PEI table entry
+	costFragmentFixed = 2400 // per-fragment bookkeeping, counters, map updates
+
+	// costStraightenPerInst is the (much lower) per-instruction cost of
+	// the code-straightening-only translation.
+	costStraightenPerInst = 310
+)
+
+// costMeter accumulates translation work units.
+type costMeter struct {
+	units int64
+}
+
+func (c *costMeter) charge(n int64) { c.units += n }

@@ -1,0 +1,335 @@
+package translate
+
+import (
+	"fmt"
+
+	"github.com/ildp/accdbt/internal/alpha"
+	"github.com/ildp/accdbt/internal/ildp"
+)
+
+// emit lowers the analysed nodes to I-ISA instructions: the set-VPC
+// prologue, per-node translation with copy-from-GPR repairs and Basic-form
+// copy-to-GPR state maintenance, and the fragment-ending chaining code.
+func (t *xlat) emit() error {
+	t.scratchNext = ildp.ScratchBase
+	t.push(ildp.Inst{
+		Kind: ildp.KindSetVPC, VAddr: t.sb.StartPC,
+		Acc: ildp.NoAcc, Dest: alpha.RegZero, Class: ildp.ClassSpecial,
+	}, -1)
+
+	for i := range t.nodes {
+		nd := &t.nodes[i]
+		t.cost.charge(costEmitNode)
+		switch nd.kind {
+		case nkALU, nkCMOVTest:
+			t.emitALU(i, nd)
+		case nkCMOVSel:
+			t.emitCMOVSel(i, nd)
+		case nkLoad:
+			t.emitLoad(i, nd)
+		case nkStore:
+			t.emitStore(i, nd)
+		case nkCondBranch:
+			t.emitCondBranch(i, nd)
+		case nkSaveVRA:
+			t.emitSaveVRA(nd)
+		case nkIndirect:
+			t.emitIndirect(i, nd)
+		default:
+			return fmt.Errorf("translate: cannot emit node kind %d", nd.kind)
+		}
+	}
+
+	// Non-indirect fragment endings exit to the VM at the continuation
+	// address (the "combination of a conditional branch and an
+	// unconditional branch" of §2.1 for backward-branch endings).
+	if t.sb.End != EndIndirect {
+		t.push(ildp.Inst{
+			Kind: ildp.KindCallTrans, VAddr: t.sb.NextPC,
+			Acc: ildp.NoAcc, Dest: alpha.RegZero, Frag: ildp.NoFrag,
+			Class: ildp.ClassChain,
+		}, -1)
+		t.res.ChainCount++
+	}
+	return nil
+}
+
+// push appends an instruction with its strand annotation. Accumulators are
+// assigned later from the strand annotations; non-control instructions
+// carry no fragment link.
+func (t *xlat) push(inst ildp.Inst, strand int) {
+	inst.Acc = ildp.NoAcc
+	if !inst.ProducesResult() {
+		inst.ArchDest = alpha.RegZero
+	}
+	if !inst.IsControl() {
+		inst.Frag = ildp.NoFrag
+	}
+	t.out = append(t.out, inst)
+	t.strandOf = append(t.strandOf, strand)
+}
+
+// operand converts a node source into an I-ISA source, deciding between
+// the accumulator chain and a GPR read.
+func (t *xlat) operand(nodeIdx int, src nsrc) ildp.Src {
+	switch src.kind {
+	case srcImm:
+		return ildp.ImmSrc(src.imm)
+	case srcTemp:
+		return ildp.AccSrc()
+	case srcReg:
+		if src.def >= 0 && t.nodes[src.def].chainUse == nodeIdx {
+			return ildp.AccSrc()
+		}
+		return ildp.GPRSrc(src.reg)
+	}
+	return ildp.Src{Kind: ildp.SrcNone}
+}
+
+// repairTwoGPRs enforces the one-GPR rule: when both operands are GPRs, a
+// copy-from-GPR initiates the strand with the first operand (§3.3 strand
+// formation, zero-local-input case).
+func (t *xlat) repairTwoGPRs(nd *node, a, b ildp.Src) (ildp.Src, ildp.Src) {
+	if a.Kind != ildp.SrcGPR || b.Kind != ildp.SrcGPR ||
+		a.Reg == alpha.RegZero || b.Reg == alpha.RegZero {
+		return a, b
+	}
+	if nd.strand < 0 {
+		nd.strand = t.nextStrand
+		t.nextStrand++
+	}
+	t.push(ildp.Inst{
+		Kind: ildp.KindCopyFromGPR, SrcA: a, WritesAcc: true,
+		Dest: alpha.RegZero, VPC: nd.vpc, Class: ildp.ClassCopy,
+	}, nd.strand)
+	t.res.CopyCount++
+	t.cost.charge(costEmitInst)
+	return ildp.AccSrc(), b
+}
+
+// destFor returns the architected destination GPR carried by the
+// instruction under the configured form.
+func (t *xlat) destFor(nd *node) alpha.Reg {
+	if t.cfg.Form == ildp.Modified && !nd.isTemp && nd.dest != alpha.RegZero {
+		return nd.dest
+	}
+	return alpha.RegZero
+}
+
+// maybeStateCopy emits the Basic-form copy-to-GPR that maintains
+// architected state for global values (§2.2).
+func (t *xlat) maybeStateCopy(nd *node) {
+	if t.cfg.Form != ildp.Basic || nd.isTemp || nd.dest == alpha.RegZero {
+		return
+	}
+	if !needsGPRHome(nd.usage) {
+		return
+	}
+	t.push(ildp.Inst{
+		Kind: ildp.KindCopyToGPR, Acc: ildp.NoAcc, Dest: nd.dest,
+		VPC: nd.vpc, Class: ildp.ClassCopy, Usage: ildp.UsageNone,
+	}, nd.strand)
+	t.res.CopyCount++
+	t.cost.charge(costEmitInst)
+}
+
+func (t *xlat) emitALU(i int, nd *node) {
+	a := t.operand(i, nd.srcs[0])
+	b := t.operand(i, nd.srcs[1])
+	a, b = t.repairTwoGPRs(nd, a, b)
+	op := nd.op
+	if nd.kind == nkCMOVTest {
+		// The test half copies the condition value into the temp
+		// accumulator: a | 0.
+		op = alpha.OpBIS
+		b = ildp.ImmSrc(0)
+	}
+	class := ildp.ClassCore
+	if nd.isTemp && nd.kind != nkCMOVTest {
+		class = ildp.ClassAddr
+	}
+	t.push(ildp.Inst{
+		Kind: ildp.KindALU, Op: op, SrcA: a, SrcB: b,
+		WritesAcc: true, Dest: t.destFor(nd), ArchDest: archDestOf(nd),
+		VPC: nd.vpc, Class: class,
+		VCredit: uint8(nd.vcredit), Usage: nd.usage,
+	}, nd.strand)
+	t.cost.charge(costEmitInst)
+	t.maybeStateCopy(nd)
+}
+
+func (t *xlat) emitCMOVSel(i int, nd *node) {
+	// The select reads the condition from the temp accumulator and
+	// conditionally publishes SrcB to the destination GPR (both forms).
+	b := t.operand(i, nd.srcs[1])
+	t.push(ildp.Inst{
+		Kind: ildp.KindCMOV, Op: nd.op, SrcA: ildp.Src{Kind: ildp.SrcNone}, SrcB: b,
+		Dest: nd.dest, ArchDest: nd.dest, VPC: nd.vpc, Class: ildp.ClassCore,
+		VCredit: uint8(nd.vcredit), Usage: nd.usage,
+	}, nd.strand)
+	t.cost.charge(costEmitInst)
+}
+
+func (t *xlat) emitLoad(i int, nd *node) {
+	addr := t.operand(i, nd.srcs[0])
+	t.push(ildp.Inst{
+		Kind: ildp.KindLoad, Op: nd.op, SrcA: addr, Disp: nd.disp,
+		WritesAcc: true, Dest: t.destFor(nd), ArchDest: archDestOf(nd),
+		VPC: nd.vpc, Class: ildp.ClassCore,
+		VCredit: uint8(nd.vcredit), Usage: nd.usage,
+	}, nd.strand)
+	t.res.PEI = append(t.res.PEI, nd.vpc)
+	t.cost.charge(costEmitInst)
+	t.maybeStateCopy(nd)
+}
+
+func (t *xlat) emitStore(i int, nd *node) {
+	addr := t.operand(i, nd.srcs[0])
+	data := t.operand(i, nd.srcs[1])
+	addr, data = t.repairTwoGPRs(nd, addr, data)
+	t.push(ildp.Inst{
+		Kind: ildp.KindStore, Op: nd.op, SrcA: addr, SrcB: data, Disp: nd.disp,
+		Acc: ildp.NoAcc, Dest: alpha.RegZero,
+		VPC: nd.vpc, Class: ildp.ClassCore,
+		VCredit: uint8(nd.vcredit),
+	}, nd.strand)
+	t.res.PEI = append(t.res.PEI, nd.vpc)
+	t.cost.charge(costEmitInst)
+}
+
+func (t *xlat) emitCondBranch(i int, nd *node) {
+	cond := t.operand(i, nd.srcs[0])
+	t.push(ildp.Inst{
+		Kind: ildp.KindCallTransCond, Op: nd.op, SrcA: cond,
+		Acc: ildp.NoAcc, Dest: alpha.RegZero,
+		VPC: nd.vpc, VAddr: nd.vtarget, Frag: ildp.NoFrag,
+		Class: ildp.ClassCore, VCredit: uint8(nd.vcredit),
+	}, nd.strand)
+	t.res.PEI = append(t.res.PEI, nd.vpc)
+	t.cost.charge(costEmitInst)
+}
+
+func (t *xlat) emitSaveVRA(nd *node) {
+	t.push(ildp.Inst{
+		Kind: ildp.KindSaveVRA, Acc: ildp.NoAcc, Dest: nd.dest, ArchDest: nd.dest,
+		VPC: nd.vpc, VAddr: nd.saveAddr, Class: ildp.ClassCore,
+		VCredit: uint8(nd.vcredit), Usage: nd.usage,
+	}, -1)
+	t.cost.charge(costEmitInst)
+	if t.cfg.Chain == SWPredRAS {
+		t.push(ildp.Inst{
+			Kind: ildp.KindPushRAS, Acc: ildp.NoAcc, Dest: alpha.RegZero,
+			VPC: nd.vpc, VAddr: nd.saveAddr, Class: ildp.ClassChain,
+		}, -1)
+		t.res.ChainCount++
+		t.cost.charge(costEmitInst)
+	}
+}
+
+// emitIndirect generates the fragment-chaining code for a register-indirect
+// jump under the configured chaining mode (§3.2, §4.3).
+func (t *xlat) emitIndirect(i int, nd *node) {
+	target := t.operand(i, nd.srcs[0]) // always a GPR or immediate-zero
+	credit := uint8(nd.vcredit)
+	t.cost.charge(costChainExit)
+
+	if nd.ind == indRet && t.cfg.Chain == SWPredRAS {
+		// Dual-address RAS return: pop (V,I); on a V match jump to the
+		// translated return point, else latch the target for dispatch and
+		// fall through.
+		t.push(ildp.Inst{
+			Kind: ildp.KindJumpRet, SrcA: target,
+			Acc: ildp.NoAcc, Dest: alpha.RegZero, Frag: ildp.NoFrag,
+			VPC: nd.vpc, Class: ildp.ClassCore, VCredit: credit,
+		}, -1)
+		t.pushDispatchBranch(nd.vpc, 0)
+		return
+	}
+
+	if t.cfg.Chain == NoPred {
+		t.emitJTargetMove(nd, target)
+		t.pushDispatchBranch(nd.vpc, credit)
+		return
+	}
+
+	// Software jump-target prediction: latch the target for the dispatch
+	// fallback, then load-embedded-target-address / compare / branch-to-
+	// dispatch, and finally a patchable direct branch to the predicted
+	// target's fragment.
+	t.emitJTargetMove(nd, target)
+	cmp := t.nextStrand
+	t.nextStrand++
+	t.push(ildp.Inst{
+		Kind: ildp.KindLoadETA, WritesAcc: true, Dest: alpha.RegZero,
+		VPC: nd.vpc, VAddr: nd.vtarget, Class: ildp.ClassChain,
+	}, cmp)
+	t.push(ildp.Inst{
+		Kind: ildp.KindALU, Op: alpha.OpXOR,
+		SrcA: ildp.AccSrc(), SrcB: target,
+		WritesAcc: true, Dest: alpha.RegZero,
+		VPC: nd.vpc, Class: ildp.ClassChain,
+	}, cmp)
+	t.push(ildp.Inst{
+		Kind: ildp.KindCondBranch, Op: alpha.OpBNE, SrcA: ildp.AccSrc(),
+		Dest: alpha.RegZero,
+		VPC:  nd.vpc, Frag: ildp.FragDispatch,
+		Class: ildp.ClassChain, VCredit: credit,
+	}, cmp)
+	t.push(ildp.Inst{
+		Kind: ildp.KindCallTrans, Acc: ildp.NoAcc, Dest: alpha.RegZero,
+		VPC: nd.vpc, VAddr: nd.vtarget, Frag: ildp.NoFrag,
+		Class: ildp.ClassChain,
+	}, -1)
+	t.res.ChainCount += 4
+}
+
+// emitJTargetMove latches the indirect-jump target register into the VM's
+// jump-target register for the shared dispatch routine. The Modified form
+// does it in one instruction; the Basic form needs a copy pair.
+func (t *xlat) emitJTargetMove(nd *node, target ildp.Src) {
+	if target.Kind != ildp.SrcGPR {
+		// Degenerate constant target; dispatch will read a zero latch.
+		target = ildp.GPRSrc(alpha.RegZero)
+	}
+	s := t.nextStrand
+	t.nextStrand++
+	if t.cfg.Form == ildp.Modified {
+		t.push(ildp.Inst{
+			Kind: ildp.KindALU, Op: alpha.OpBIS,
+			SrcA: target, SrcB: ildp.ImmSrc(0),
+			WritesAcc: true, Dest: ildp.RegJTarget,
+			VPC: nd.vpc, Class: ildp.ClassChain,
+		}, s)
+		t.res.ChainCount++
+		t.cost.charge(costEmitInst)
+		return
+	}
+	t.push(ildp.Inst{
+		Kind: ildp.KindCopyFromGPR, SrcA: target, WritesAcc: true,
+		Dest: alpha.RegZero, VPC: nd.vpc, Class: ildp.ClassChain,
+	}, s)
+	t.push(ildp.Inst{
+		Kind: ildp.KindCopyToGPR, Dest: ildp.RegJTarget,
+		VPC: nd.vpc, Class: ildp.ClassChain,
+	}, s)
+	t.res.ChainCount += 2
+	t.cost.charge(2 * costEmitInst)
+}
+
+func (t *xlat) pushDispatchBranch(vpc uint64, credit uint8) {
+	t.push(ildp.Inst{
+		Kind: ildp.KindBranch, Acc: ildp.NoAcc, Dest: alpha.RegZero,
+		VPC: vpc, Frag: ildp.FragDispatch,
+		Class: ildp.ClassChain, VCredit: credit,
+	}, -1)
+	t.res.ChainCount++
+	t.cost.charge(costEmitInst)
+}
+
+// archDestOf returns the architected register the node's value represents.
+func archDestOf(nd *node) alpha.Reg {
+	if nd.isTemp {
+		return alpha.RegZero
+	}
+	return nd.dest
+}

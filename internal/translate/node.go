@@ -1,0 +1,369 @@
+package translate
+
+import (
+	"fmt"
+
+	"github.com/ildp/accdbt/internal/alpha"
+	"github.com/ildp/accdbt/internal/ildp"
+)
+
+// nodeKind classifies dependence-graph nodes after decomposition.
+type nodeKind uint8
+
+const (
+	nkALU      nodeKind = iota // arithmetic/logical, incl. decomposed address adds
+	nkCMOVTest                 // temp <- condition register (first half of a CMOV)
+	nkCMOVSel                  // conditional select (second half of a CMOV)
+	nkLoad
+	nkStore
+	nkCondBranch // conditional branch (side exit or fragment-ending)
+	nkIndirect   // register-indirect jump ending the fragment
+	nkSaveVRA    // save-V-ISA-return-address (from BSR/JSR)
+)
+
+// srcKind classifies node operands before accumulator mapping.
+type srcKind uint8
+
+const (
+	srcNone srcKind = iota
+	srcReg          // architected register, defined by node `def` or live-in (-1)
+	srcImm
+	srcTemp // decomposition temporary produced by node `def`
+)
+
+type nsrc struct {
+	kind srcKind
+	reg  alpha.Reg
+	imm  int64
+	def  int // producing node index; -1 for live-in registers
+}
+
+// indKind distinguishes indirect jump flavours for chaining.
+type indKind uint8
+
+const (
+	indNone indKind = iota
+	indJump         // JMP / JSR_COROUTINE
+	indCall         // JSR (pushes return address)
+	indRet          // RET
+)
+
+type node struct {
+	vpc  uint64
+	kind nodeKind
+	op   alpha.Op
+	srcs [2]nsrc
+
+	dest   alpha.Reg // architected output register; RegZero if none
+	isTemp bool      // output is a decomposition temporary
+	// phantomDef is the node index of the previous definition of a
+	// conditional move's destination (the old value it reads without an
+	// acc-chainable operand slot), or -1.
+	phantomDef int
+
+	maskAddr bool  // LDQ_U/STQ_U: clear low 3 address bits
+	disp     int32 // fused memory displacement (FuseMemOps)
+
+	// Control.
+	vtarget  uint64 // cond branch taken-target (post-reversal) / indirect predicted target
+	endsFrag bool   // final backward branch or indirect jump
+	ind      indKind
+	saveAddr uint64 // nkSaveVRA: the V-ISA return address value
+
+	isPEI bool
+
+	vcredit int // V-ISA instructions retired by this node's primary emission
+
+	// Analysis results.
+	uses     int  // register reads of this node's output before overwrite
+	chainUse int  // node index of the single acc-chained consumer, -1
+	liveOut  bool // value reaches a superblock exit / fragment end
+	exitPEI  bool // an exit or PEI occurs while this value is current
+	spilled  bool // forced global by the two-local-input rule
+	usage    ildp.UsageClass
+	strand   int // strand id; -1 before assignment
+}
+
+// output reports whether the node produces a register value.
+func (n *node) output() bool {
+	switch n.kind {
+	case nkALU, nkCMOVTest, nkCMOVSel, nkLoad, nkSaveVRA:
+		return true
+	}
+	return false
+}
+
+func regSrc(r alpha.Reg, def int) nsrc { return nsrc{kind: srcReg, reg: r, def: def} }
+func immSrc(v int64) nsrc              { return nsrc{kind: srcImm, imm: v} }
+func tempSrc(def int) nsrc             { return nsrc{kind: srcTemp, def: def} }
+
+// decompose converts the superblock's Alpha instructions into dependence
+// nodes: NOPs are removed, straightened direct branches are removed (their
+// retirement credit attaches to the following node), memory operations with
+// a non-zero displacement split into an address node plus an access node,
+// and conditional moves split into a test and a select node (§3.3).
+func (t *xlat) decompose() error {
+	for i := range t.lastDef {
+		t.lastDef[i] = -1
+	}
+	pendingCredit := 0
+
+	addNode := func(n node) int {
+		n.chainUse = -1
+		n.strand = -1
+		if n.kind != nkCMOVSel {
+			n.phantomDef = -1
+		}
+		n.vcredit += pendingCredit
+		pendingCredit = 0
+		t.nodes = append(t.nodes, n)
+		idx := len(t.nodes) - 1
+		if n.output() && !n.isTemp && n.dest != alpha.RegZero {
+			t.lastDef[n.dest] = idx
+		}
+		t.cost.charge(costDecomposeNode)
+		return idx
+	}
+	// regRef builds a register operand referencing its superblock def.
+	regRef := func(r alpha.Reg) nsrc {
+		if r == alpha.RegZero {
+			return immSrc(0)
+		}
+		return regSrc(r, t.lastDef[r])
+	}
+
+	for si := range t.sb.Insts {
+		rec := &t.sb.Insts[si]
+		inst := rec.Inst
+		last := si == len(t.sb.Insts)-1
+		t.res.SrcBytes += alpha.InstBytes
+		t.cost.charge(costDecodeInst)
+
+		if inst.IsNOP() {
+			t.res.NOPCount++
+			continue
+		}
+		t.res.SrcCount++
+
+		switch {
+		case inst.Op == alpha.OpLDA || inst.Op == alpha.OpLDAH:
+			imm := int64(inst.Disp)
+			if inst.Op == alpha.OpLDAH {
+				imm <<= 16
+			}
+			addNode(node{
+				vpc: rec.PC, kind: nkALU, op: alpha.OpLDA,
+				srcs: [2]nsrc{regRef(inst.Rb), immSrc(imm)},
+				dest: inst.Ra, vcredit: 1,
+			})
+
+		case inst.Format == alpha.FormatOperate && inst.IsCMOV():
+			// Split into a test (temp) and a conditional select whose
+			// output is always a GPR write (see package ildp docs).
+			test := addNode(node{
+				vpc: rec.PC, kind: nkCMOVTest, op: inst.Op,
+				srcs:   [2]nsrc{regRef(inst.Ra)},
+				isTemp: true, dest: alpha.RegZero,
+			})
+			sel := node{
+				vpc: rec.PC, kind: nkCMOVSel, op: inst.Op,
+				srcs:       [2]nsrc{tempSrc(test)},
+				dest:       inst.Rc,
+				phantomDef: t.lastDef[inst.Rc],
+				vcredit:    1,
+			}
+			if inst.UseLit {
+				sel.srcs[1] = immSrc(int64(inst.Lit))
+			} else {
+				sel.srcs[1] = regRef(inst.Rb)
+			}
+			addNode(sel)
+
+		case inst.Format == alpha.FormatOperate:
+			n := node{
+				vpc: rec.PC, kind: nkALU, op: inst.Op,
+				dest: inst.Rc, vcredit: 1,
+			}
+			n.srcs[0] = regRef(inst.Ra)
+			if inst.UseLit {
+				n.srcs[1] = immSrc(int64(inst.Lit))
+			} else {
+				n.srcs[1] = regRef(inst.Rb)
+			}
+			addNode(n)
+
+		case inst.IsLoad():
+			addr, disp := t.addrOperand(rec, regRef)
+			n := node{
+				vpc: rec.PC, kind: nkLoad, op: inst.Op,
+				srcs: [2]nsrc{addr}, dest: inst.Ra, disp: disp,
+				maskAddr: inst.Op == alpha.OpLDQU || inst.Op == alpha.OpLDLL || inst.Op == alpha.OpLDQL,
+				isPEI:    true, vcredit: 1,
+			}
+			// LDx_L: treat as a plain load on this uniprocessor.
+			addNode(n)
+
+		case inst.IsStore():
+			addr, disp := t.addrOperand(rec, regRef)
+			n := node{
+				vpc: rec.PC, kind: nkStore, op: inst.Op,
+				srcs: [2]nsrc{addr, regRef(inst.Ra)},
+				dest: alpha.RegZero, disp: disp,
+				maskAddr: inst.Op == alpha.OpSTQU,
+				isPEI:    true, vcredit: 1,
+			}
+			addNode(n)
+			if inst.Op == alpha.OpSTLC || inst.Op == alpha.OpSTQC {
+				// Store-conditional succeeds on this uniprocessor model:
+				// materialise the success flag.
+				addNode(node{
+					vpc: rec.PC, kind: nkALU, op: alpha.OpBIS,
+					srcs: [2]nsrc{immSrc(0), immSrc(1)},
+					dest: inst.Ra,
+				})
+			}
+
+		case inst.IsCondBranch():
+			op := inst.Op
+			exitTarget := inst.BranchTarget(rec.PC)
+			if last && t.sb.End == EndBackward {
+				// Fragment-ending backward taken branch: keep the original
+				// condition; the taken target is the hot continuation.
+				addNode(node{
+					vpc: rec.PC, kind: nkCondBranch, op: op,
+					srcs:     [2]nsrc{regRef(inst.Ra)},
+					dest:     alpha.RegZero,
+					vtarget:  exitTarget,
+					endsFrag: true,
+					vcredit:  1,
+				})
+				break
+			}
+			if rec.Taken {
+				// Reverse the condition so the hot path falls through;
+				// the side exit targets the fall-through path.
+				op = reverseCond(op)
+				exitTarget = rec.PC + alpha.InstBytes
+			}
+			addNode(node{
+				vpc: rec.PC, kind: nkCondBranch, op: op,
+				srcs:    [2]nsrc{regRef(inst.Ra)},
+				dest:    alpha.RegZero,
+				vtarget: exitTarget,
+				vcredit: 1,
+			})
+
+		case inst.Op == alpha.OpBR:
+			if inst.Ra == alpha.RegZero {
+				// Removed by code straightening; credit moves forward.
+				pendingCredit++
+				t.res.BranchElims++
+			} else {
+				// br rX, target: saves the return address like BSR.
+				addNode(node{
+					vpc: rec.PC, kind: nkSaveVRA,
+					dest: inst.Ra, saveAddr: rec.PC + alpha.InstBytes,
+					vcredit: 1,
+				})
+			}
+
+		case inst.Op == alpha.OpBSR:
+			addNode(node{
+				vpc: rec.PC, kind: nkSaveVRA,
+				dest: inst.Ra, saveAddr: rec.PC + alpha.InstBytes,
+				vcredit: 1,
+			})
+
+		case inst.IsIndirect():
+			kind := indJump
+			switch inst.Op {
+			case alpha.OpJSR, alpha.OpJSRCoroutine:
+				kind = indCall
+			case alpha.OpRET:
+				kind = indRet
+			}
+			if kind == indCall {
+				addNode(node{
+					vpc: rec.PC, kind: nkSaveVRA,
+					dest: inst.Ra, saveAddr: rec.PC + alpha.InstBytes,
+					vcredit: 1,
+				})
+			}
+			n := node{
+				vpc: rec.PC, kind: nkIndirect, op: inst.Op,
+				srcs:     [2]nsrc{regRef(inst.Rb)},
+				dest:     alpha.RegZero,
+				vtarget:  rec.PredTarget,
+				endsFrag: true,
+				ind:      kind,
+			}
+			if kind != indCall {
+				n.vcredit = 1
+			}
+			addNode(n)
+
+		case inst.Op == alpha.OpTRAPB || inst.Op == alpha.OpEXCB ||
+			inst.Op == alpha.OpMB || inst.Op == alpha.OpWMB:
+			// Barriers are NOPs on this model (already filtered by IsNOP,
+			// but keep the case for clarity).
+			t.res.SrcCount--
+			t.res.NOPCount++
+
+		default:
+			return fmt.Errorf("%w: %v at %#x", ErrUnsupported, inst.Op, rec.PC)
+		}
+	}
+	if pendingCredit > 0 && len(t.nodes) > 0 {
+		// Trailing removed branch: credit attaches to the fragment's exit
+		// branch, which the emitter appends; stash it on the last node.
+		t.nodes[len(t.nodes)-1].vcredit += pendingCredit
+	}
+	if len(t.nodes) == 0 {
+		return ErrEmptySuperblock
+	}
+	return nil
+}
+
+// addrOperand returns the address operand for a memory access, emitting an
+// address-computation node when the displacement is non-zero (the basic
+// I-ISA performs no address arithmetic in memory instructions; under
+// FuseMemOps the displacement stays in the instruction).
+func (t *xlat) addrOperand(rec *SBInst, regRef func(alpha.Reg) nsrc) (nsrc, int32) {
+	inst := rec.Inst
+	if inst.Disp == 0 || t.cfg.FuseMemOps {
+		return regRef(inst.Rb), inst.Disp
+	}
+	idx := len(t.nodes)
+	n := node{
+		vpc: rec.PC, kind: nkALU, op: alpha.OpLDA,
+		srcs:   [2]nsrc{regRef(inst.Rb), immSrc(int64(inst.Disp))},
+		isTemp: true, dest: alpha.RegZero,
+		chainUse: -1, strand: -1,
+	}
+	t.nodes = append(t.nodes, n)
+	t.cost.charge(costDecomposeNode)
+	return tempSrc(idx), 0
+}
+
+// reverseCond returns the opposite branch condition.
+func reverseCond(op alpha.Op) alpha.Op {
+	switch op {
+	case alpha.OpBEQ:
+		return alpha.OpBNE
+	case alpha.OpBNE:
+		return alpha.OpBEQ
+	case alpha.OpBLT:
+		return alpha.OpBGE
+	case alpha.OpBGE:
+		return alpha.OpBLT
+	case alpha.OpBLE:
+		return alpha.OpBGT
+	case alpha.OpBGT:
+		return alpha.OpBLE
+	case alpha.OpBLBC:
+		return alpha.OpBLBS
+	case alpha.OpBLBS:
+		return alpha.OpBLBC
+	}
+	panic("translate: reverseCond on non-conditional " + op.String())
+}

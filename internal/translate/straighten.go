@@ -1,0 +1,237 @@
+package translate
+
+import (
+	"fmt"
+
+	"github.com/ildp/accdbt/internal/alpha"
+	"github.com/ildp/accdbt/internal/ildp"
+)
+
+// Straighten performs the paper's third translation: Alpha to
+// code-straightened Alpha, run on the conventional superscalar simulator to
+// isolate the effects of code straightening and fragment chaining from the
+// accumulator ISA itself (§4.1). Instructions translate 1:1 (two GPR
+// sources allowed, 4 bytes each); memory operations keep their
+// displacement; NOPs are removed and unconditional direct branches are
+// straightened away exactly as in the accumulator translations; fragment
+// chaining code is generated under the same three chaining modes.
+func Straighten(sb *Superblock, chain ChainMode) (*Result, error) {
+	if len(sb.Insts) == 0 {
+		return nil, ErrEmptySuperblock
+	}
+	s := &straightener{sb: sb, chain: chain,
+		res: &Result{VStart: sb.StartPC, Straightened: true}}
+	if err := s.run(); err != nil {
+		return nil, err
+	}
+	return s.res, nil
+}
+
+type straightener struct {
+	sb     *Superblock
+	chain  ChainMode
+	res    *Result
+	credit int
+}
+
+func (s *straightener) push(inst ildp.Inst) {
+	if !inst.WritesAcc && !inst.ReadsAcc() {
+		inst.Acc = ildp.NoAcc
+	}
+	if !inst.IsControl() {
+		inst.Frag = ildp.NoFrag
+	}
+	// Retirement credit from straightened-away branches attaches to the
+	// next emitted instruction.
+	if s.credit > 0 && inst.Kind != ildp.KindSetVPC {
+		inst.VCredit += uint8(s.credit)
+		s.credit = 0
+	}
+	s.res.Insts = append(s.res.Insts, inst)
+	s.res.CodeBytes += alpha.InstBytes
+}
+
+func (s *straightener) run() error {
+	s.push(ildp.Inst{Kind: ildp.KindSetVPC, VAddr: s.sb.StartPC,
+		Dest: alpha.RegZero, Class: ildp.ClassSpecial})
+
+	for si := range s.sb.Insts {
+		rec := &s.sb.Insts[si]
+		inst := rec.Inst
+		last := si == len(s.sb.Insts)-1
+		s.res.SrcBytes += alpha.InstBytes
+
+		if inst.IsNOP() {
+			s.res.NOPCount++
+			continue
+		}
+		s.res.SrcCount++
+
+		switch {
+		case inst.Op == alpha.OpLDA || inst.Op == alpha.OpLDAH:
+			imm := int64(inst.Disp)
+			if inst.Op == alpha.OpLDAH {
+				imm <<= 16
+			}
+			s.push(ildp.Inst{Kind: ildp.KindALU, Op: alpha.OpLDA,
+				SrcA: ildp.GPRSrc(inst.Rb), SrcB: ildp.ImmSrc(imm),
+				Dest: inst.Ra, ArchDest: inst.Ra,
+				VPC: rec.PC, Class: ildp.ClassCore, VCredit: 1})
+
+		case inst.Format == alpha.FormatOperate && inst.IsCMOV():
+			sel := ildp.Inst{Kind: ildp.KindCMOV, Op: inst.Op,
+				SrcA: ildp.GPRSrc(inst.Ra),
+				Dest: inst.Rc, ArchDest: inst.Rc,
+				VPC: rec.PC, Class: ildp.ClassCore, VCredit: 1}
+			if inst.UseLit {
+				sel.SrcB = ildp.ImmSrc(int64(inst.Lit))
+			} else {
+				sel.SrcB = ildp.GPRSrc(inst.Rb)
+			}
+			s.push(sel)
+
+		case inst.Format == alpha.FormatOperate:
+			out := ildp.Inst{Kind: ildp.KindALU, Op: inst.Op,
+				SrcA: ildp.GPRSrc(inst.Ra),
+				Dest: inst.Rc, ArchDest: inst.Rc,
+				VPC: rec.PC, Class: ildp.ClassCore, VCredit: 1}
+			if inst.UseLit {
+				out.SrcB = ildp.ImmSrc(int64(inst.Lit))
+			} else {
+				out.SrcB = ildp.GPRSrc(inst.Rb)
+			}
+			s.push(out)
+
+		case inst.IsLoad():
+			s.push(ildp.Inst{Kind: ildp.KindLoad, Op: inst.Op,
+				SrcA: ildp.GPRSrc(inst.Rb), Disp: inst.Disp,
+				Dest: inst.Ra, ArchDest: inst.Ra,
+				VPC: rec.PC, Class: ildp.ClassCore, VCredit: 1})
+			s.res.PEI = append(s.res.PEI, rec.PC)
+			s.res.PEIRecover = append(s.res.PEIRecover, nil)
+
+		case inst.IsStore():
+			s.push(ildp.Inst{Kind: ildp.KindStore, Op: inst.Op,
+				SrcA: ildp.GPRSrc(inst.Rb), SrcB: ildp.GPRSrc(inst.Ra),
+				Disp: inst.Disp, Dest: alpha.RegZero,
+				VPC: rec.PC, Class: ildp.ClassCore, VCredit: 1})
+			s.res.PEI = append(s.res.PEI, rec.PC)
+			s.res.PEIRecover = append(s.res.PEIRecover, nil)
+			if inst.Op == alpha.OpSTLC || inst.Op == alpha.OpSTQC {
+				s.push(ildp.Inst{Kind: ildp.KindALU, Op: alpha.OpBIS,
+					SrcA: ildp.ImmSrc(0), SrcB: ildp.ImmSrc(1),
+					Dest: inst.Ra, ArchDest: inst.Ra,
+					VPC: rec.PC, Class: ildp.ClassCore})
+			}
+
+		case inst.IsCondBranch():
+			op := inst.Op
+			exitTarget := inst.BranchTarget(rec.PC)
+			if !(last && s.sb.End == EndBackward) && rec.Taken {
+				op = reverseCond(op)
+				exitTarget = rec.PC + alpha.InstBytes
+			}
+			s.push(ildp.Inst{Kind: ildp.KindCallTransCond, Op: op,
+				SrcA: ildp.GPRSrc(inst.Ra), Dest: alpha.RegZero,
+				VPC: rec.PC, VAddr: exitTarget, Frag: ildp.NoFrag,
+				Class: ildp.ClassCore, VCredit: 1})
+			s.res.PEI = append(s.res.PEI, rec.PC)
+			s.res.PEIRecover = append(s.res.PEIRecover, nil)
+
+		case inst.Op == alpha.OpBR && inst.Ra == alpha.RegZero:
+			s.credit++
+			s.res.BranchElims++
+
+		case inst.Op == alpha.OpBR || inst.Op == alpha.OpBSR:
+			s.emitSaveVRA(rec.PC, inst.Ra)
+
+		case inst.IsIndirect():
+			if inst.Ra != alpha.RegZero {
+				s.emitSaveVRA(rec.PC, inst.Ra)
+				s.emitIndirect(rec, inst, 0)
+			} else {
+				s.emitIndirect(rec, inst, 1)
+			}
+
+		default:
+			return fmt.Errorf("%w: %v at %#x", ErrUnsupported, inst.Op, rec.PC)
+		}
+	}
+
+	if s.sb.End != EndIndirect {
+		s.push(ildp.Inst{Kind: ildp.KindCallTrans, VAddr: s.sb.NextPC,
+			Dest: alpha.RegZero, Frag: ildp.NoFrag, Class: ildp.ClassChain})
+		s.res.ChainCount++
+	}
+	if len(s.res.Insts) <= 1 {
+		return ErrEmptySuperblock
+	}
+	s.res.Cost = int64(s.res.SrcCount) * costStraightenPerInst
+	return nil
+}
+
+func (s *straightener) emitSaveVRA(pc uint64, ra alpha.Reg) {
+	s.push(ildp.Inst{Kind: ildp.KindSaveVRA, Dest: ra, ArchDest: ra,
+		VPC: pc, VAddr: pc + alpha.InstBytes,
+		Class: ildp.ClassCore, VCredit: 1})
+	if s.chain == SWPredRAS {
+		s.push(ildp.Inst{Kind: ildp.KindPushRAS, Dest: alpha.RegZero,
+			VPC: pc, VAddr: pc + alpha.InstBytes, Class: ildp.ClassChain})
+		s.res.ChainCount++
+	}
+}
+
+// emitIndirect generates straightened-Alpha chaining code. The conventional
+// ISA has no load-embedded-target-address instruction, so the embedded
+// compare costs one extra address-materialisation instruction compared
+// with the accumulator forms.
+func (s *straightener) emitIndirect(rec *SBInst, inst alpha.Inst, credit uint8) {
+	target := ildp.GPRSrc(inst.Rb)
+
+	if inst.Op == alpha.OpRET && s.chain == SWPredRAS {
+		s.push(ildp.Inst{Kind: ildp.KindJumpRet, SrcA: target,
+			Dest: alpha.RegZero, Frag: ildp.NoFrag,
+			VPC: rec.PC, Class: ildp.ClassCore, VCredit: credit})
+		s.push(ildp.Inst{Kind: ildp.KindBranch, Dest: alpha.RegZero,
+			VPC: rec.PC, Frag: ildp.FragDispatch, Class: ildp.ClassChain})
+		s.res.ChainCount++
+		return
+	}
+
+	// Latch the jump target for the dispatch routine.
+	s.push(ildp.Inst{Kind: ildp.KindALU, Op: alpha.OpBIS,
+		SrcA: target, SrcB: ildp.ImmSrc(0),
+		Dest: ildp.RegJTarget, ArchDest: alpha.RegZero,
+		VPC: rec.PC, Class: ildp.ClassChain})
+	s.res.ChainCount++
+
+	if s.chain == NoPred {
+		s.push(ildp.Inst{Kind: ildp.KindBranch, Dest: alpha.RegZero,
+			VPC: rec.PC, Frag: ildp.FragDispatch,
+			Class: ildp.ClassChain, VCredit: credit})
+		s.res.ChainCount++
+		return
+	}
+
+	// Software prediction: ldah/lda target materialisation (modelled as
+	// load-ETA plus one ALU), compare, branch to dispatch, direct branch.
+	s.push(ildp.Inst{Kind: ildp.KindLoadETA, WritesAcc: true, Acc: 0,
+		Dest: alpha.RegZero, VPC: rec.PC, VAddr: rec.PredTarget,
+		Class: ildp.ClassChain})
+	s.push(ildp.Inst{Kind: ildp.KindALU, Op: alpha.OpBIS,
+		SrcA: ildp.AccSrc(), SrcB: ildp.ImmSrc(0),
+		WritesAcc: true, Acc: 0, Dest: alpha.RegZero,
+		VPC: rec.PC, Class: ildp.ClassChain})
+	s.push(ildp.Inst{Kind: ildp.KindALU, Op: alpha.OpXOR,
+		SrcA: ildp.AccSrc(), SrcB: target,
+		WritesAcc: true, Acc: 0, Dest: alpha.RegZero,
+		VPC: rec.PC, Class: ildp.ClassChain})
+	s.push(ildp.Inst{Kind: ildp.KindCondBranch, Op: alpha.OpBNE,
+		SrcA: ildp.AccSrc(), Acc: 0, Dest: alpha.RegZero,
+		VPC: rec.PC, Frag: ildp.FragDispatch,
+		Class: ildp.ClassChain, VCredit: credit})
+	s.push(ildp.Inst{Kind: ildp.KindCallTrans, Dest: alpha.RegZero,
+		VPC: rec.PC, VAddr: rec.PredTarget, Frag: ildp.NoFrag,
+		Class: ildp.ClassChain})
+	s.res.ChainCount += 5
+}

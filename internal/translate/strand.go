@@ -1,0 +1,95 @@
+package translate
+
+// formStrands implements the paper's strand-formation rules (§3.3). A
+// source operand is "local" when its producing node designated this node as
+// its accumulator-chained consumer. Nodes with no local inputs start a new
+// strand; one local input joins the producer's strand; with two local
+// inputs, the temp producer's strand wins (else the longer strand), and the
+// losing value is converted to a spill global — its producer keeps the
+// value in a GPR and the chain is broken.
+func (t *xlat) formStrands() {
+	strandLen := []int{} // nodes so far per strand
+
+	newStrand := func() int {
+		id := t.nextStrand
+		t.nextStrand++
+		strandLen = append(strandLen, 0)
+		return id
+	}
+
+	for i := range t.nodes {
+		nd := &t.nodes[i]
+		t.cost.charge(costStrandNode)
+
+		// Identify local (acc-chained) inputs.
+		type localIn struct {
+			slot   int
+			def    int
+			isTemp bool
+		}
+		var locals []localIn
+		for s := 0; s < 2; s++ {
+			src := nd.srcs[s]
+			switch src.kind {
+			case srcTemp:
+				locals = append(locals, localIn{slot: s, def: src.def, isTemp: true})
+			case srcReg:
+				if src.def >= 0 && t.nodes[src.def].chainUse == i {
+					locals = append(locals, localIn{slot: s, def: src.def})
+				}
+			}
+		}
+
+		switch len(locals) {
+		case 0:
+			// Only nodes that will write an accumulator start a strand.
+			// Save-VRA writes its GPR directly; stores, branches, and
+			// indirect jumps with no chained input read GPRs only.
+			if nd.output() && nd.kind != nkSaveVRA {
+				nd.strand = newStrand()
+			} else {
+				nd.strand = -1
+			}
+		case 1:
+			nd.strand = t.nodes[locals[0].def].strand
+		case 2:
+			// Pick the winner: the temp producer first (it has no GPR home
+			// at all); else prefer the value that is NOT already global —
+			// a live-out or multi-use value reaches a GPR anyway, so
+			// sacrificing it costs no extra copy (this is what makes the
+			// paper's Fig. 2 "A3 <- R3 xor A3" come out of the xor whose
+			// other input, the live-out ldq result, is global regardless);
+			// else the longer strand (§3.3).
+			win, lose := locals[0], locals[1]
+			winGlobal := func(l localIn) bool { return !l.isTemp && t.nodes[l.def].liveOut }
+			switch {
+			case win.isTemp:
+				// already ordered (two temps cannot occur: each node
+				// consumes at most one decomposition temporary)
+			case lose.isTemp:
+				win, lose = lose, win
+			case winGlobal(win) && !winGlobal(lose):
+				win, lose = lose, win
+			case winGlobal(lose) && !winGlobal(win):
+				// already ordered
+			default:
+				if strandLen[t.nodes[lose.def].strand] > strandLen[t.nodes[win.def].strand] {
+					win, lose = lose, win
+				}
+			}
+			nd.strand = t.nodes[win.def].strand
+			// The loser becomes a spill global: break its chain so its
+			// consumer (this node) reads the GPR instead.
+			loser := &t.nodes[lose.def]
+			loser.chainUse = -1
+			loser.spilled = true
+			if !loser.liveOut && loser.uses < 2 {
+				t.res.SpillCount++ // genuine two-local-input spill global
+			}
+		}
+		if nd.strand >= 0 {
+			strandLen[nd.strand]++
+		}
+	}
+	t.classify()
+}

@@ -1,0 +1,207 @@
+package uarch
+
+import (
+	"github.com/ildp/accdbt/internal/bpred"
+	"github.com/ildp/accdbt/internal/cachesim"
+	"github.com/ildp/accdbt/internal/trace"
+)
+
+const fetchLineBytes = 128 // I-cache line (Table 1)
+
+// frontEnd models instruction fetch: up to Width instructions per cycle
+// from one I-cache line, at most three sequential basic blocks per cycle,
+// taken branches end the fetch group, 3-cycle redirects on mispredicts
+// (execute-time) and misfetches (decode-time), and I-cache miss stalls.
+type frontEnd struct {
+	cfg *Config
+
+	gshare *bpred.GShare
+	btb    *bpred.BTB
+	ras    *bpred.RAS
+	icache *cachesim.Cache
+
+	cycle   int64
+	slots   int
+	blocks  int
+	line    uint64
+	started bool
+
+	breakPending bool
+	nextAt       int64
+
+	condMiss   uint64
+	targetMiss uint64
+	misfetches uint64
+	branches   uint64
+	clock      uint64
+
+	icacheStall  int64
+	redirectLoss int64
+}
+
+func newFrontEnd(cfg *Config, icache *cachesim.Cache) *frontEnd {
+	return &frontEnd{
+		cfg:    cfg,
+		gshare: bpred.DefaultGShare(),
+		btb:    bpred.DefaultBTB(),
+		ras:    bpred.DefaultRAS(),
+		icache: icache,
+	}
+}
+
+// fetch returns the fetch cycle for rec.
+func (f *frontEnd) fetch(rec *trace.Rec) int64 {
+	newGroup := false
+	switch {
+	case !f.started:
+		f.started = true
+		newGroup = true
+	case f.breakPending:
+		if f.nextAt > f.cycle {
+			f.cycle = f.nextAt
+		} else {
+			f.cycle++
+		}
+		f.breakPending = false
+		f.nextAt = 0
+		newGroup = true
+	case f.slots >= f.cfg.Width:
+		f.cycle++
+		newGroup = true
+	case rec.PC&^uint64(fetchLineBytes-1) != f.line:
+		// Sequential fetch crossed an I-cache line: next cycle.
+		f.cycle++
+		newGroup = true
+	}
+	if newGroup {
+		f.slots = 0
+		f.blocks = 0
+		f.line = rec.PC &^ uint64(fetchLineBytes-1)
+		// I-cache access at group start; hits are pipelined (zero extra),
+		// misses stall fetch.
+		stall := f.icache.Access(f.line, false)
+		f.cycle += stall
+		f.icacheStall += stall
+	}
+	fc := f.cycle
+	f.slots++
+	return fc
+}
+
+// redirect schedules the next fetch group at the given cycle.
+func (f *frontEnd) redirect(at int64) {
+	f.breakPending = true
+	if at > f.nextAt {
+		f.nextAt = at
+	}
+}
+
+// drain ends the current episode: the next fetch group starts after the
+// pipeline has emptied.
+func (f *frontEnd) drain(at int64) { f.redirect(at) }
+
+// resolve applies branch prediction to a control-transfer record fetched
+// at fc and executed (resolved) at done, scheduling any redirect.
+func (f *frontEnd) resolve(rec *trace.Rec, fc, done int64) {
+	f.branches++
+	f.clock++
+	pc := rec.PC
+
+	endGroupTaken := func() {
+		// Correctly-predicted taken branch: the target starts a new fetch
+		// group next cycle.
+		f.redirect(fc + 1)
+	}
+	mispredict := func(cond bool) {
+		if cond {
+			f.condMiss++
+		} else {
+			f.targetMiss++
+		}
+		f.redirectLoss += (done - fc) + f.cfg.RedirectLat
+		f.redirect(done + f.cfg.RedirectLat)
+	}
+	misfetch := func() {
+		f.misfetches++
+		f.redirectLoss += f.cfg.RedirectLat
+		f.redirect(fc + f.cfg.RedirectLat)
+	}
+
+	switch rec.Class {
+	case trace.ClassBranch:
+		correct := f.gshare.Update(pc, rec.Taken)
+		if !correct {
+			mispredict(true)
+			return
+		}
+		if rec.Taken {
+			tgt, ok := f.btb.Predict(pc)
+			f.btb.Update(pc, rec.Target, f.clock)
+			if !ok || tgt != rec.Target {
+				misfetch()
+				return
+			}
+			endGroupTaken()
+			return
+		}
+		// Correct not-taken: another sequential basic block.
+		f.blocks++
+		if f.blocks >= 3 {
+			f.redirect(fc + 1)
+		}
+
+	case trace.ClassJump, trace.ClassCall:
+		if rec.Class == trace.ClassCall && f.cfg.UseHWRAS {
+			f.ras.Push(pc + uint64(rec.Size))
+		}
+		tgt, ok := f.btb.Predict(pc)
+		f.btb.Update(pc, rec.Target, f.clock)
+		if !ok || tgt != rec.Target {
+			if rec.Indirect {
+				// The target register is only known at execute time.
+				mispredict(false)
+			} else {
+				misfetch()
+			}
+			return
+		}
+		endGroupTaken()
+
+	case trace.ClassRet:
+		switch {
+		case f.cfg.DualRASTrace:
+			// The co-designed dual-address RAS is the fetch predictor; the
+			// VM recorded whether it supplied the right target.
+			if rec.PredHit {
+				endGroupTaken()
+			} else {
+				mispredict(false)
+			}
+		case f.cfg.UseHWRAS:
+			tgt, ok := f.ras.Pop()
+			if ok && tgt == rec.Target && rec.Taken {
+				endGroupTaken()
+			} else {
+				mispredict(false)
+			}
+		default:
+			// No RAS: returns go through the BTB and usually miss.
+			tgt, ok := f.btb.Predict(pc)
+			f.btb.Update(pc, rec.Target, f.clock)
+			if ok && tgt == rec.Target && rec.Taken {
+				endGroupTaken()
+			} else {
+				mispredict(false)
+			}
+		}
+
+	case trace.ClassInd:
+		tgt, ok := f.btb.Predict(pc)
+		f.btb.Update(pc, rec.Target, f.clock)
+		if !ok || tgt != rec.Target {
+			mispredict(false)
+			return
+		}
+		endGroupTaken()
+	}
+}

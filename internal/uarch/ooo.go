@@ -1,0 +1,162 @@
+package uarch
+
+import (
+	"github.com/ildp/accdbt/internal/cachesim"
+	"github.com/ildp/accdbt/internal/trace"
+)
+
+// OoO is the idealised out-of-order superscalar timing model ("original"
+// and "code-straightening-only" machines). It implements trace.Sink.
+type OoO struct {
+	cfg  Config
+	hier *cachesim.Hierarchy
+	fe   *frontEnd
+
+	regReady [regSpace]int64 // completion cycle of each register's value
+
+	// retire ring: retireCycle of the last ROB entries, for window
+	// occupancy and in-order retirement.
+	retire     []int64
+	head       uint64 // total instructions retired so far
+	lastRetire int64
+
+	// FU contention and retire bandwidth: cycle-tagged booking rings.
+	fuBusy  bookRing
+	retBusy bookRing
+
+	// store-to-load dependences at 8-byte granularity.
+	storeDone map[uint64]int64
+
+	res Result
+}
+
+// NewOoO builds a superscalar model with the given configuration.
+func NewOoO(cfg Config) *OoO {
+	hier := cachesim.NewHierarchy(cfg.CacheOpts)
+	return &OoO{
+		cfg:       cfg,
+		hier:      hier,
+		fe:        newFrontEnd(&cfg, hier.I),
+		retire:    make([]int64, cfg.ROB),
+		fuBusy:    newBookRing(),
+		retBusy:   newBookRing(),
+		storeDone: map[uint64]int64{},
+	}
+}
+
+// Append implements trace.Sink: schedule one committed instruction.
+func (m *OoO) Append(rec trace.Rec) {
+	fc := m.fe.fetch(&rec)
+
+	// Dispatch one stage after fetch; wait for a ROB slot.
+	disp := fc + 1
+	if m.head >= uint64(m.cfg.ROB) {
+		if oldest := m.retire[m.head%uint64(len(m.retire))]; oldest+1 > disp {
+			disp = oldest + 1
+		}
+	}
+
+	// Operand readiness.
+	ready := disp
+	for _, r := range rec.SrcReg {
+		if r != trace.NoReg {
+			if t := m.regReady[gprIdx(r)]; t > ready {
+				ready = t
+			}
+		}
+	}
+	if rec.SrcAcc != trace.NoAcc {
+		if t := m.regReady[accIdx(rec.SrcAcc)]; t > ready {
+			ready = t
+		}
+	}
+
+	// Issue: oldest-first through the shared FU pool.
+	var issue, done int64
+	switch rec.Class {
+	case trace.ClassNop:
+		issue = ready
+		done = ready
+	case trace.ClassLoad:
+		issue = m.fuBusy.reserve(ready, uint16(m.cfg.FUs))
+		lat := m.hier.D[0].Access(rec.MemAddr, false)
+		m.res.DCacheStall += lat - 2
+		done = issue + lat
+		if sd, ok := m.storeDone[rec.MemAddr>>3]; ok && sd > done {
+			done = sd
+		}
+	case trace.ClassStore:
+		issue = m.fuBusy.reserve(ready, uint16(m.cfg.FUs))
+		lat := m.hier.D[0].Access(rec.MemAddr, true)
+		_ = lat // stores retire without waiting for the write to complete
+		done = issue + 1
+		m.storeDone[rec.MemAddr>>3] = done
+	case trace.ClassMul:
+		issue = m.fuBusy.reserve(ready, uint16(m.cfg.FUs))
+		done = issue + m.cfg.MulLat
+	default:
+		issue = m.fuBusy.reserve(ready, uint16(m.cfg.FUs))
+		done = issue + 1
+	}
+
+	// Destination availability.
+	if rec.DstReg != trace.NoReg {
+		m.regReady[gprIdx(rec.DstReg)] = done
+	}
+	if rec.DstAcc != trace.NoAcc {
+		m.regReady[accIdx(rec.DstAcc)] = done
+	}
+
+	// In-order retirement with bandwidth Width.
+	ret := done
+	if ret <= m.lastRetire {
+		ret = m.lastRetire
+	}
+	ret = m.retBusy.reserve(ret, uint16(m.cfg.Width))
+	m.lastRetire = ret
+	m.retire[m.head%uint64(len(m.retire))] = ret
+	m.head++
+
+	m.res.Insts++
+	m.res.VInsts += uint64(rec.VCredit)
+	if rec.IsBranch() {
+		if isEndOfRun(&rec) {
+			// Mode switch: drain and restart with an empty pipeline.
+			m.res.Episodes++
+			m.fe.drain(ret + 1)
+			m.resetPipeline(ret)
+			return
+		}
+		m.fe.resolve(&rec, fc, done)
+	}
+}
+
+// resetPipeline clears in-flight state across a mode switch (register
+// values are architectural and stay; timing readiness collapses to the
+// drain point).
+func (m *OoO) resetPipeline(at int64) {
+	for i := range m.regReady {
+		if m.regReady[i] > at {
+			m.regReady[i] = at
+		}
+	}
+	for k := range m.storeDone {
+		delete(m.storeDone, k)
+	}
+}
+
+// Finish returns the accumulated timing result.
+func (m *OoO) Finish() Result {
+	r := m.res
+	r.Cycles = m.lastRetire + 1
+	r.CondMispredicts = m.fe.condMiss
+	r.TargetMispredicts = m.fe.targetMiss
+	r.Misfetches = m.fe.misfetches
+	r.Branches = m.fe.branches
+	r.ICacheMisses = m.hier.I.Misses
+	r.DCacheMisses = m.hier.D[0].Misses
+	r.L2Misses = m.hier.L2.Misses
+	r.ICacheStall = m.fe.icacheStall
+	r.RedirectLoss = m.fe.redirectLoss
+	return r
+}

@@ -1,0 +1,32 @@
+package uarch
+
+// bookRing books per-cycle resource usage (function units, retire slots,
+// per-PE issue ports). Slots are tagged with the cycle they describe, so
+// reuse after wrap-around never sees stale counts.
+type bookRing struct {
+	cycle []int64
+	count []uint16
+}
+
+const bookRingLen = 1 << 15
+
+func newBookRing() bookRing {
+	return bookRing{cycle: make([]int64, bookRingLen), count: make([]uint16, bookRingLen)}
+}
+
+// reserve returns the earliest cycle at or after want with spare capacity
+// and books one unit of it.
+func (b *bookRing) reserve(want int64, limit uint16) int64 {
+	for {
+		i := uint64(want) % bookRingLen
+		if b.cycle[i] != want {
+			b.cycle[i] = want
+			b.count[i] = 0
+		}
+		if b.count[i] < limit {
+			b.count[i]++
+			return want
+		}
+		want++
+	}
+}

@@ -1,0 +1,354 @@
+package uarch
+
+import (
+	"testing"
+
+	"github.com/ildp/accdbt/internal/trace"
+)
+
+func aluRec(pc uint64, src, dst uint8) trace.Rec {
+	r := trace.Rec{
+		PC: pc, Size: 4, Class: trace.ClassALU,
+		SrcReg: [2]uint8{trace.NoReg, trace.NoReg},
+		DstReg: dst, SrcAcc: trace.NoAcc, DstAcc: trace.NoAcc,
+		DstOperational: dst != trace.NoReg,
+		VCredit:        1,
+	}
+	if src != trace.NoReg {
+		r.SrcReg[0] = src
+	}
+	return r
+}
+
+func feed(s trace.Sink, recs []trace.Rec) {
+	for _, r := range recs {
+		s.Append(r)
+	}
+}
+
+func TestOoOIndependentALUReachesWidth(t *testing.T) {
+	m := NewOoO(DefaultOoO())
+	var recs []trace.Rec
+	// 80000 independent instructions over a small code footprint, enough
+	// to amortise the cold I-cache misses.
+	for i := 0; i < 80000; i++ {
+		recs = append(recs, aluRec(0x1000+uint64(i%512)*4, trace.NoReg, uint8(i%8)))
+	}
+	feed(m, recs)
+	res := m.Finish()
+	ipc := res.IPC()
+	if ipc < 3.0 || ipc > 4.01 {
+		t.Errorf("independent ALU IPC = %.2f, want close to width 4", ipc)
+	}
+}
+
+func TestOoOSerialChainIPC1(t *testing.T) {
+	m := NewOoO(DefaultOoO())
+	var recs []trace.Rec
+	for i := 0; i < 4000; i++ {
+		recs = append(recs, aluRec(0x1000+uint64(i%512)*4, 1, 1)) // r1 <- f(r1)
+	}
+	feed(m, recs)
+	res := m.Finish()
+	ipc := res.IPC()
+	if ipc > 1.05 {
+		t.Errorf("serial chain IPC = %.2f, want <= 1", ipc)
+	}
+	if ipc < 0.8 {
+		t.Errorf("serial chain IPC = %.2f, suspiciously low", ipc)
+	}
+}
+
+func TestOoOMulLatency(t *testing.T) {
+	mkTrace := func(class trace.Class) []trace.Rec {
+		var recs []trace.Rec
+		for i := 0; i < 2000; i++ {
+			r := aluRec(0x1000+uint64(i%512)*4, 1, 1)
+			r.Class = class
+			recs = append(recs, r)
+		}
+		return recs
+	}
+	alu := NewOoO(DefaultOoO())
+	feed(alu, mkTrace(trace.ClassALU))
+	mul := NewOoO(DefaultOoO())
+	feed(mul, mkTrace(trace.ClassMul))
+	ra, rm := alu.Finish(), mul.Finish()
+	if rm.Cycles < ra.Cycles*4 {
+		t.Errorf("dependent multiplies (%d cycles) should be much slower than ALU (%d)",
+			rm.Cycles, ra.Cycles)
+	}
+}
+
+func TestOoOMispredictPenalty(t *testing.T) {
+	// Alternating-direction branch with a random-looking pattern the
+	// predictor cannot fully learn vs an always-taken branch.
+	mk := func(pattern func(int) bool) Result {
+		m := NewOoO(DefaultOoO())
+		pcs := []uint64{0x1000, 0x2000}
+		for i := 0; i < 20000; i++ {
+			r := aluRec(pcs[i%2], trace.NoReg, uint8(i%4))
+			r.Class = trace.ClassBranch
+			r.Taken = pattern(i)
+			if r.Taken {
+				r.Target = r.PC + 64
+			}
+			m.Append(r)
+		}
+		return m.Finish()
+	}
+	lfsr := uint32(0xACE1)
+	rand := func(int) bool {
+		bit := (lfsr ^ (lfsr >> 2) ^ (lfsr >> 3) ^ (lfsr >> 5)) & 1
+		lfsr = (lfsr >> 1) | (bit << 15)
+		return bit == 1
+	}
+	easy := mk(func(int) bool { return true })
+	hard := mk(rand)
+	if hard.CondMispredicts < easy.CondMispredicts*5 {
+		t.Errorf("random branches mispredicted %d, always-taken %d",
+			hard.CondMispredicts, easy.CondMispredicts)
+	}
+	if hard.Cycles <= easy.Cycles {
+		t.Errorf("mispredictions did not cost cycles: hard=%d easy=%d",
+			hard.Cycles, easy.Cycles)
+	}
+}
+
+func TestOoOLoadMissCost(t *testing.T) {
+	mk := func(stride uint64) Result {
+		m := NewOoO(DefaultOoO())
+		for i := 0; i < 4000; i++ {
+			r := aluRec(0x1000+uint64(i%512)*4, 1, 1)
+			r.Class = trace.ClassLoad
+			r.MemAddr = uint64(i) * stride
+			r.MemWidth = 8
+			m.Append(r)
+		}
+		return m.Finish()
+	}
+	hits := mk(8)     // sequential quads: mostly L1 hits
+	misses := mk(128) // new L2 line every access
+	if misses.Cycles < hits.Cycles*2 {
+		t.Errorf("miss-heavy loads (%d cycles) should cost far more than hits (%d)",
+			misses.Cycles, hits.Cycles)
+	}
+	if misses.DCacheMisses <= hits.DCacheMisses {
+		t.Error("stride-128 should miss more than stride-8")
+	}
+}
+
+func accRec(pc uint64, srcAcc, dstAcc uint8, srcReg, dstReg uint8, operational bool) trace.Rec {
+	r := trace.Rec{
+		PC: pc, Size: 2, Class: trace.ClassALU,
+		SrcReg: [2]uint8{trace.NoReg, trace.NoReg},
+		DstReg: dstReg, SrcAcc: srcAcc, DstAcc: dstAcc,
+		DstOperational: operational && dstReg != trace.NoReg,
+		VCredit:        1,
+	}
+	if srcReg != trace.NoReg {
+		r.SrcReg[0] = srcReg
+	}
+	return r
+}
+
+func TestILDPParallelStrands(t *testing.T) {
+	// K independent strands interleaved; with enough PEs they run in
+	// parallel, with one PE they serialise.
+	mk := func(pes, strands int) Result {
+		cfg := DefaultILDP()
+		cfg.PEs = pes
+		cfg.CacheOpts.Replicas = pes
+		m := NewILDP(cfg)
+		pc := uint64(0x1000)
+		for i := 0; i < 9000; i++ {
+			acc := uint8(i % strands)
+			// Mid-strand instruction: reads and writes its accumulator.
+			r := accRec(pc, acc, acc, trace.NoReg, trace.NoReg, false)
+			pc += 2
+			if pc > 0x2000 {
+				pc = 0x1000
+			}
+			m.Append(r)
+		}
+		return m.Finish()
+	}
+	one := mk(1, 4)
+	four := mk(4, 4)
+	if four.Cycles*2 >= one.Cycles {
+		t.Errorf("4 PEs (%d cycles) should be much faster than 1 PE (%d) on 4 strands",
+			four.Cycles, one.Cycles)
+	}
+}
+
+func TestILDPCommunicationLatency(t *testing.T) {
+	// Two long-lived strands pinned to different PEs by their accumulator
+	// chains, exchanging values through GPRs every step: each cross-read
+	// pays the global wire latency. (Strand starts follow their producers
+	// under dependence-aware steering, so the coupling must be between
+	// acc-pinned mid-strand instructions.)
+	mk := func(comm int64) Result {
+		cfg := DefaultILDP()
+		cfg.PEs = 4
+		cfg.CommLat = comm
+		cfg.CacheOpts.Replicas = 4
+		m := NewILDP(cfg)
+		m.Append(accRec(0x1000, trace.NoAcc, 0, trace.NoReg, 1, true)) // strand X start
+		m.Append(accRec(0x1002, trace.NoAcc, 1, trace.NoReg, 2, true)) // strand Y start
+		for i := 0; i < 6000; i++ {
+			pc := 0x1010 + uint64(i%512)*4
+			m.Append(accRec(pc, 0, 0, 2, 1, true))   // X: reads Y's GPR
+			m.Append(accRec(pc+2, 1, 1, 1, 2, true)) // Y: reads X's GPR
+		}
+		return m.Finish()
+	}
+	fast := mk(0)
+	slow := mk(2)
+	if slow.Cycles <= fast.Cycles {
+		t.Errorf("2-cycle wire latency (%d cycles) should cost over 0-cycle (%d)",
+			slow.Cycles, fast.Cycles)
+	}
+	// Roughly 3x (1 -> 3 cycles per hop).
+	if float64(slow.Cycles) < 1.8*float64(fast.Cycles) {
+		t.Errorf("comm latency underweighted: %d vs %d", slow.Cycles, fast.Cycles)
+	}
+}
+
+func TestILDPAccChainStaysLocal(t *testing.T) {
+	// A single long strand pays no communication latency regardless of
+	// CommLat: accumulator values stay inside the PE.
+	mk := func(comm int64) Result {
+		cfg := DefaultILDP()
+		cfg.PEs = 4
+		cfg.CommLat = comm
+		cfg.CacheOpts.Replicas = 4
+		m := NewILDP(cfg)
+		for i := 0; i < 5000; i++ {
+			m.Append(accRec(0x1000+uint64(i%512)*2, 0, 0, trace.NoReg, trace.NoReg, false))
+		}
+		return m.Finish()
+	}
+	r0, r2 := mk(0), mk(2)
+	diff := r2.Cycles - r0.Cycles
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > r0.Cycles/50 {
+		t.Errorf("intra-strand chain should not pay wire latency: %d vs %d cycles",
+			r0.Cycles, r2.Cycles)
+	}
+}
+
+func TestILDPMorePEsHelp(t *testing.T) {
+	// Eight independent latency-1 strands demand eight issue ports. With a
+	// front end wide enough not to be the limiter, four PEs halve the
+	// sustainable issue rate (the isolated-PE-count component of Fig. 9;
+	// at the paper's 4-wide front end the effect appears only in bursts).
+	mk := func(pes int) Result {
+		cfg := DefaultILDP()
+		cfg.Width = 8
+		cfg.PEs = pes
+		cfg.CacheOpts.Replicas = pes
+		m := NewILDP(cfg)
+		for i := 0; i < 12000; i++ {
+			acc := uint8(i % 8)
+			m.Append(accRec(0x1000+uint64(i%512)*2, acc, acc, trace.NoReg, trace.NoReg, false))
+		}
+		return m.Finish()
+	}
+	r4, r8 := mk(4), mk(8)
+	if float64(r8.Cycles) > 0.75*float64(r4.Cycles) {
+		t.Errorf("8 PEs (%d cycles) should clearly beat 4 PEs (%d) on 8 independent strands",
+			r8.Cycles, r4.Cycles)
+	}
+}
+
+func TestEndOfRunDrains(t *testing.T) {
+	m := NewOoO(DefaultOoO())
+	for i := 0; i < 100; i++ {
+		m.Append(aluRec(0x1000+uint64(i)*4, 1, 1))
+	}
+	eor := trace.Rec{
+		PC: 0x2000, Size: 4, Class: trace.ClassJump,
+		SrcReg: [2]uint8{trace.NoReg, trace.NoReg},
+		DstReg: trace.NoReg, SrcAcc: trace.NoAcc, DstAcc: trace.NoAcc,
+		Taken: true, Target: 0,
+	}
+	m.Append(eor)
+	for i := 0; i < 100; i++ {
+		m.Append(aluRec(0x3000+uint64(i)*4, 2, 2))
+	}
+	res := m.Finish()
+	if res.Episodes != 1 {
+		t.Errorf("episodes = %d, want 1", res.Episodes)
+	}
+	// The second episode's first instruction fetches after the drain.
+	if res.Cycles < 200 {
+		t.Errorf("cycles = %d: two serial chains plus drain should exceed 200", res.Cycles)
+	}
+}
+
+func TestPEDistributionBalanced(t *testing.T) {
+	cfg := DefaultILDP()
+	cfg.PEs = 4
+	m := NewILDP(cfg)
+	for i := 0; i < 8000; i++ {
+		acc := uint8(i % 8)
+		// Alternate strand starts and continuations.
+		var r trace.Rec
+		if i%2 == 0 {
+			r = accRec(0x1000+uint64(i%512)*2, trace.NoAcc, acc, 1, trace.NoReg, false)
+		} else {
+			r = accRec(0x1000+uint64(i%512)*2, acc, acc, trace.NoReg, trace.NoReg, false)
+		}
+		m.Append(r)
+	}
+	dist := m.PEDistribution()
+	for pe, frac := range dist {
+		if frac < 0.1 || frac > 0.5 {
+			t.Errorf("PE %d got %.2f of instructions; steering unbalanced %v", pe, frac, dist)
+		}
+	}
+}
+
+func TestStallAccounting(t *testing.T) {
+	m := NewOoO(DefaultOoO())
+	// Miss-heavy dependent loads: D-cache stall must dominate.
+	for i := 0; i < 2000; i++ {
+		r := aluRec(0x1000+uint64(i%512)*4, 1, 1)
+		r.Class = trace.ClassLoad
+		r.MemAddr = uint64(i) * 256
+		r.MemWidth = 8
+		m.Append(r)
+	}
+	res := m.Finish()
+	if res.DCacheStall <= 0 {
+		t.Error("no D-cache stall recorded for miss-heavy loads")
+	}
+	if res.ICacheStall <= 0 {
+		t.Error("cold I-cache lines should have stalled fetch")
+	}
+	// Stall cycles must be a plausible share of total cycles.
+	if res.DCacheStall > res.Cycles*2 {
+		t.Errorf("D-stall %d exceeds plausibility vs %d cycles", res.DCacheStall, res.Cycles)
+	}
+
+	// Mispredict-heavy run: redirect losses appear.
+	m2 := NewOoO(DefaultOoO())
+	lfsr := uint32(0xBEEF)
+	for i := 0; i < 5000; i++ {
+		bit := (lfsr ^ (lfsr >> 2) ^ (lfsr >> 3) ^ (lfsr >> 5)) & 1
+		lfsr = (lfsr >> 1) | (bit << 15)
+		r := aluRec(0x1000, trace.NoReg, 1)
+		r.Class = trace.ClassBranch
+		r.Taken = bit == 1
+		if r.Taken {
+			r.Target = 0x1040
+		}
+		m2.Append(r)
+	}
+	res2 := m2.Finish()
+	if res2.RedirectLoss <= 0 {
+		t.Error("no redirect loss recorded for random branches")
+	}
+}

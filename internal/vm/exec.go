@@ -1,0 +1,430 @@
+package vm
+
+import (
+	"fmt"
+
+	"github.com/ildp/accdbt/internal/alpha"
+	"github.com/ildp/accdbt/internal/emu"
+	"github.com/ildp/accdbt/internal/ildp"
+	"github.com/ildp/accdbt/internal/tcache"
+	"github.com/ildp/accdbt/internal/trace"
+)
+
+// execTranslated runs translated code starting at frag, following fragment
+// links, chaining code, the dual-address RAS, and the shared dispatch
+// routine, until control exits back to the VM. It returns the V-ISA
+// address at which interpretation (or further lookup) should continue.
+func (v *VM) execTranslated(frag *tcache.Fragment) (uint64, error) {
+	frag.ExecCount++
+	v.Stats.FragEntries++
+	idx := 0
+	peiIdx := 0
+
+	enterFrag := func(f *tcache.Fragment) {
+		frag = f
+		idx = 0
+		peiIdx = 0
+		frag.ExecCount++
+		v.Stats.FragEntries++
+	}
+
+	for {
+		if idx >= len(frag.Insts) {
+			return 0, fmt.Errorf("vm: fell off end of fragment %d (V %#x)", frag.ID, frag.VStart)
+		}
+		inst := &frag.Insts[idx]
+		iaddr := frag.IAddrs[idx]
+		size := frag.Sizes[idx]
+		isPEI := peiPoint(inst)
+
+		v.Stats.TransIInsts++
+		v.Stats.TransVInsts += uint64(inst.VCredit)
+		v.Stats.ClassCounts[inst.Class]++
+		if inst.Usage != ildp.UsageNone {
+			v.Stats.UsageDyn[inst.Usage]++
+		}
+		if inst.Kind == ildp.KindCopyToGPR || inst.Kind == ildp.KindCopyFromGPR {
+			v.Stats.CopiesExecuted++
+		}
+
+		rec := v.newRec(inst, iaddr, size)
+
+		switch inst.Kind {
+		case ildp.KindALU:
+			val := emu.EvalOp(inst.Op, v.readSrc(inst, inst.SrcA), v.readSrc(inst, inst.SrcB))
+			if inst.WritesAcc {
+				v.acc[inst.Acc] = val
+			}
+			if inst.Dest != alpha.RegZero {
+				v.writeGPR(inst.Dest, val)
+			}
+
+		case ildp.KindCMOV:
+			cond := v.acc[inst.Acc&7]
+			if inst.SrcA.Kind == ildp.SrcGPR {
+				cond = v.readGPR(inst.SrcA.Reg)
+			}
+			if emu.EvalCond(inst.Op, cond) {
+				v.writeGPR(inst.Dest, v.readSrc(inst, inst.SrcB))
+			}
+
+		case ildp.KindLoad:
+			addr := v.readSrc(inst, inst.SrcA) + uint64(int64(inst.Disp))
+			val, err := emu.LoadMem(v.mem, inst.Op, addr)
+			if err != nil {
+				return 0, v.preciseTrap(frag, peiIdx, inst, err)
+			}
+			rec.MemAddr = addr
+			if inst.Op == alpha.OpLDQU {
+				rec.MemAddr = addr &^ 7
+			}
+			if inst.WritesAcc {
+				v.acc[inst.Acc] = val
+			}
+			if inst.Dest != alpha.RegZero {
+				v.writeGPR(inst.Dest, val)
+			}
+
+		case ildp.KindStore:
+			addr := v.readSrc(inst, inst.SrcA) + uint64(int64(inst.Disp))
+			data := v.readSrc(inst, inst.SrcB)
+			if err := emu.StoreMem(v.mem, inst.Op, addr, data); err != nil {
+				return 0, v.preciseTrap(frag, peiIdx, inst, err)
+			}
+			rec.MemAddr = addr
+			if inst.Op == alpha.OpSTQU {
+				rec.MemAddr = addr &^ 7
+			}
+
+		case ildp.KindCopyToGPR:
+			v.writeGPR(inst.Dest, v.acc[inst.Acc&7])
+
+		case ildp.KindCopyFromGPR:
+			v.acc[inst.Acc] = v.readSrc(inst, inst.SrcA)
+
+		case ildp.KindSetVPC:
+			// The implementation PC base for trap recovery; functionally a
+			// special-register write.
+
+		case ildp.KindLoadETA:
+			v.acc[inst.Acc] = inst.VAddr
+
+		case ildp.KindSaveVRA:
+			v.writeGPR(inst.Dest, inst.VAddr)
+
+		case ildp.KindPushRAS:
+			target := ildp.NoFrag
+			if f := v.tc.Lookup(inst.VAddr); f != nil {
+				target = f.ID
+			}
+			v.ras.push(inst.VAddr, target)
+
+		case ildp.KindCondBranch, ildp.KindCallTransCond:
+			taken := emu.EvalCond(inst.Op, v.readSrc(inst, inst.SrcA))
+			rec.Taken = taken
+			if inst.Class == ildp.ClassChain && inst.Frag == ildp.FragDispatch {
+				// Software jump prediction verdict.
+				if taken {
+					v.Stats.SWPredMisses++
+				} else {
+					v.Stats.SWPredHits++
+				}
+			}
+			if taken {
+				next, exitV, err := v.takeBranch(inst, &rec)
+				if err != nil {
+					return 0, err
+				}
+				if next == nil {
+					v.finishRec(&rec, true)
+					return exitV, nil
+				}
+				v.finishRec(&rec, false)
+				if isPEI {
+					peiIdx++
+				}
+				enterFrag(next)
+				continue
+			}
+
+		case ildp.KindBranch, ildp.KindCallTrans:
+			rec.Taken = true
+			next, exitV, err := v.takeBranch(inst, &rec)
+			if err != nil {
+				return 0, err
+			}
+			if next == nil {
+				v.finishRec(&rec, true)
+				return exitV, nil
+			}
+			v.finishRec(&rec, false)
+			enterFrag(next)
+			continue
+
+		case ildp.KindJumpRet:
+			target := v.readSrc(inst, inst.SrcA) &^ 3
+			entry, ok := v.ras.pop()
+			if ok && entry.v == target && entry.frag != ildp.NoFrag {
+				if f := v.tc.Frag(entry.frag); f != nil && f.VStart == entry.v {
+					v.Stats.RASHits++
+					rec.Taken = true
+					rec.PredHit = true
+					rec.Target = f.IAddr
+					v.finishRec(&rec, false)
+					enterFrag(f)
+					continue
+				}
+			}
+			// Miss: latch the target for dispatch and fall through to the
+			// unconditional branch that follows.
+			v.Stats.RASMisses++
+			v.writeGPR(ildp.RegJTarget, target)
+			rec.Taken = false
+
+		case ildp.KindDispatchOp:
+			// Dispatch body work; the lookup happens at the final jump.
+
+		case ildp.KindJumpInd:
+			target := v.readGPR(ildp.RegJTarget)
+			v.Stats.DispatchRuns++
+			rec.Taken = true
+			if f := v.tc.Lookup(target); f != nil {
+				v.Stats.DispatchHits++
+				rec.Target = f.IAddr
+				v.finishRec(&rec, false)
+				enterFrag(f)
+				continue
+			}
+			v.finishRec(&rec, true)
+			return target, nil
+
+		default:
+			return 0, fmt.Errorf("vm: cannot execute %v", inst.Kind)
+		}
+
+		v.finishRec(&rec, false)
+		if isPEI {
+			peiIdx++
+		}
+		idx++
+	}
+}
+
+// takeBranch resolves a taken control transfer: into another fragment,
+// into the shared dispatch routine, or out to the VM (call-translator).
+// A nil fragment with err == nil means exit to the VM at exitV.
+func (v *VM) takeBranch(inst *ildp.Inst, rec *trace.Rec) (*tcache.Fragment, uint64, error) {
+	switch {
+	case inst.Frag == ildp.FragDispatch:
+		f, exitV, err := v.runDispatch()
+		if err != nil {
+			return nil, 0, err
+		}
+		if f != nil {
+			rec.Target = dispatchEntry(v.tc)
+			return f, 0, nil
+		}
+		rec.Target = dispatchEntry(v.tc)
+		return nil, exitV, nil
+	case inst.Frag >= 0:
+		f := v.tc.Frag(inst.Frag)
+		if f == nil {
+			return nil, 0, fmt.Errorf("vm: dangling fragment link %d", inst.Frag)
+		}
+		rec.Target = f.IAddr
+		return f, 0, nil
+	default:
+		// Call-translator: exit to the VM at the V-ISA target.
+		return nil, inst.VAddr, nil
+	}
+}
+
+// runDispatch executes the shared dispatch routine (its 20 instructions
+// enter the trace) and performs the PC-translation-table lookup at its
+// final indirect jump.
+func (v *VM) runDispatch() (*tcache.Fragment, uint64, error) {
+	insts, addrs := v.tc.Dispatch()
+	for i := range insts {
+		inst := &insts[i]
+		v.Stats.TransIInsts++
+		v.Stats.ClassCounts[inst.Class]++
+		rec := v.newRec(inst, addrs[i], uint8(inst.EncodedSize(ildp.Modified)))
+		if inst.Kind == ildp.KindJumpInd {
+			target := v.readGPR(ildp.RegJTarget)
+			v.Stats.DispatchRuns++
+			rec.Taken = true
+			if f := v.tc.Lookup(target); f != nil {
+				v.Stats.DispatchHits++
+				rec.Target = f.IAddr
+				v.finishRec(&rec, false)
+				return f, 0, nil
+			}
+			v.finishRec(&rec, true)
+			return nil, target, nil
+		}
+		v.finishRec(&rec, false)
+	}
+	return nil, 0, fmt.Errorf("vm: dispatch routine has no terminal jump")
+}
+
+// preciseTrap recovers the precise V-ISA state for a trap inside
+// translated code: the trapping V-PC comes from the PEI table, and any
+// architected registers whose current values live only in accumulators
+// are materialised from the accumulator file (§2.2).
+func (v *VM) preciseTrap(frag *tcache.Fragment, peiIdx int, inst *ildp.Inst, cause error) error {
+	if peiIdx >= len(frag.PEI) {
+		return fmt.Errorf("vm: PEI index %d out of range in fragment %d", peiIdx, frag.ID)
+	}
+	vpc := frag.PEI[peiIdx]
+	if vpc != inst.VPC {
+		return fmt.Errorf("vm: PEI table disagrees: table %#x, instruction %#x", vpc, inst.VPC)
+	}
+	if peiIdx < len(frag.PEIRecover) {
+		for _, pair := range frag.PEIRecover[peiIdx] {
+			v.cpu.WriteReg(pair.Reg, v.acc[pair.Acc&7])
+		}
+	}
+	v.cpu.PC = vpc
+	return &emu.Trap{PC: vpc, Cause: cause}
+}
+
+func peiPoint(inst *ildp.Inst) bool {
+	if inst.Class != ildp.ClassCore {
+		return false
+	}
+	switch inst.Kind {
+	case ildp.KindLoad, ildp.KindStore, ildp.KindCallTransCond, ildp.KindCondBranch:
+		return true
+	}
+	return false
+}
+
+func dispatchEntry(tc *tcache.Cache) uint64 {
+	_, addrs := tc.Dispatch()
+	return addrs[0]
+}
+
+// readGPR reads an I-ISA register: architected GPRs come from the
+// interpreter state, the VM-private scratch registers from the VM.
+func (v *VM) readGPR(r alpha.Reg) uint64 {
+	if r < alpha.NumRegs {
+		return v.cpu.ReadReg(r)
+	}
+	return v.scratch[r-alpha.NumRegs]
+}
+
+func (v *VM) writeGPR(r alpha.Reg, val uint64) {
+	if r < alpha.NumRegs {
+		v.cpu.WriteReg(r, val)
+		return
+	}
+	v.scratch[r-alpha.NumRegs] = val
+}
+
+func (v *VM) readSrc(inst *ildp.Inst, s ildp.Src) uint64 {
+	switch s.Kind {
+	case ildp.SrcAcc:
+		return v.acc[inst.Acc&7]
+	case ildp.SrcGPR:
+		return v.readGPR(s.Reg)
+	case ildp.SrcImm:
+		return uint64(s.Imm)
+	}
+	return 0
+}
+
+// newRec builds the timing-trace record skeleton for one I-instruction.
+func (v *VM) newRec(inst *ildp.Inst, iaddr uint64, size uint8) trace.Rec {
+	rec := trace.Rec{
+		PC:      iaddr,
+		Size:    size,
+		SrcReg:  [2]uint8{trace.NoReg, trace.NoReg},
+		DstReg:  trace.NoReg,
+		SrcAcc:  trace.NoAcc,
+		DstAcc:  trace.NoAcc,
+		VCredit: inst.VCredit,
+	}
+	si := 0
+	if inst.SrcA.Kind == ildp.SrcGPR && inst.SrcA.Reg != alpha.RegZero {
+		rec.SrcReg[si] = uint8(inst.SrcA.Reg)
+		si++
+	}
+	if inst.SrcB.Kind == ildp.SrcGPR && inst.SrcB.Reg != alpha.RegZero {
+		rec.SrcReg[si] = uint8(inst.SrcB.Reg)
+	}
+	if inst.ReadsAcc() && inst.Acc != ildp.NoAcc {
+		rec.SrcAcc = uint8(inst.Acc)
+	}
+	if inst.WritesAcc && inst.Acc != ildp.NoAcc {
+		rec.DstAcc = uint8(inst.Acc)
+	}
+	if inst.Dest != alpha.RegZero {
+		rec.DstReg = uint8(inst.Dest)
+		rec.DstOperational = operationalWrite(inst)
+	}
+	rec.Class = recClass(inst)
+	if inst.IsControl() {
+		rec.MemWidth = 0
+	} else if inst.Kind == ildp.KindLoad || inst.Kind == ildp.KindStore {
+		rec.MemWidth = emu.MemWidth(inst.Op)
+	}
+	return rec
+}
+
+// operationalWrite reports whether the destination-GPR write must reach
+// the latency-critical operational register file: inter-strand
+// communication values, live-outs, explicit copies, and VM chaining
+// latches — but not Modified-form architected-state-only updates (§2.3).
+func operationalWrite(inst *ildp.Inst) bool {
+	switch inst.Kind {
+	case ildp.KindCopyToGPR, ildp.KindSaveVRA, ildp.KindCMOV:
+		return true
+	}
+	if inst.Class == ildp.ClassChain {
+		return true
+	}
+	switch inst.Usage {
+	case ildp.UsageLiveOut, ildp.UsageComm:
+		return true
+	}
+	return false
+}
+
+func recClass(inst *ildp.Inst) trace.Class {
+	switch inst.Kind {
+	case ildp.KindALU, ildp.KindCMOV, ildp.KindCopyToGPR, ildp.KindCopyFromGPR,
+		ildp.KindSetVPC, ildp.KindLoadETA, ildp.KindSaveVRA, ildp.KindPushRAS,
+		ildp.KindDispatchOp:
+		if inst.Op == alpha.OpMULL || inst.Op == alpha.OpMULQ || inst.Op == alpha.OpUMULH {
+			return trace.ClassMul
+		}
+		return trace.ClassALU
+	case ildp.KindLoad:
+		return trace.ClassLoad
+	case ildp.KindStore:
+		return trace.ClassStore
+	case ildp.KindCondBranch, ildp.KindCallTransCond:
+		return trace.ClassBranch
+	case ildp.KindBranch, ildp.KindCallTrans:
+		return trace.ClassJump
+	case ildp.KindJumpRet:
+		return trace.ClassRet
+	case ildp.KindJumpInd:
+		return trace.ClassInd
+	}
+	return trace.ClassALU
+}
+
+// finishRec completes and emits a trace record. endOfRun marks the final
+// record of a translated-execution episode (the timing models drain and
+// restart with an empty pipeline across mode switches, as in §4.1).
+func (v *VM) finishRec(rec *trace.Rec, endOfRun bool) {
+	if v.cfg.Sink == nil {
+		return
+	}
+	if endOfRun {
+		rec.Taken = true
+		rec.Target = 0
+	}
+	v.cfg.Sink.Append(*rec)
+}

@@ -1,0 +1,432 @@
+// Package vm implements the co-designed virtual machine runtime: the
+// interpret / profile / translate / execute mode-switching loop of §3.1,
+// the MRET hot-trace collector, the functional executor for translated
+// accumulator (or straightened-Alpha) code including fragment chaining,
+// the dual-address return address stack, and the shared dispatch routine.
+//
+// The VM produces a committed-instruction trace for the timing models and
+// accumulates the dynamic statistics behind every table and figure of the
+// paper's evaluation.
+package vm
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/ildp/accdbt/internal/alpha"
+	"github.com/ildp/accdbt/internal/alphaprog"
+	"github.com/ildp/accdbt/internal/emu"
+	"github.com/ildp/accdbt/internal/ildp"
+	"github.com/ildp/accdbt/internal/mem"
+	"github.com/ildp/accdbt/internal/tcache"
+	"github.com/ildp/accdbt/internal/trace"
+	"github.com/ildp/accdbt/internal/translate"
+)
+
+// Paper defaults (§4.1).
+const (
+	DefaultHotThreshold  = 50
+	DefaultMaxSuperblock = 200
+	DefaultRASSize       = 16
+
+	// InterpCostPerInst is the modelled interpreter cost in Alpha
+	// instructions per interpreted instruction (§4.1: "each interpretation
+	// takes about 20 instructions").
+	InterpCostPerInst = 20
+)
+
+// Config controls the VM.
+type Config struct {
+	// Form and NumAcc configure the accumulator translation; ignored when
+	// Straighten is set.
+	Form   ildp.Form
+	NumAcc int
+
+	Chain translate.ChainMode
+
+	// Straighten selects the code-straightening-only DBT (Alpha to
+	// straightened Alpha for the conventional superscalar).
+	Straighten bool
+
+	// FuseMemOps keeps memory displacements inside load/store instructions
+	// instead of splitting address computation (the §4.5 extension).
+	FuseMemOps bool
+
+	// TCacheBytes caps the translation cache; exceeding it flushes the
+	// whole cache (0 = unbounded, as in the paper).
+	TCacheBytes int
+
+	HotThreshold  int
+	MaxSuperblock int
+	RASSize       int
+
+	// Sink, when non-nil, receives the committed-instruction trace of all
+	// translated-code execution (the paper times translated code only).
+	Sink trace.Sink
+
+	// InterpSink, when non-nil, also receives records for interpreted
+	// instructions (used by the "original" no-DBT baseline).
+	InterpSink trace.Sink
+}
+
+// DefaultConfig returns the paper's baseline: modified ISA, four
+// accumulators, software prediction plus dual-address RAS.
+func DefaultConfig() Config {
+	return Config{
+		Form:          ildp.Modified,
+		NumAcc:        ildp.DefaultAccumulators,
+		Chain:         translate.SWPredRAS,
+		HotThreshold:  DefaultHotThreshold,
+		MaxSuperblock: DefaultMaxSuperblock,
+		RASSize:       DefaultRASSize,
+	}
+}
+
+// Stats aggregates VM execution statistics.
+type Stats struct {
+	InterpInsts uint64 // V-ISA instructions interpreted
+	TransVInsts uint64 // V-ISA instructions retired in translated code
+	TransIInsts uint64 // I-ISA instructions executed in translated code
+
+	ClassCounts [5]uint64 // dynamic I-instructions by ildp.Class
+	UsageDyn    [8]uint64 // dynamic producing instructions by usage class
+
+	CopiesExecuted uint64
+
+	FragEntries  uint64
+	Exits        uint64 // translated-to-VM transitions
+	DispatchRuns uint64
+	DispatchHits uint64
+	SWPredHits   uint64
+	SWPredMisses uint64
+	RASHits      uint64
+	RASMisses    uint64
+
+	Fragments          int
+	SrcInstsTranslated int64
+	NOPsRemoved        int64
+	BranchElims        int64
+	TranslateCost      int64
+	StaticCodeBytes    int64
+	StaticSrcBytes     int64
+	StaticCopies       int64
+	StaticChain        int64
+	Spills             int64
+	UsageStatic        translate.UsageCounts
+}
+
+// TotalVInsts returns all V-ISA instructions architecturally retired.
+func (s *Stats) TotalVInsts() uint64 { return s.InterpInsts + s.TransVInsts }
+
+// InterpCost returns the modelled interpretation overhead in Alpha
+// instructions (§4.1's ~20 instructions per interpreted instruction).
+func (s *Stats) InterpCost() int64 { return int64(s.InterpInsts) * InterpCostPerInst }
+
+// VMOverhead returns the total modelled VM software overhead —
+// interpretation plus translation — in Alpha instructions.
+func (s *Stats) VMOverhead() int64 { return s.InterpCost() + s.TranslateCost }
+
+// ErrBudget is returned by Run when the V-instruction budget is exhausted.
+var ErrBudget = errors.New("vm: instruction budget exhausted")
+
+// VM is a co-designed virtual machine instance.
+type VM struct {
+	cfg Config
+	cpu *emu.CPU
+	mem *mem.Memory
+	tc  *tcache.Cache
+
+	scratch [ildp.NumGPR - alpha.NumRegs]uint64
+	acc     [ildp.MaxAccumulators]uint64
+	ras     dualRAS
+
+	counters map[uint64]int
+
+	recording bool
+	sb        translate.Superblock
+	inTrace   map[uint64]bool
+
+	Stats Stats
+}
+
+// New creates a VM around the given memory image.
+func New(m *mem.Memory, cfg Config) *VM {
+	if cfg.HotThreshold <= 0 {
+		cfg.HotThreshold = DefaultHotThreshold
+	}
+	if cfg.MaxSuperblock <= 0 {
+		cfg.MaxSuperblock = DefaultMaxSuperblock
+	}
+	if cfg.RASSize <= 0 {
+		cfg.RASSize = DefaultRASSize
+	}
+	if cfg.NumAcc <= 0 {
+		cfg.NumAcc = ildp.DefaultAccumulators
+	}
+	form := cfg.Form
+	tc := tcache.New(form)
+	if cfg.TCacheBytes > 0 {
+		tc.SetCapacity(cfg.TCacheBytes)
+	}
+	return &VM{
+		cfg:      cfg,
+		cpu:      emu.New(m),
+		mem:      m,
+		tc:       tc,
+		counters: map[uint64]int{},
+		ras:      newDualRAS(cfg.RASSize),
+	}
+}
+
+// CPU exposes the architected state (for loading programs and inspecting
+// results).
+func (v *VM) CPU() *emu.CPU { return v.cpu }
+
+// TCache exposes the translation cache (for inspection and examples).
+func (v *VM) TCache() *tcache.Cache { return v.tc }
+
+// LoadProgram loads an assembled program and sets the entry point.
+func (v *VM) LoadProgram(p *alphaprog.Program) error { return v.cpu.LoadProgram(p) }
+
+// Run executes until the program halts, a trap propagates, or maxVInsts
+// V-ISA instructions have retired (0 = unlimited).
+func (v *VM) Run(maxVInsts int64) error {
+	for !v.cpu.Halted {
+		if maxVInsts > 0 && int64(v.Stats.TotalVInsts()) >= maxVInsts {
+			return ErrBudget
+		}
+		if !v.recording {
+			if frag := v.tc.Lookup(v.cpu.PC); frag != nil {
+				exitPC, err := v.execTranslated(frag)
+				if err != nil {
+					return err
+				}
+				if v.cpu.Halted {
+					return nil
+				}
+				v.cpu.PC = exitPC
+				v.Stats.Exits++
+				v.noteCandidate(exitPC)
+				continue
+			}
+		}
+		if err := v.interpStep(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// noteCandidate bumps the §3.1 trace-start counter for pc (targets of
+// indirect jumps, targets of backward taken branches, exit targets of
+// existing fragments) and begins recording when it crosses the threshold.
+func (v *VM) noteCandidate(pc uint64) {
+	if v.recording || v.tc.Lookup(pc) != nil {
+		return
+	}
+	v.counters[pc]++
+	if v.counters[pc] >= v.cfg.HotThreshold {
+		delete(v.counters, pc)
+		v.recording = true
+		v.sb = translate.Superblock{StartPC: pc}
+		v.inTrace = map[uint64]bool{}
+	}
+}
+
+// interpStep interprets one instruction, profiling and (when hot)
+// recording the executed path for superblock formation.
+func (v *VM) interpStep() error {
+	pc := v.cpu.PC
+	inst, err := v.cpu.FetchDecode()
+	if err != nil {
+		return err
+	}
+
+	// Trap-class instructions end superblock collection before executing
+	// (§3.1); they are always interpreted.
+	if v.recording && isTraceBarrier(&inst) {
+		if err := v.finishRecording(translate.EndTrap, pc); err != nil {
+			return err
+		}
+	}
+
+	// Effective addresses must be captured before execution (the base
+	// register may be overwritten).
+	var memAddr uint64
+	if v.cfg.InterpSink != nil && inst.IsMem() {
+		memAddr = v.cpu.ReadReg(inst.Rb) + uint64(int64(inst.Disp))
+		if inst.Op == alpha.OpLDQU || inst.Op == alpha.OpSTQU {
+			memAddr &^= 7
+		}
+	}
+
+	if err := v.cpu.Exec(inst); err != nil {
+		if v.recording {
+			// A trap aborts collection.
+			v.recording = false
+			v.inTrace = nil
+		}
+		return err
+	}
+	v.Stats.InterpInsts++
+	next := v.cpu.PC
+
+	if v.cfg.InterpSink != nil {
+		rec := alphaRec(&inst, pc, next)
+		rec.MemAddr = memAddr
+		v.cfg.InterpSink.Append(rec)
+	}
+
+	taken := inst.IsBranch() && next != pc+alpha.InstBytes
+
+	if v.recording {
+		rec := translate.SBInst{PC: pc, Inst: inst}
+		if inst.IsCondBranch() {
+			rec.Taken = taken
+		}
+		if inst.IsIndirect() {
+			rec.PredTarget = next
+		}
+		v.inTrace[pc] = true
+		v.sb.Insts = append(v.sb.Insts, rec)
+
+		switch {
+		case inst.IsIndirect():
+			return v.finishRecording(translate.EndIndirect, 0)
+		case inst.IsCondBranch() && taken && next <= pc:
+			// Backward taken conditional branch ends the fragment; the
+			// fall-through is the cold continuation.
+			return v.finishRecording(translate.EndBackward, pc+alpha.InstBytes)
+		case v.inTrace[next]:
+			return v.finishRecording(translate.EndCycle, next)
+		case v.tc.Lookup(next) != nil:
+			// Control reached an existing fragment: stop so the exits can
+			// link rather than duplicating its code.
+			return v.finishRecording(translate.EndCycle, next)
+		case len(v.sb.Insts) >= v.cfg.MaxSuperblock:
+			return v.finishRecording(translate.EndMaxSize, next)
+		}
+		return nil
+	}
+
+	// Profiling: candidate program counters are targets of indirect jumps
+	// and targets of backward taken conditional branches.
+	if inst.IsIndirect() {
+		v.noteCandidate(next)
+	} else if inst.IsCondBranch() && taken && next <= pc {
+		v.noteCandidate(next)
+	}
+	return nil
+}
+
+// isTraceBarrier reports whether the instruction must end superblock
+// collection and stay interpreted (PAL calls, unimplemented opcodes, and
+// RPCC, whose result is execution-mode dependent).
+func isTraceBarrier(inst *alpha.Inst) bool {
+	switch inst.Op {
+	case alpha.OpCallPAL, alpha.OpUnsupported, alpha.OpInvalid, alpha.OpRPCC:
+		return true
+	}
+	return false
+}
+
+// finishRecording translates and installs the collected superblock.
+func (v *VM) finishRecording(end translate.EndKind, nextPC uint64) error {
+	v.recording = false
+	v.inTrace = nil
+	sb := v.sb
+	sb.End = end
+	sb.NextPC = nextPC
+	v.sb = translate.Superblock{}
+
+	var res *translate.Result
+	var err error
+	if v.cfg.Straighten {
+		res, err = translate.Straighten(&sb, v.cfg.Chain)
+	} else {
+		res, err = translate.Translate(&sb, translate.Config{
+			Form: v.cfg.Form, NumAcc: v.cfg.NumAcc, Chain: v.cfg.Chain,
+			FuseMemOps: v.cfg.FuseMemOps,
+		})
+	}
+	if err != nil {
+		if errors.Is(err, translate.ErrEmptySuperblock) {
+			return nil // nothing worth translating (all NOPs)
+		}
+		return fmt.Errorf("vm: translating superblock at %#x: %w", sb.StartPC, err)
+	}
+	if _, err := v.tc.Install(res); err != nil {
+		return err
+	}
+	s := &v.Stats
+	s.Fragments++
+	s.SrcInstsTranslated += int64(res.SrcCount)
+	s.NOPsRemoved += int64(res.NOPCount)
+	s.BranchElims += int64(res.BranchElims)
+	s.TranslateCost += res.Cost
+	s.StaticCodeBytes += int64(res.CodeBytes)
+	s.StaticSrcBytes += int64(res.SrcBytes)
+	s.StaticCopies += int64(res.CopyCount)
+	s.StaticChain += int64(res.ChainCount)
+	s.Spills += int64(res.SpillCount)
+	s.UsageStatic.Add(res.Usage)
+	return nil
+}
+
+// alphaRec builds a trace record for one interpreted Alpha instruction.
+func alphaRec(inst *alpha.Inst, pc, next uint64) trace.Rec {
+	rec := trace.Rec{
+		PC:     pc,
+		Size:   alpha.InstBytes,
+		SrcReg: [2]uint8{trace.NoReg, trace.NoReg},
+		DstReg: trace.NoReg,
+		SrcAcc: trace.NoAcc,
+		DstAcc: trace.NoAcc,
+	}
+	var srcs []alpha.Reg
+	srcs = inst.Sources(srcs)
+	for i, r := range srcs {
+		if i >= 2 {
+			break
+		}
+		rec.SrcReg[i] = uint8(r)
+	}
+	if d := inst.Dest(); d != alpha.RegZero {
+		rec.DstReg = uint8(d)
+		rec.DstOperational = true
+	}
+	switch {
+	case inst.IsNOP():
+		rec.Class = trace.ClassNop
+	case inst.Op == alpha.OpMULL || inst.Op == alpha.OpMULQ || inst.Op == alpha.OpUMULH:
+		rec.Class = trace.ClassMul
+	case inst.IsLoad():
+		rec.Class = trace.ClassLoad
+		rec.MemWidth = emu.MemWidth(inst.Op)
+	case inst.IsStore():
+		rec.Class = trace.ClassStore
+		rec.MemWidth = emu.MemWidth(inst.Op)
+	case inst.IsCondBranch():
+		rec.Class = trace.ClassBranch
+	case inst.Op == alpha.OpBSR:
+		rec.Class = trace.ClassCall
+	case inst.Op == alpha.OpJSR || inst.Op == alpha.OpJSRCoroutine:
+		rec.Class = trace.ClassCall
+		rec.Indirect = true
+	case inst.Op == alpha.OpBR:
+		rec.Class = trace.ClassJump
+	case inst.Op == alpha.OpRET:
+		rec.Class = trace.ClassRet
+	case inst.Op == alpha.OpJMP:
+		rec.Class = trace.ClassInd
+		rec.Indirect = true
+	default:
+		rec.Class = trace.ClassALU
+	}
+	rec.VCredit = 1
+	if inst.IsBranch() {
+		rec.Taken = next != pc+alpha.InstBytes
+		rec.Target = next
+	}
+	return rec
+}

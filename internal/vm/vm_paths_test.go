@@ -1,0 +1,229 @@
+package vm
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"github.com/ildp/accdbt/internal/alpha/alphaasm"
+	"github.com/ildp/accdbt/internal/emu"
+	"github.com/ildp/accdbt/internal/ildp"
+	"github.com/ildp/accdbt/internal/mem"
+)
+
+// TestMaxSuperblockEnding forces the size-limit ending condition: a long
+// straight-line block larger than the superblock cap must split into
+// multiple linked fragments and still compute correctly.
+func TestMaxSuperblockEnding(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("\t.text 0x10000\nstart:\n\tldiq a0, 3000\n\tclr v0\nloop:\n")
+	for i := 0; i < 60; i++ {
+		b.WriteString("\taddq v0, #1, v0\n")
+	}
+	b.WriteString("\tsubq a0, #1, a0\n\tbne a0, loop\n\tcall_pal halt\n")
+	src := b.String()
+
+	ref := refRun(t, src)
+	cfg := DefaultConfig()
+	cfg.HotThreshold = 5
+	cfg.MaxSuperblock = 20
+	v := vmRun(t, src, cfg)
+	compareState(t, "max-superblock", ref, v, nil)
+	if v.Stats.Fragments < 3 {
+		t.Errorf("size cap 20 over a 62-inst loop should split into >=3 fragments, got %d",
+			v.Stats.Fragments)
+	}
+}
+
+// TestCycleEnding: a loop whose body revisits its own start mid-collection
+// triggers the already-collected ending condition.
+func TestCycleEnding(t *testing.T) {
+	src := `
+	.text 0x10000
+start:
+	ldiq a0, 5000
+loop:
+	subq a0, #1, a0
+	addq v0, #2, v0
+	bgt  a0, loop
+	call_pal halt
+`
+	ref := refRun(t, src)
+	cfg := DefaultConfig()
+	cfg.HotThreshold = 4
+	v := vmRun(t, src, cfg)
+	compareState(t, "cycle", ref, v, nil)
+}
+
+// TestRPCCBarrier: RPCC ends trace collection and stays interpreted, so
+// its (mode-dependent) value never gets baked into a fragment.
+func TestRPCCBarrier(t *testing.T) {
+	src := `
+	.text 0x10000
+start:
+	ldiq a0, 500
+loop:
+	rpcc t0
+	addq v0, #1, v0
+	subq a0, #1, a0
+	bne  a0, loop
+	call_pal halt
+`
+	cfg := DefaultConfig()
+	cfg.HotThreshold = 5
+	v := vmRun(t, src, cfg)
+	// The loop contains a barrier; fragments exist around it but the rpcc
+	// itself is interpreted every iteration.
+	if v.Stats.InterpInsts < 500 {
+		t.Errorf("rpcc iterations should stay interpreted: interp=%d", v.Stats.InterpInsts)
+	}
+	if v.CPU().Reg[0] != 500 {
+		t.Errorf("v0 = %d, want 500", v.CPU().Reg[0])
+	}
+}
+
+// TestRASOverflowDeepRecursion: recursion deeper than the dual RAS wraps
+// the circular stack; correctness is unaffected, the overflowed returns
+// just miss.
+func TestRASOverflowDeepRecursion(t *testing.T) {
+	src := `
+	.text 0x10000
+start:
+	ldiq sp, 0x80000
+	lda  a0, 40(zero)     ; recursion depth >> RAS size
+	bsr  down
+	call_pal halt
+down:
+	ble  a0, base
+	stq  ra, -8(sp)
+	lda  sp, -8(sp)
+	subq a0, #1, a0
+	bsr  down
+	lda  sp, 8(sp)
+	ldq  ra, -8(sp)
+	addq v0, #1, v0
+	ret
+base:
+	ret
+`
+	ref := refRun(t, src)
+	cfg := DefaultConfig()
+	cfg.HotThreshold = 3
+	cfg.RASSize = 8
+	v := vmRun(t, src, cfg)
+	compareState(t, "ras-overflow", ref, v, nil)
+	if v.Stats.RASMisses == 0 {
+		t.Error("deep recursion should overflow the 8-entry dual RAS")
+	}
+}
+
+// TestStraightenedPreciseTrap: the code-straightening-only DBT preserves
+// precise traps too (trivially, since every instruction writes GPRs).
+func TestStraightenedPreciseTrap(t *testing.T) {
+	src := `
+	.text 0x10000
+start:
+	ldiq  a0, 0x20000
+	ldiq  a1, 0x30000
+	clr   v0
+loop:
+	ldq   t0, 0(a0)
+	addq  v0, t0, v0
+	lda   a0, 8(a0)
+	subq  a1, a0, t1
+	bne   t1, loop
+	call_pal halt
+`
+	m := mem.New()
+	m.Strict = true
+	m.Map(0x20000, 0x1000)
+	cfg := DefaultConfig()
+	cfg.Straighten = true
+	cfg.HotThreshold = 4
+	v := New(m, cfg)
+	if err := v.LoadProgram(alphaasm.MustAssemble(src)); err != nil {
+		t.Fatal(err)
+	}
+	err := v.Run(0)
+	var trap *emu.Trap
+	if !errors.As(err, &trap) {
+		t.Fatalf("want trap, got %v", err)
+	}
+	if trap.PC != 0x10000+5*4 {
+		t.Errorf("trap PC = %#x", trap.PC)
+	}
+	if v.CPU().Reg[16] != 0x21000 {
+		t.Errorf("a0 = %#x, want faulting address", v.CPU().Reg[16])
+	}
+}
+
+// TestFusedMemOpsReduceExpansion: the §4.5 option must lower the executed
+// I-instruction count on a displacement-heavy loop and stay correct.
+func TestFusedMemOpsReduceExpansion(t *testing.T) {
+	src := `
+	.data 0x20000
+tbl:
+	.space 4096
+	.text 0x10000
+start:
+	ldiq s0, 2000
+loop:
+	ldiq a0, tbl
+	ldq  t0, 8(a0)
+	ldq  t1, 16(a0)
+	addq t0, t1, t2
+	stq  t2, 24(a0)
+	subq s0, #1, s0
+	bne  s0, loop
+	call_pal halt
+`
+	ref := refRun(t, src)
+	base := DefaultConfig()
+	base.HotThreshold = 5
+	vSplit := vmRun(t, src, base)
+	fusedCfg := base
+	fusedCfg.FuseMemOps = true
+	vFused := vmRun(t, src, fusedCfg)
+	compareState(t, "fused", ref, vFused, []uint64{0x20018})
+	if vFused.Stats.TransIInsts >= vSplit.Stats.TransIInsts {
+		t.Errorf("fusion did not reduce I-insts: %d vs %d",
+			vFused.Stats.TransIInsts, vSplit.Stats.TransIInsts)
+	}
+	// Three displaced memory ops per iteration: the fused version saves
+	// three address adds.
+	saved := vSplit.Stats.TransIInsts - vFused.Stats.TransIInsts
+	if saved < 3*1500 {
+		t.Errorf("expected ~3 saved instructions per iteration, saved %d total", saved)
+	}
+}
+
+// TestDispatchHitPath: an indirect jump whose targets are all translated
+// resolves through the dispatch table without leaving translated mode.
+func TestDispatchHitPath(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Chain = 0 // NoPred: everything goes through dispatch
+	cfg.HotThreshold = 4
+	v := vmRun(t, torture, cfg)
+	if v.Stats.DispatchRuns == 0 {
+		t.Fatal("no dispatch traffic under no_pred")
+	}
+	hitRate := float64(v.Stats.DispatchHits) / float64(v.Stats.DispatchRuns)
+	if hitRate < 0.8 {
+		t.Errorf("dispatch hit rate %.2f too low once warm", hitRate)
+	}
+}
+
+// TestUsageDynamicConservation: dynamic usage-class counts cover exactly
+// the producing instructions executed.
+func TestUsageDynamicConservation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.HotThreshold = 5
+	v := vmRun(t, torture, cfg)
+	var usageTotal uint64
+	for c := ildp.UsageNoUser; c <= ildp.UsageNoUserGlobal; c++ {
+		usageTotal += v.Stats.UsageDyn[c]
+	}
+	if usageTotal == 0 || usageTotal > v.Stats.TransIInsts {
+		t.Errorf("usage total %d vs I-insts %d", usageTotal, v.Stats.TransIInsts)
+	}
+}

@@ -1,0 +1,465 @@
+package vm
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"github.com/ildp/accdbt/internal/alpha"
+	"github.com/ildp/accdbt/internal/alpha/alphaasm"
+	"github.com/ildp/accdbt/internal/emu"
+	"github.com/ildp/accdbt/internal/ildp"
+	"github.com/ildp/accdbt/internal/mem"
+	"github.com/ildp/accdbt/internal/trace"
+	"github.com/ildp/accdbt/internal/translate"
+)
+
+// torture exercises loops, recursion (BSR/RET), register-indirect jumps
+// through a jump table, conditional moves, byte loads, and stores.
+const torture = `
+	.data 0x20000
+table:
+	.quad 3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 8
+bytes:
+	.asciz "hello, vm world!"
+	.align 8
+results:
+	.space 64
+	.data 0x21000
+jtab:
+	.quad jt0, jt1, jt2, jt3
+
+	.text 0x10000
+start:
+	ldiq  sp, 0x80000
+	; ---- table sum
+	ldiq  a0, table
+	lda   a1, 12(zero)
+	clr   v0
+sumloop:
+	ldq   t0, 0(a0)
+	addq  v0, t0, v0
+	lda   a0, 8(a0)
+	subq  a1, #1, a1
+	bne   a1, sumloop
+	ldiq  t5, results
+	stq   v0, 0(t5)
+	; ---- hot byte-checksum loop (the Fig. 2 flavour)
+	ldiq  s0, 200
+outer:
+	ldiq  a0, bytes
+	lda   a1, 16(zero)
+	clr   t0
+	clr   v0
+inner:
+	ldbu  t2, 0(a0)
+	subl  a1, #1, a1
+	lda   a0, 1(a0)
+	xor   t0, t2, t2
+	srl   t0, #8, t0
+	and   t2, #255, t2
+	addq  v0, t2, v0
+	bne   a1, inner
+	subq  s0, #1, s0
+	bne   s0, outer
+	ldiq  t5, results
+	stq   v0, 8(t5)
+	; ---- recursion
+	lda   a0, 10(zero)
+	bsr   fib
+	ldiq  t5, results
+	stq   v0, 16(t5)
+	; ---- cmov max scan
+	ldiq  a0, table
+	lda   a1, 12(zero)
+	clr   v0
+maxloop:
+	ldq   t0, 0(a0)
+	cmplt v0, t0, t1
+	cmovne t1, t0, v0
+	lda   a0, 8(a0)
+	subq  a1, #1, a1
+	bne   a1, maxloop
+	stq   v0, 24(t5)
+	; ---- indirect jump table
+	ldiq  s1, 150
+	clr   s2
+igloop:
+	and   s1, #3, t0
+	ldiq  t1, jtab
+	s8addq t0, t1, t1
+	ldq   t2, 0(t1)
+	jmp   (t2)
+jt0:
+	addq  s2, #1, s2
+	br    igdone
+jt1:
+	addq  s2, #2, s2
+	br    igdone
+jt2:
+	addq  s2, #3, s2
+	br    igdone
+jt3:
+	addq  s2, #5, s2
+igdone:
+	subq  s1, #1, s1
+	bne   s1, igloop
+	stq   s2, 32(t5)
+	; ---- console + exit
+	lda   v0, 2(zero)
+	lda   a0, 79(zero)
+	call_pal callsys
+	lda   a0, 75(zero)
+	call_pal callsys
+	lda   v0, 1(zero)
+	lda   a0, 0(zero)
+	call_pal callsys
+
+fib:
+	cmplt a0, #2, t0
+	beq   t0, fibrec
+	mov   a0, v0
+	ret
+fibrec:
+	stq   ra, -8(sp)
+	stq   a0, -16(sp)
+	lda   sp, -16(sp)
+	subq  a0, #1, a0
+	bsr   fib
+	ldq   a0, 0(sp)
+	stq   v0, 0(sp)
+	subq  a0, #2, a0
+	bsr   fib
+	ldq   t0, 0(sp)
+	addq  v0, t0, v0
+	lda   sp, 16(sp)
+	ldq   ra, -8(sp)
+	ret
+`
+
+// refRun interprets the program to completion on a bare CPU.
+func refRun(t *testing.T, src string) *emu.CPU {
+	t.Helper()
+	cpu := emu.New(mem.New())
+	if err := cpu.LoadProgram(alphaasm.MustAssemble(src)); err != nil {
+		t.Fatal(err)
+	}
+	if err := cpu.Run(50_000_000); err != nil {
+		t.Fatalf("reference run: %v", err)
+	}
+	return cpu
+}
+
+func vmRun(t *testing.T, src string, cfg Config) *VM {
+	t.Helper()
+	v := New(mem.New(), cfg)
+	if err := v.LoadProgram(alphaasm.MustAssemble(src)); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Run(50_000_000); err != nil {
+		t.Fatalf("vm run (%+v): %v", cfg, err)
+	}
+	return v
+}
+
+func compareState(t *testing.T, label string, ref *emu.CPU, v *VM, dataAddrs []uint64) {
+	t.Helper()
+	got := v.CPU()
+	for r := 0; r < alpha.NumRegs-1; r++ { // r31 always zero
+		if got.Reg[r] != ref.Reg[r] {
+			t.Errorf("%s: r%d = %#x, want %#x", label, r, got.Reg[r], ref.Reg[r])
+		}
+	}
+	if got.ConsoleString() != ref.ConsoleString() {
+		t.Errorf("%s: console = %q, want %q", label, got.ConsoleString(), ref.ConsoleString())
+	}
+	if got.ExitStatus != ref.ExitStatus || !got.Halted {
+		t.Errorf("%s: exit = %d halted=%v", label, got.ExitStatus, got.Halted)
+	}
+	for _, addr := range dataAddrs {
+		w, err1 := v.CPU().Mem.Read64(addr)
+		r, err2 := ref.Mem.Read64(addr)
+		if err1 != nil || err2 != nil || w != r {
+			t.Errorf("%s: mem[%#x] = %#x, want %#x", label, addr, w, r)
+		}
+	}
+}
+
+// resultsAddrs are the torture program's output slots: results = table (96
+// bytes) + asciz (17 bytes) aligned up to 8 = 0x20078.
+func resultsAddrs() []uint64 {
+	const results = 0x20078
+	return []uint64{results + 0, results + 8, results + 16, results + 24, results + 32}
+}
+
+func TestDBTEquivalenceAllConfigs(t *testing.T) {
+	ref := refRun(t, torture)
+	// The torture program's stores are to unaligned-but-consistent
+	// addresses (results is byte-addressed); Read64 on both sides uses the
+	// same addresses, so alignment is consistent. Verify the reference
+	// actually computed interesting values.
+	if ref.ConsoleString() != "OK" {
+		t.Fatalf("reference console = %q", ref.ConsoleString())
+	}
+
+	forms := []struct {
+		name       string
+		form       ildp.Form
+		straighten bool
+	}{
+		{"basic", ildp.Basic, false},
+		{"modified", ildp.Modified, false},
+		{"straightened", 0, true},
+	}
+	chains := []translate.ChainMode{translate.NoPred, translate.SWPred, translate.SWPredRAS}
+
+	for _, f := range forms {
+		for _, ch := range chains {
+			label := fmt.Sprintf("%s/%s", f.name, ch)
+			t.Run(label, func(t *testing.T) {
+				cfg := DefaultConfig()
+				cfg.Form = f.form
+				cfg.Straighten = f.straighten
+				cfg.Chain = ch
+				cfg.HotThreshold = 5
+				v := vmRun(t, torture, cfg)
+				compareState(t, label, ref, v, resultsAddrs())
+				if v.Stats.Fragments == 0 {
+					t.Error("no fragments were translated")
+				}
+				if v.Stats.TransVInsts == 0 {
+					t.Error("no V-instructions retired in translated mode")
+				}
+				// Most of the execution must run translated with a low
+				// threshold.
+				frac := float64(v.Stats.TransVInsts) / float64(v.Stats.TotalVInsts())
+				if frac < 0.5 {
+					t.Errorf("translated fraction = %.2f, want > 0.5", frac)
+				}
+			})
+		}
+	}
+}
+
+func TestDBTEquivalenceSmallThresholds(t *testing.T) {
+	ref := refRun(t, torture)
+	for _, thr := range []int{1, 2, 17} {
+		cfg := DefaultConfig()
+		cfg.HotThreshold = thr
+		v := vmRun(t, torture, cfg)
+		compareState(t, fmt.Sprintf("thr=%d", thr), ref, v, resultsAddrs())
+	}
+}
+
+func TestAccumulatorCountEquivalence(t *testing.T) {
+	ref := refRun(t, torture)
+	for _, n := range []int{1, 2, 4, 8} {
+		cfg := DefaultConfig()
+		cfg.NumAcc = n
+		cfg.HotThreshold = 5
+		v := vmRun(t, torture, cfg)
+		compareState(t, fmt.Sprintf("acc=%d", n), ref, v, resultsAddrs())
+	}
+}
+
+func TestRASHitsOnCallReturn(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.HotThreshold = 3
+	v := vmRun(t, torture, cfg)
+	if v.Stats.RASHits == 0 {
+		t.Errorf("dual RAS never hit (hits=%d misses=%d)", v.Stats.RASHits, v.Stats.RASMisses)
+	}
+	// Recursion returns are highly predictable; most should hit once warm.
+	total := v.Stats.RASHits + v.Stats.RASMisses
+	if total > 0 && float64(v.Stats.RASHits)/float64(total) < 0.5 {
+		t.Errorf("RAS hit rate %.2f too low (hits=%d misses=%d)",
+			float64(v.Stats.RASHits)/float64(total), v.Stats.RASHits, v.Stats.RASMisses)
+	}
+}
+
+func TestChainModeDynamicCounts(t *testing.T) {
+	// no_pred must execute more dispatch runs than sw_pred, which must
+	// execute more than sw_pred.ras (Fig. 4/5 mechanism).
+	runs := map[translate.ChainMode]uint64{}
+	iinsts := map[translate.ChainMode]uint64{}
+	for _, ch := range []translate.ChainMode{translate.NoPred, translate.SWPred, translate.SWPredRAS} {
+		cfg := DefaultConfig()
+		cfg.Chain = ch
+		cfg.HotThreshold = 5
+		v := vmRun(t, torture, cfg)
+		runs[ch] = v.Stats.DispatchRuns
+		iinsts[ch] = v.Stats.TransIInsts
+	}
+	if !(runs[translate.NoPred] > runs[translate.SWPred]) {
+		t.Errorf("dispatch runs: no_pred=%d should exceed sw_pred=%d",
+			runs[translate.NoPred], runs[translate.SWPred])
+	}
+	if !(runs[translate.SWPred] >= runs[translate.SWPredRAS]) {
+		t.Errorf("dispatch runs: sw_pred=%d should be >= sw_pred.ras=%d",
+			runs[translate.SWPred], runs[translate.SWPredRAS])
+	}
+	if !(iinsts[translate.NoPred] > iinsts[translate.SWPredRAS]) {
+		t.Errorf("I-instructions: no_pred=%d should exceed sw_pred.ras=%d",
+			iinsts[translate.NoPred], iinsts[translate.SWPredRAS])
+	}
+}
+
+func TestBasicExpandsMoreThanModified(t *testing.T) {
+	counts := map[ildp.Form]uint64{}
+	copies := map[ildp.Form]uint64{}
+	for _, form := range []ildp.Form{ildp.Basic, ildp.Modified} {
+		cfg := DefaultConfig()
+		cfg.Form = form
+		cfg.HotThreshold = 5
+		v := vmRun(t, torture, cfg)
+		counts[form] = v.Stats.TransIInsts
+		copies[form] = v.Stats.CopiesExecuted
+	}
+	if counts[ildp.Basic] <= counts[ildp.Modified] {
+		t.Errorf("basic executed %d I-insts, modified %d; basic should expand more",
+			counts[ildp.Basic], counts[ildp.Modified])
+	}
+	if copies[ildp.Basic] <= copies[ildp.Modified] {
+		t.Errorf("basic copies %d, modified %d; basic should copy more",
+			copies[ildp.Basic], copies[ildp.Modified])
+	}
+}
+
+func TestTraceSinkReceivesRecords(t *testing.T) {
+	var buf trace.Counter
+	cfg := DefaultConfig()
+	cfg.HotThreshold = 5
+	cfg.Sink = &buf
+	v := vmRun(t, torture, cfg)
+	if buf.Recs != v.Stats.TransIInsts {
+		t.Errorf("sink saw %d records, executor counted %d", buf.Recs, v.Stats.TransIInsts)
+	}
+	if buf.VCredit != v.Stats.TransVInsts {
+		t.Errorf("sink V-credit %d, executor %d", buf.VCredit, v.Stats.TransVInsts)
+	}
+}
+
+func TestPreciseTrapInTranslatedCode(t *testing.T) {
+	// A hot loop walks an array and eventually crosses into unmapped
+	// memory (strict mode): the trap must be precise — correct V-PC and
+	// correct architected register values — in both ISA forms.
+	src := `
+	.text 0x10000
+start:
+	ldiq  a0, 0x20000
+	ldiq  a1, 0x30000      ; limit far beyond the mapped page
+	clr   v0
+loop:
+	ldq   t0, 0(a0)
+	addq  v0, t0, v0
+	lda   a0, 8(a0)
+	subq  a1, a0, t1
+	bne   t1, loop
+	call_pal halt
+`
+	for _, form := range []ildp.Form{ildp.Basic, ildp.Modified} {
+		t.Run(form.String(), func(t *testing.T) {
+			m := mem.New()
+			m.Strict = true
+			m.Map(0x20000, 0x1000) // one mapped page; 0x21000.. faults
+			cfg := DefaultConfig()
+			cfg.Form = form
+			cfg.HotThreshold = 4
+			v := New(m, cfg)
+			if err := v.LoadProgram(alphaasm.MustAssemble(src)); err != nil {
+				t.Fatal(err)
+			}
+			err := v.Run(10_000_000)
+			var trap *emu.Trap
+			if !errors.As(err, &trap) {
+				t.Fatalf("expected trap, got %v", err)
+			}
+			// The ldq at loop head is the faulting instruction.
+			wantPC := uint64(0x10000 + 5*4) // after 2 ldiq (2 words each) + clr
+			if trap.PC != wantPC {
+				t.Errorf("trap PC = %#x, want %#x", trap.PC, wantPC)
+			}
+			var af *mem.AccessFault
+			if !errors.As(trap, &af) || af.Addr != 0x21000 {
+				t.Errorf("fault = %v, want access fault at 0x21000", trap.Cause)
+			}
+			// Architected state: a0 must equal the faulting address, and
+			// v0 must hold the sum of the mapped page (512 zeros = 0 here,
+			// but a0/a1 prove the point).
+			if got := v.CPU().Reg[16]; got != 0x21000 {
+				t.Errorf("a0 = %#x, want 0x21000", got)
+			}
+			if got := v.CPU().Reg[17]; got != 0x30000 {
+				t.Errorf("a1 = %#x, want 0x30000", got)
+			}
+			if v.Stats.FragEntries == 0 {
+				t.Error("trap did not occur in translated code")
+			}
+		})
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.HotThreshold = 5
+	v := vmRun(t, torture, cfg)
+	s := &v.Stats
+	if s.Fragments == 0 || s.SrcInstsTranslated == 0 || s.TranslateCost == 0 {
+		t.Errorf("translation stats empty: %+v", s)
+	}
+	per := float64(s.TranslateCost) / float64(s.SrcInstsTranslated)
+	if per < 300 || per > 3000 {
+		t.Errorf("translation cost per inst = %.0f, want O(1000)", per)
+	}
+	var classTotal uint64
+	for _, c := range s.ClassCounts {
+		classTotal += c
+	}
+	if classTotal != s.TransIInsts {
+		t.Errorf("class counts %d != executed %d", classTotal, s.TransIInsts)
+	}
+}
+
+func TestFragmentChainingAvoidsDispatchWhenDirect(t *testing.T) {
+	// A simple hot loop with no indirect jumps never needs dispatch.
+	src := `
+	.text 0x10000
+start:
+	ldiq a0, 100000
+loop:
+	subq a0, #1, a0
+	bne  a0, loop
+	call_pal halt
+`
+	cfg := DefaultConfig()
+	cfg.HotThreshold = 10
+	v := vmRun(t, src, cfg)
+	if v.Stats.DispatchRuns != 0 {
+		t.Errorf("dispatch ran %d times for a direct loop", v.Stats.DispatchRuns)
+	}
+	if v.Stats.FragEntries == 0 {
+		t.Error("loop never entered translated code")
+	}
+	// The loop fragment must link to itself: entries into translated mode
+	// should be tiny compared with iterations.
+	if v.Stats.Exits > 100 {
+		t.Errorf("too many VM exits (%d): self-link not working", v.Stats.Exits)
+	}
+}
+
+func TestTinyTranslationCacheEquivalence(t *testing.T) {
+	// A translation cache far too small for the working set forces
+	// constant flushing and retranslation; results must stay identical.
+	ref := refRun(t, torture)
+	cfg := DefaultConfig()
+	cfg.HotThreshold = 5
+	cfg.TCacheBytes = 256 // a fragment or two at most
+	v := vmRun(t, torture, cfg)
+	compareState(t, "tiny-tcache", ref, v, resultsAddrs())
+	if v.TCache().Flushes == 0 {
+		t.Error("tiny cache never flushed")
+	}
+	if v.Stats.Fragments < 10 {
+		t.Errorf("expected heavy retranslation, got %d fragments", v.Stats.Fragments)
+	}
+}

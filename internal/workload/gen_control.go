@@ -1,0 +1,444 @@
+package workload
+
+import (
+	"fmt"
+	"strings"
+)
+
+// genGCC builds the branchy compiler-pass kernel: a long chain of distinct
+// basic blocks with data-dependent conditional branches, a 16-way switch
+// through a jump table, and helper calls — large static footprint and a
+// high branch density, like 176.gcc.
+func genGCC(scale int, seed uint64) string {
+	outer := 700 * scale
+	var b strings.Builder
+	b.WriteString(prologue)
+	fmt.Fprintf(&b, `
+	ldiq  s1, %#x      ; rolling state
+	ldiq  s2, 0x41C64E6D
+	ldiq  s0, %d
+gouter:
+	mulq  s1, s2, s1
+	addq  s1, #99, s1
+	mov   s1, t8
+`, dataSeed(0x1234ABCD, seed, 5), outer)
+	// 40 generated basic blocks, each testing a different bit of the
+	// rolling state.
+	rng := lcg(0xBEEF)
+	for i := 0; i < 40; i++ {
+		bit := int(rng.next() % 23)
+		op := []string{"addq", "xor", "subq", "bis", "and"}[int(rng.next()%5)]
+		if i%10 == 9 {
+			// One in five branches is data-random (hard to predict).
+			fmt.Fprintf(&b, `
+gblk%d:
+	srl   t8, #%d, t0
+	blbc  t0, gskip%d
+	%s    s1, #%d, t1
+	addq  v0, t1, v0
+	srl   t8, #1, t8
+gskip%d:
+`, i, bit, i, op, 1+int(rng.next()%100), i)
+			continue
+		}
+		// Most branches are strongly biased, as in real compiled code:
+		// taken unless three specific state bits line up.
+		fmt.Fprintf(&b, `
+gblk%d:
+	srl   t8, #%d, t0
+	and   t0, #7, t0
+	bne   t0, gskip%d
+	%s    s1, #%d, t1
+	addq  v0, t1, v0
+gskip%d:
+`, i, bit, i, op, 1+int(rng.next()%100), i)
+	}
+	// 16-way switch through a jump table, then helper calls.
+	b.WriteString(`
+	and   s1, #15, t0
+	ldiq  t1, gjtab
+	s8addq t0, t1, t1
+	ldq   t2, 0(t1)
+	jmp   (t2)
+`)
+	for c := 0; c < 16; c++ {
+		fmt.Fprintf(&b, `
+gcase%d:
+	addq  v0, #%d, v0
+	br    gjoin
+`, c, c+1)
+	}
+	b.WriteString(`
+gjoin:
+	bsr   ghelper
+	subq  s0, #1, s0
+	bne   s0, gouter
+	br    done
+
+ghelper:
+	addq  v0, s1, v0
+	srl   v0, #3, t0
+	xor   v0, t0, v0
+	ret
+`)
+	b.WriteString(epilogue)
+	b.WriteString(`
+	.data 0x100000
+gjtab:
+`)
+	for c := 0; c < 16; c++ {
+		fmt.Fprintf(&b, "\t.quad gcase%d\n", c)
+	}
+	return b.String()
+}
+
+// genPerlbmk builds the interpreter-dispatch kernel: a bytecode loop whose
+// register-indirect jump dominates — the chaining stress case of Fig. 5.
+func genPerlbmk(scale int, seed uint64) string {
+	outer := 10 * scale
+	var b strings.Builder
+	b.WriteString(prologue)
+	fmt.Fprintf(&b, `
+	; generate a bytecode stream (values 0..7)
+	ldiq  a0, pcode
+	ldiq  t0, 1024
+	ldiq  t1, %#x
+	ldiq  t2, 0x41C64E6D
+pfill:
+	mulq  t1, t2, t1
+	addq  t1, #11, t1
+	srl   t1, #13, t3
+	and   t3, #7, t3
+	stb   t3, 0(a0)
+	lda   a0, 1(a0)
+	subq  t0, #1, t0
+	bne   t0, pfill
+
+	ldiq  s0, %d
+pouter:
+	ldiq  s1, pcode          ; bytecode pc
+	ldiq  s2, 1024           ; remaining
+	clr   v0
+pdispatch:
+	ldbu  t0, 0(s1)
+	lda   s1, 1(s1)
+	ldiq  t1, ptab
+	s8addq t0, t1, t1
+	ldq   t2, 0(t1)
+	jmp   (t2)
+`, dataSeed(0x5DEECE66, seed, 6), outer)
+	for op := 0; op < 8; op++ {
+		fmt.Fprintf(&b, `
+pop%d:
+	addq  v0, #%d, v0
+	xor   v0, s1, t3
+	srl   t3, #4, t4
+	addq  t3, t4, t3
+	sll   t3, #2, t4
+	xor   t3, t4, t3
+	and   t3, #255, t3
+	addq  v0, t3, v0
+`, op, op+3)
+		if op == 3 {
+			b.WriteString("\tbsr   phelper\n")
+		}
+		if op == 6 {
+			b.WriteString("\tbsr   phelper2\n")
+		}
+		b.WriteString(`	subq  s2, #1, s2
+	bne   s2, pdispatch
+	br    pnext
+`)
+	}
+	b.WriteString(`
+pnext:
+	subq  s0, #1, s0
+	bne   s0, pouter
+	br    done
+
+phelper:
+	srl   v0, #2, t4
+	addq  v0, t4, v0
+	ret
+
+phelper2:
+	sll   v0, #1, t4
+	xor   v0, t4, v0
+	ret
+`)
+	b.WriteString(epilogue)
+	b.WriteString(`
+	.data 0x100000
+pcode:
+	.space 1024
+	.align 8
+ptab:
+`)
+	for op := 0; op < 8; op++ {
+		fmt.Fprintf(&b, "\t.quad pop%d\n", op)
+	}
+	return b.String()
+}
+
+// genGap builds the computer-algebra kernel: a small bytecode dispatcher
+// plus multi-word (bignum) addition loops with carry chains.
+func genGap(scale int, seed uint64) string {
+	outer := 420 * scale
+	var b strings.Builder
+	b.WriteString(prologue)
+	fmt.Fprintf(&b, `
+	; seed the two 16-word bignums
+	ldiq  a0, biga
+	ldiq  a1, bigb
+	ldiq  t0, 16
+	ldiq  t1, %#x
+	ldiq  t2, 0x343FD
+afill:
+	mulq  t1, t2, t1
+	addq  t1, #29, t1
+	stq   t1, 0(a0)
+	mulq  t1, t2, t1
+	addq  t1, #31, t1
+	stq   t1, 0(a1)
+	lda   a0, 8(a0)
+	lda   a1, 8(a1)
+	subq  t0, #1, t0
+	bne   t0, afill
+
+	ldiq  s0, %d
+aouter:
+	; dispatch on low bits of an LCG
+	ldiq  t2, 0x343FD
+	mulq  s1, t2, s1
+	addq  s1, #17, s1
+	srl   s1, #9, t0
+	and   t0, #3, t0
+	ldiq  t1, atab
+	s8addq t0, t1, t1
+	ldq   t2, 0(t1)
+	jmp   (t2)
+
+aop0:
+	; bignum add: a += b with carry propagation
+	ldiq  a0, biga
+	ldiq  a1, bigb
+	ldiq  a2, 16
+	clr   t5                 ; carry
+aadd:
+	ldq   t0, 0(a0)
+	ldq   t1, 0(a1)
+	addq  t0, t1, t2
+	cmpult t2, t0, t3        ; carry out of a+b
+	addq  t2, t5, t2
+	cmpult t2, t5, t4
+	bis   t3, t4, t5
+	stq   t2, 0(a0)
+	ldq   t0, 8(a0)
+	ldq   t1, 8(a1)
+	addq  t0, t1, t2
+	cmpult t2, t0, t3
+	addq  t2, t5, t2
+	cmpult t2, t5, t4
+	bis   t3, t4, t5
+	stq   t2, 8(a0)
+	lda   a0, 16(a0)
+	lda   a1, 16(a1)
+	subq  a2, #2, a2
+	bne   a2, aadd
+	br    ajoin
+
+aop1:
+	; scalar multiply pass over b
+	ldiq  a1, bigb
+	ldiq  a2, 16
+amul:
+	ldq   t0, 0(a1)
+	mulq  t0, #3, t0
+	addq  t0, #1, t0
+	stq   t0, 0(a1)
+	lda   a1, 8(a1)
+	subq  a2, #1, a2
+	bne   a2, amul
+	br    ajoin
+
+aop2:
+	; shift-normalise a
+	ldiq  a0, biga
+	ldiq  a2, 16
+anorm:
+	ldq   t0, 0(a0)
+	srl   t0, #1, t0
+	stq   t0, 0(a0)
+	lda   a0, 8(a0)
+	subq  a2, #1, a2
+	bne   a2, anorm
+	br    ajoin
+
+aop3:
+	; checksum fold
+	ldiq  a0, biga
+	ldiq  a2, 16
+	clr   t6
+afold:
+	ldq   t0, 0(a0)
+	xor   t6, t0, t6
+	lda   a0, 8(a0)
+	subq  a2, #1, a2
+	bne   a2, afold
+	ldiq  t7, asink
+	stq   t6, 0(t7)
+	br    ajoin
+
+ajoin:
+	subq  s0, #1, s0
+	bne   s0, aouter
+	br    done
+`, dataSeed(0x77654321, seed, 7), outer)
+	b.WriteString(epilogue)
+	b.WriteString(`
+	.data 0x100000
+biga:
+	.space 128
+bigb:
+	.space 128
+asink:
+	.quad 0
+	.align 8
+atab:
+	.quad aop0
+	.quad aop1
+	.quad aop2
+	.quad aop3
+`)
+	return b.String()
+}
+
+// genEon builds the call-heavy rendering kernel: virtual method calls
+// through per-object function pointers (JSR) and deep static BSR chains —
+// return-prediction stress, like the C++ benchmark 252.eon.
+func genEon(scale int, seed uint64) string {
+	outer := 110 * scale
+	var b strings.Builder
+	b.WriteString(prologue)
+	fmt.Fprintf(&b, `
+	; build 32 objects: {vtable-slot, x, y, z}
+	ldiq  a0, objs
+	clr   t0
+	ldiq  t2, emtab
+ebuild:
+	and   t0, #15, t1
+	cmplt t1, #3, t3
+	cmoveq t3, zero, t1      ; only objects 0-2 of every 16 are polymorphic
+	s8addq t1, t2, t1
+	ldq   t1, 0(t1)
+	stq   t1, 0(a0)          ; method pointer
+	stq   t0, 8(a0)
+	addq  t0, t0, t3
+	stq   t3, 16(a0)
+	stq   zero, 24(a0)
+	lda   a0, 32(a0)
+	addq  t0, #1, t0
+	ldiq  t4, 32
+	subq  t4, t0, t4
+	bne   t4, ebuild
+
+	ldiq  s0, %d
+eouter:
+	ldiq  s1, objs
+	ldiq  s2, 32
+eloop:
+	ldq   pv, 0(s1)          ; virtual dispatch
+	mov   s1, a0
+	jsr   (pv)
+	lda   s1, 32(s1)
+	subq  s2, #1, s2
+	bne   s2, eloop
+	subq  s0, #1, s0
+	bne   s0, eouter
+	br    done
+
+; --- methods: each updates its object and calls shared helpers ---
+em0:
+	stq   ra, -8(sp)
+	lda   sp, -8(sp)
+	ldq   t0, 8(a0)
+	addq  t0, #1, t0
+	stq   t0, 8(a0)
+	bsr   enorm
+	lda   sp, 8(sp)
+	ldq   ra, -8(sp)
+	ret
+em1:
+	stq   ra, -8(sp)
+	lda   sp, -8(sp)
+	ldq   t0, 16(a0)
+	mulq  t0, #3, t0
+	stq   t0, 16(a0)
+	bsr   enorm
+	lda   sp, 8(sp)
+	ldq   ra, -8(sp)
+	ret
+em2:
+	stq   ra, -8(sp)
+	lda   sp, -8(sp)
+	ldq   t0, 8(a0)
+	ldq   t1, 16(a0)
+	addq  t0, t1, t2
+	stq   t2, 24(a0)
+	bsr   edot
+	lda   sp, 8(sp)
+	ldq   ra, -8(sp)
+	ret
+em3:
+	stq   ra, -8(sp)
+	lda   sp, -8(sp)
+	ldq   t0, 24(a0)
+	srl   t0, #1, t0
+	stq   t0, 24(a0)
+	bsr   edot
+	lda   sp, 8(sp)
+	ldq   ra, -8(sp)
+	ret
+
+enorm:
+	stq   ra, -8(sp)
+	lda   sp, -8(sp)
+	bsr   escale
+	lda   sp, 8(sp)
+	ldq   ra, -8(sp)
+	ret
+
+edot:
+	stq   ra, -8(sp)
+	lda   sp, -8(sp)
+	bsr   escale
+	bsr   escale
+	lda   sp, 8(sp)
+	ldq   ra, -8(sp)
+	ret
+
+escale:
+	ldq   t3, 8(a0)
+	sll   t3, #1, t4
+	xor   t3, t4, t3
+	srl   t3, #3, t4
+	addq  t3, t4, t4
+	and   t4, #127, t4
+	addq  t3, t4, t3
+	stq   t3, 8(a0)
+	ret
+`, outer)
+	b.WriteString(epilogue)
+	b.WriteString(`
+	.data 0x100000
+objs:
+	.space 1024
+	.align 8
+emtab:
+	.quad em0
+	.quad em1
+	.quad em2
+	.quad em3
+`)
+	return b.String()
+}

@@ -1,0 +1,314 @@
+package workload
+
+import "fmt"
+
+// genParser builds the dictionary-lookup kernel: hash a probe word, then
+// linear-probe a 512-entry table with compare loops — branchy with
+// unpredictable search lengths, like 197.parser.
+func genParser(scale int, seed uint64) string {
+	outer := 900 * scale
+	return prologue + fmt.Sprintf(`
+	; build the dictionary: dict[i] = i * 2654435761 (golden-ratio hash)
+	ldiq  a0, dict
+	clr   t0
+	ldiq  t1, 0x1E3779B1
+dbuild:
+	mulq  t0, t1, t2
+	stq   t2, 0(a0)
+	lda   a0, 8(a0)
+	addq  t0, #1, t0
+	ldiq  t3, 512
+	subq  t3, t0, t3
+	bne   t3, dbuild
+
+	ldiq  s0, %d
+	ldiq  s1, %#x            ; LCG state
+	clr   s4                 ; hit counter
+pouter:
+	; make a probe: roughly half are dictionary members
+	ldiq  t2, 0x343FD
+	mulq  s1, t2, s1
+	addq  s1, #21, s1
+	srl   s1, #11, t0
+	blbc  t0, pmiss
+	; member probe: dict[t0 & 511]
+	ldiq  t3, 511
+	and   t0, t3, t0
+	ldiq  t1, 0x1E3779B1
+	mulq  t0, t1, t4         ; the probe value
+	br    plook
+pmiss:
+	bis   t0, #1, t4         ; junk value, rarely present
+plook:
+	; hash and linear probe
+	srl   t4, #5, t5
+	xor   t4, t5, t5
+	ldiq  t3, 511
+	and   t5, t3, t5         ; start slot
+	ldiq  a2, 24             ; probe limit
+ploop:
+	ldiq  t6, dict
+	s8addq t5, t6, t6
+	ldq   t7, 0(t6)
+	srl   t7, #17, t8
+	xor   t7, t8, t8
+	sll   t8, #3, t8
+	subq  t8, t7, t8
+	cmpeq t7, t4, t8
+	bne   t8, pfound
+	addq  t5, #1, t5
+	ldiq  t3, 511
+	and   t5, t3, t5
+	subq  a2, #1, a2
+	bne   a2, ploop
+	br    pnext
+pfound:
+	addq  s4, #1, s4
+pnext:
+	subq  s0, #1, s0
+	bne   s0, pouter
+	ldiq  t7, psink
+	stq   s4, 0(t7)
+	br    done
+`, outer, dataSeed(0x51CABB5, seed, 8)) + epilogue + `
+	.data 0x100000
+dict:
+	.space 4096
+psink:
+	.quad 0
+`
+}
+
+// genTwolf builds the annealing kernel: array-indexed cost evaluation with
+// multiplies and cmov-selected minima, like 300.twolf's inner loops.
+func genTwolf(scale int, seed uint64) string {
+	outer := 18 * scale
+	return prologue + fmt.Sprintf(`
+	; fill the cell cost array
+	ldiq  a0, cells
+	ldiq  t0, 512
+	ldiq  t1, %#x
+	ldiq  t2, 0x41C64E6D
+tfill:
+	mulq  t1, t2, t1
+	addq  t1, #67, t1
+	srl   t1, #3, t3
+	stq   t3, 0(a0)
+	lda   a0, 8(a0)
+	subq  t0, #1, t0
+	bne   t0, tfill
+
+	ldiq  s0, %d
+touter:
+	ldiq  a0, cells
+	ldiq  a1, 255
+	ldiq  v0, 0x7FFF0000      ; running minimum
+	clr   s3                  ; index of minimum
+	clr   t9                  ; loop index
+tloop:
+	ldq   t0, 0(a0)
+	ldq   t1, 8(a0)
+	subq  t0, t1, t2
+	mulq  t2, t2, t2          ; squared displacement cost
+	srl   t2, #4, t2
+	addq  t2, t1, t2
+	cmplt t2, v0, t3
+	cmovne t3, t2, v0         ; v0 = min(v0, cost)
+	cmovne t3, t9, s3         ; remember argmin
+	ldq   t0, 8(a0)
+	ldq   t1, 16(a0)
+	subq  t0, t1, t2
+	mulq  t2, t2, t2
+	srl   t2, #4, t2
+	addq  t2, t1, t2
+	cmplt t2, v0, t3
+	cmovne t3, t2, v0
+	cmovne t3, t9, s3
+	lda   a0, 16(a0)
+	addq  t9, #2, t9
+	subq  a1, #1, a1
+	bne   a1, tloop
+	; perturb the minimum cell (annealing move)
+	ldiq  t4, cells
+	s8addq s3, t4, t4
+	ldq   t5, 0(t4)
+	xor   t5, v0, t5
+	bis   t5, #1, t5
+	stq   t5, 0(t4)
+	subq  s0, #1, s0
+	bne   s0, touter
+	br    done
+`, dataSeed(0x2AB5, seed, 9), outer) + epilogue + `
+	.data 0x100000
+cells:
+	.space 4104
+`
+}
+
+// genVortex builds the OO-database kernel: fixed-layout object records
+// with field loads/stores, static call chains, and index traversals, like
+// 255.vortex.
+func genVortex(scale int, seed uint64) string {
+	outer := 35 * scale
+	return prologue + fmt.Sprintf(`
+	; build 256 objects of 64 bytes, chained into an index
+	ldiq  a0, vobjs
+	clr   t0
+vbuild:
+	stq   t0, 0(a0)           ; key
+	sll   t0, #3, t1
+	stq   t1, 8(a0)           ; field a
+	xor   t0, t1, t2
+	stq   t2, 16(a0)          ; field b
+	stq   zero, 24(a0)        ; refcount
+	addq  t0, #1, t3
+	ldiq  t4, 255
+	and   t3, t4, t3
+	sll   t3, #6, t3
+	ldiq  t4, vobjs
+	addq  t4, t3, t3
+	stq   t3, 32(a0)          ; next in index ring
+	lda   a0, 64(a0)
+	addq  t0, #1, t0
+	ldiq  t4, 256
+	subq  t4, t0, t4
+	bne   t4, vbuild
+
+	ldiq  s0, %d
+vouter:
+	ldiq  s1, vobjs
+	ldiq  s2, 256
+vloop:
+	mov   s1, a0
+	bsr   vtouch
+	bsr   vvalidate
+	ldq   s1, 32(s1)          ; follow the index ring
+	subq  s2, #1, s2
+	bne   s2, vloop
+	subq  s0, #1, s0
+	bne   s0, vouter
+	br    done
+
+vtouch:
+	ldq   t0, 8(a0)
+	ldq   t1, 16(a0)
+	addq  t0, t1, t2
+	srl   t2, #5, t0
+	xor   t2, t0, t0
+	sll   t0, #1, t1
+	subq  t1, t0, t0
+	addq  t2, t0, t2
+	stq   t2, 16(a0)
+	ldq   t3, 24(a0)
+	addq  t3, #1, t3
+	stq   t3, 24(a0)
+	ret
+
+vvalidate:
+	ldq   t0, 0(a0)
+	ldq   t1, 16(a0)
+	xor   t0, t1, t2
+	and   t2, #127, t2
+	addq  v0, t2, v0
+	ret
+`, outer) + epilogue + `
+	.data 0x100000
+vobjs:
+	.space 16384
+`
+}
+
+// genVPR builds the routing kernel: walks over a 64x64 grid with
+// data-dependent direction branches and bounds checks, like 175.vpr.
+func genVPR(scale int, seed uint64) string {
+	outer := 60 * scale
+	return prologue + fmt.Sprintf(`
+	; fill the 64x64 cost grid
+	ldiq  a0, grid
+	ldiq  t0, 4096
+	ldiq  t1, %#x
+	ldiq  t2, 0x343FD
+gfill:
+	mulq  t1, t2, t1
+	addq  t1, #53, t1
+	srl   t1, #9, t3
+	ldiq  t4, 255
+	and   t3, t4, t3
+	stq   t3, 0(a0)
+	lda   a0, 8(a0)
+	subq  t0, #1, t0
+	bne   t0, gfill
+
+	ldiq  s0, %d
+	clr   s1                  ; LCG
+router:
+	clr   s2                  ; x
+	clr   s3                  ; y
+	clr   v0                  ; path cost
+	ldiq  s4, 200             ; steps per route
+rstep:
+	; cost += grid[y*64+x]
+	sll   s3, #6, t0
+	addq  t0, s2, t0
+	ldiq  t1, grid
+	s8addq t0, t1, t1
+	ldq   t2, 0(t1)
+	srl   t2, #2, t5
+	addq  t2, t5, t5
+	xor   t5, t2, t5
+	and   t5, #255, t5
+	addq  v0, t5, v0
+	; pick a direction from the LCG
+	ldiq  t3, 0x343FD
+	mulq  s1, t3, s1
+	addq  s1, #19, s1
+	srl   s1, #13, t4
+	and   t4, #3, t4
+	cmpeq t4, #0, t5
+	bne   t5, rright
+	cmpeq t4, #1, t5
+	bne   t5, rleft
+	cmpeq t4, #2, t5
+	bne   t5, rup
+	; down
+	subq  s3, #1, s3
+	bge   s3, rclip
+	clr   s3
+	br    rclip
+rright:
+	addq  s2, #1, s2
+	ldiq  t6, 63
+	cmple s2, t6, t7
+	bne   t7, rclip
+	mov   t6, s2
+	br    rclip
+rleft:
+	subq  s2, #1, s2
+	bge   s2, rclip
+	clr   s2
+	br    rclip
+rup:
+	addq  s3, #1, s3
+	ldiq  t6, 63
+	cmple s3, t6, t7
+	bne   t7, rclip
+	mov   t6, s3
+rclip:
+	subq  s4, #1, s4
+	bne   s4, rstep
+	; commit the route cost
+	ldiq  t7, rsink
+	ldq   t8, 0(t7)
+	addq  t8, v0, t8
+	stq   t8, 0(t7)
+	subq  s0, #1, s0
+	bne   s0, router
+	br    done
+`, dataSeed(0x1F123BB5, seed, 10), outer) + epilogue + `
+	.data 0x100000
+grid:
+	.space 32768
+rsink:
+	.quad 0
+`
+}

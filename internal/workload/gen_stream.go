@@ -1,0 +1,306 @@
+package workload
+
+import "fmt"
+
+// genGzip builds the LZ-style byte-stream kernel: the paper's Fig. 2
+// strand shape — byte load, checksum xor/shift chain, hash-table load and
+// update — over a pseudo-random buffer.
+func genGzip(scale int, seed uint64) string {
+	outer := 24 * scale
+	return prologue + fmt.Sprintf(`
+	; fill the input buffer with LCG bytes
+	ldiq  a0, buf
+	ldiq  t0, 1024
+	ldiq  t1, %#x
+	ldiq  t2, 0x41C64E6D
+fill:
+	mulq  t1, t2, t1
+	addq  t1, #45, t1
+	srl   t1, #7, t3
+	stb   t3, 0(a0)
+	lda   a0, 1(a0)
+	subq  t0, #1, t0
+	bne   t0, fill
+
+	ldiq  s0, %d
+outer:
+	ldiq  a0, buf
+	ldiq  a1, 1024
+	clr   t0
+	ldiq  a3, hashtab
+inner:
+	ldbu  t2, 0(a0)
+	xor   t0, t2, t2
+	srl   t0, #8, t0
+	and   t2, #255, t2
+	s8addq t2, a3, t3
+	ldq   t4, 0(t3)
+	addq  t4, #1, t4
+	stq   t4, 0(t3)
+	xor   t4, t0, t0
+	ldbu  t2, 1(a0)
+	xor   t0, t2, t2
+	srl   t0, #8, t0
+	and   t2, #255, t2
+	s8addq t2, a3, t3
+	ldq   t4, 0(t3)
+	addq  t4, #1, t4
+	stq   t4, 0(t3)
+	xor   t4, t0, t0
+	ldbu  t2, 2(a0)
+	xor   t0, t2, t2
+	srl   t0, #8, t0
+	and   t2, #255, t2
+	s8addq t2, a3, t3
+	ldq   t4, 0(t3)
+	addq  t4, #1, t4
+	stq   t4, 0(t3)
+	xor   t4, t0, t0
+	ldbu  t2, 3(a0)
+	xor   t0, t2, t2
+	srl   t0, #8, t0
+	and   t2, #255, t2
+	s8addq t2, a3, t3
+	ldq   t4, 0(t3)
+	addq  t4, #1, t4
+	stq   t4, 0(t3)
+	xor   t4, t0, t0
+	lda   a0, 4(a0)
+	subl  a1, #4, a1
+	bne   a1, inner
+	subq  s0, #1, s0
+	bne   s0, outer
+	br    done
+`, dataSeed(0x12345678, seed, 1), outer) + epilogue + `
+	.data 0x100000
+hashtab:
+	.space 2048
+buf:
+	.space 1024
+`
+}
+
+// genBzip2 builds the block-transform kernel: repeated compare-and-swap
+// passes over an array (sorting phase) and run-length scans.
+func genBzip2(scale int, seed uint64) string {
+	outer := 20 * scale
+	return prologue + fmt.Sprintf(`
+	; fill the work array
+	ldiq  a0, arr
+	ldiq  t0, 256
+	ldiq  t1, %#x
+	ldiq  t2, 0x343FD
+bfill:
+	mulq  t1, t2, t1
+	addq  t1, #43, t1
+	stq   t1, 0(a0)
+	lda   a0, 8(a0)
+	subq  t0, #1, t0
+	bne   t0, bfill
+
+	ldiq  s0, %d
+outer:
+	; one compare-and-swap pass
+	ldiq  a0, arr
+	ldiq  a1, 127
+pass:
+	ldq   t0, 0(a0)
+	ldq   t1, 8(a0)
+	cmple t0, t1, t2
+	bne   t2, noswap
+	stq   t1, 0(a0)
+	stq   t0, 8(a0)
+noswap:
+	ldq   t0, 8(a0)
+	ldq   t1, 16(a0)
+	cmple t0, t1, t2
+	bne   t2, noswap2
+	stq   t1, 8(a0)
+	stq   t0, 16(a0)
+noswap2:
+	lda   a0, 16(a0)
+	subq  a1, #1, a1
+	bne   a1, pass
+	; run-length scan of low bytes
+	ldiq  a0, arr
+	ldiq  a1, 256
+	clr   t5
+	clr   t6
+scan:
+	ldq   t0, 0(a0)
+	and   t0, #255, t0
+	cmpeq t0, t6, t2
+	addq  t5, t2, t5
+	mov   t0, t6
+	ldq   t0, 8(a0)
+	and   t0, #255, t0
+	cmpeq t0, t6, t2
+	addq  t5, t2, t5
+	mov   t0, t6
+	lda   a0, 16(a0)
+	subq  a1, #2, a1
+	bne   a1, scan
+	; keep the result live
+	ldiq  t7, sink
+	stq   t5, 0(t7)
+	subq  s0, #1, s0
+	bne   s0, outer
+	br    done
+`, dataSeed(0x2545F491, seed, 2), outer) + epilogue + `
+	.data 0x100000
+arr:
+	.space 2048
+sink:
+	.quad 0
+`
+}
+
+// genCrafty builds the bitboard kernel: long 64-bit logical strands with
+// bit-trick population counts — pure dependent ALU chains.
+func genCrafty(scale int, seed uint64) string {
+	outer := 40 * scale
+	return prologue + fmt.Sprintf(`
+	; 64-bit popcount masks (built from 32-bit halves)
+	ldiq  s3, 0x55555555
+	sll   s3, #32, t0
+	bis   s3, t0, s3
+	ldiq  s4, 0x33333333
+	sll   s4, #32, t0
+	bis   s4, t0, s4
+	ldiq  s5, 0x0F0F0F0F
+	sll   s5, #32, t0
+	bis   s5, t0, s5
+	ldiq  t9, 0x01010101
+	sll   t9, #32, t0
+	bis   t9, t0, t9
+
+	; fill the board table
+	ldiq  a0, boards
+	ldiq  t0, 128
+	ldiq  t1, %#x
+	ldiq  t2, 0x45D9F3B
+cfill:
+	mulq  t1, t2, t1
+	addq  t1, #77, t1
+	stq   t1, 0(a0)
+	lda   a0, 8(a0)
+	subq  t0, #1, t0
+	bne   t0, cfill
+
+	ldiq  s0, %d
+outer:
+	ldiq  a0, boards
+	ldiq  a1, 128
+	clr   v0
+bloop:
+	ldq   t0, 0(a0)
+	; attack-set style mask chain
+	sll   t0, #9, t1
+	srl   t0, #7, t2
+	xor   t1, t2, t1
+	and   t1, s3, t2
+	bic   t0, t2, t0
+	zapnot t0, #85, t3
+	eqv   t0, t3, t0
+	; popcount(t0)
+	srl   t0, #1, t4
+	and   t4, s3, t4
+	subq  t0, t4, t0
+	srl   t0, #2, t4
+	and   t4, s4, t4
+	and   t0, s4, t0
+	addq  t0, t4, t0
+	srl   t0, #4, t4
+	addq  t0, t4, t0
+	and   t0, s5, t0
+	mulq  t0, t9, t0
+	srl   t0, #56, t0
+	addq  v0, t0, v0
+	lda   a0, 8(a0)
+	subq  a1, #1, a1
+	bne   a1, bloop
+	ldiq  t7, csink
+	stq   v0, 0(t7)
+	subq  s0, #1, s0
+	bne   s0, outer
+	br    done
+`, dataSeed(0x1E3779B9, seed, 3), outer) + epilogue + `
+	.data 0x100000
+boards:
+	.space 1024
+csink:
+	.quad 0
+`
+}
+
+// genMCF builds the network-simplex kernel: dependent pointer chasing
+// through a pseudo-randomly permuted 32KB node pool — load-latency bound
+// strands, exactly mcf's signature.
+func genMCF(scale int, seed uint64) string {
+	outer := 6 * scale
+	return prologue + fmt.Sprintf(`
+	; build the permutation: node[i].next = &node[(i*40503) & 1023]
+	ldiq  a0, nodes
+	clr   t0                 ; i
+	ldiq  t1, %d
+	ldiq  a3, nodes
+mbuild:
+	mulq  t0, t1, t2
+	ldiq  t3, 1023
+	and   t2, t3, t2
+	sll   t2, #5, t2         ; *32 bytes
+	addq  a3, t2, t2
+	stq   t2, 0(a0)          ; next pointer
+	stq   t0, 8(a0)          ; cost
+	stq   zero, 16(a0)       ; flow
+	lda   a0, 32(a0)
+	addq  t0, #1, t0
+	ldiq  t4, 1024
+	subq  t4, t0, t4
+	bne   t4, mbuild
+
+	ldiq  s0, %d
+outer:
+	ldiq  a0, nodes          ; p
+	ldiq  a1, 2048           ; hops
+	clr   v0
+chase:
+	ldq   t1, 8(a0)
+	addq  v0, t1, v0
+	ldq   t2, 16(a0)
+	addq  t2, #1, t2
+	stq   t2, 16(a0)
+	ldq   a0, 0(a0)
+	ldq   t1, 8(a0)
+	addq  v0, t1, v0
+	ldq   t2, 16(a0)
+	addq  t2, #1, t2
+	stq   t2, 16(a0)
+	ldq   a0, 0(a0)
+	ldq   t1, 8(a0)
+	addq  v0, t1, v0
+	ldq   t2, 16(a0)
+	addq  t2, #1, t2
+	stq   t2, 16(a0)
+	ldq   a0, 0(a0)
+	ldq   t1, 8(a0)
+	addq  v0, t1, v0
+	ldq   t2, 16(a0)
+	addq  t2, #1, t2
+	stq   t2, 16(a0)
+	ldq   a0, 0(a0)
+	subq  a1, #4, a1
+	bne   a1, chase
+	ldiq  t7, msink
+	stq   v0, 0(t7)
+	subq  s0, #1, s0
+	bne   s0, outer
+	br    done
+`, dataSeed(40503, seed, 4)|1, outer) + epilogue + `
+	.data 0x100000
+nodes:
+	.space 32768
+msink:
+	.quad 0
+`
+}
