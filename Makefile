@@ -1,0 +1,16 @@
+# Convenience targets; ci/check.sh is the canonical gate.
+
+.PHONY: build test check lint-example
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+check:
+	./ci/check.sh
+
+# Demonstrate the fragment linter on a workload (exit 0 = all invariants hold).
+lint-example:
+	go run ./cmd/ildplint -workload gzip -form basic -chain sw_pred.ras

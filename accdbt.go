@@ -43,6 +43,7 @@ import (
 	"github.com/ildp/accdbt/internal/emu"
 	"github.com/ildp/accdbt/internal/experiments"
 	"github.com/ildp/accdbt/internal/ildp"
+	"github.com/ildp/accdbt/internal/iverify"
 	"github.com/ildp/accdbt/internal/mem"
 	"github.com/ildp/accdbt/internal/tcache"
 	"github.com/ildp/accdbt/internal/trace"
@@ -133,6 +134,34 @@ func Translate(sb *Superblock, cfg TranslateConfig) (*Translation, error) {
 func Straighten(sb *Superblock, chain ChainMode) (*Translation, error) {
 	return translate.Straighten(sb, chain)
 }
+
+// Fragment verification.
+type (
+	// VerifyConfig parameterises fragment verification.
+	VerifyConfig = iverify.Config
+	// VerifyReport is the outcome of verifying one fragment.
+	VerifyReport = iverify.Report
+	// VerifyRule identifies one verifier rule (E1..E6, D1..D3, P1..P4,
+	// C1..C5).
+	VerifyRule = iverify.Rule
+	// VerifyViolation is one structured diagnostic.
+	VerifyViolation = iverify.Violation
+)
+
+// VerifyTranslation statically checks a translation result against the
+// paper's accumulator invariants without executing it.
+func VerifyTranslation(res *Translation, cfg VerifyConfig) *VerifyReport {
+	return iverify.Verify(res, cfg)
+}
+
+// VerifyFragment statically checks an installed translation-cache
+// fragment; set cfg.ResolveFrag to also validate its patched links.
+func VerifyFragment(f *Fragment, cfg VerifyConfig) *VerifyReport {
+	return iverify.Check(iverify.FromFragment(f), cfg)
+}
+
+// VerifyRules lists every verifier rule.
+func VerifyRules() []VerifyRule { return iverify.Rules() }
 
 // VM runtime.
 type (

@@ -1,0 +1,33 @@
+#!/bin/sh
+# ci/check.sh — the repository's full static + test gate. Run from the
+# repository root (or via `make check` once a Makefile exists):
+#
+#   ./ci/check.sh
+#
+# Steps, in order: formatting, vet, build, the full test suite, and the
+# race detector over the packages with real concurrency exposure.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== gofmt"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go vet"
+go vet ./...
+
+echo "== go build"
+go build ./...
+
+echo "== go test"
+go test ./...
+
+echo "== go test -race (vm, tcache)"
+go test -race ./internal/vm/... ./internal/tcache/...
+
+echo "check: all clean"

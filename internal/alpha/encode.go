@@ -104,6 +104,36 @@ func EncodeMisc(op Op, ra Reg) (Word, error) {
 	return Word(info.opcode<<26 | uint32(ra)<<21 | uint32(RegZero)<<16 | info.fn), nil
 }
 
+// Encode re-encodes a decoded instruction into its canonical word,
+// dispatching on the operation's format. Encode(Decode(w)) is the
+// canonical spelling of w: it may differ from w in must-be-zero bits
+// (operate-format SBZ bits, the misc-format Rb field), but always decodes
+// to the same instruction and re-encodes to itself.
+func Encode(inst Inst) (Word, error) {
+	info, ok := encTable[inst.Op]
+	if !ok {
+		return 0, fmt.Errorf("alpha: %v has no encoding", inst.Op)
+	}
+	switch info.format {
+	case FormatMemory:
+		return EncodeMem(inst.Op, inst.Ra, inst.Rb, inst.Disp)
+	case FormatBranch:
+		return EncodeBranch(inst.Op, inst.Ra, inst.Disp)
+	case FormatOperate:
+		if inst.UseLit {
+			return EncodeOperateL(inst.Op, inst.Ra, inst.Lit, inst.Rc)
+		}
+		return EncodeOperateR(inst.Op, inst.Ra, inst.Rb, inst.Rc)
+	case FormatMemJump:
+		return EncodeJump(inst.Op, inst.Ra, inst.Rb, inst.Hint)
+	case FormatMemFunc:
+		return EncodeMisc(inst.Op, inst.Ra)
+	case FormatPAL:
+		return EncodePAL(inst.PALFn)
+	}
+	return 0, fmt.Errorf("alpha: %v has no encodable format", inst.Op)
+}
+
 // NOP returns the canonical Alpha no-op encoding (bis zero,zero,zero).
 func NOP() Word {
 	w, err := EncodeOperateR(OpBIS, RegZero, RegZero, RegZero)

@@ -1,0 +1,62 @@
+package alpha
+
+import "testing"
+
+// FuzzDecode drives arbitrary 32-bit words through the decoder and, for
+// every word that decodes to an implemented operation, requires the
+// general re-encoder to produce a canonical word: it must decode back to
+// the identical instruction (modulo must-be-zero bits the decoder
+// ignores) and re-encode to itself as a fixed point. Words that decode to
+// OpInvalid or OpUnsupported must be rejected by the encoder.
+func FuzzDecode(f *testing.F) {
+	f.Add(uint32(0))
+	f.Add(^uint32(0))
+	f.Add(uint32(NOP()))
+	add := func(w Word, err error) {
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(uint32(w))
+	}
+	add(EncodeMem(OpLDQ, 3, 17, -8))
+	add(EncodeBranch(OpBNE, 5, -100))
+	add(EncodeOperateR(OpADDQ, 1, 2, 3))
+	add(EncodeOperateL(OpCMOVNE, 4, 200, 6))
+	add(EncodeJump(OpRET, 31, 26, 1))
+	add(EncodeMisc(OpMB, 0))
+	add(EncodePAL(PALCallSys))
+
+	f.Fuzz(func(t *testing.T, raw uint32) {
+		d := Decode(Word(raw)) // must never panic, whatever the bits
+		if d.Op == OpInvalid || d.Op == OpUnsupported {
+			if w, err := Encode(d); err == nil {
+				t.Fatalf("%#x decodes to %v yet encodes to %#x", raw, d.Op, w)
+			}
+			return
+		}
+
+		w2, err := Encode(d)
+		if err != nil {
+			t.Fatalf("%#x decodes to %v but does not re-encode: %v", raw, d.Op, err)
+		}
+		d2 := Decode(w2)
+
+		// The canonical word drops bits the decoder ignores: the decoded
+		// Raw differs by construction, and the misc format discards its
+		// Rb field on re-encode.
+		want := d
+		want.Raw = w2
+		if want.Format == FormatMemFunc {
+			want.Rb = RegZero
+		}
+		if d2 != want {
+			t.Fatalf("round trip of %#x via %#x:\n got %+v\nwant %+v", raw, w2, d2, want)
+		}
+
+		// Canonical form is a fixed point.
+		w3, err := Encode(d2)
+		if err != nil || w3 != w2 {
+			t.Fatalf("re-encode of canonical %#x gives %#x, %v", w2, w3, err)
+		}
+	})
+}

@@ -339,23 +339,10 @@ func (i *Inst) ProducesResult() bool {
 // sources, and at most one accumulator (the instruction's own), except for
 // the documented CMOV select. It returns nil if the instruction is legal.
 func (i *Inst) Validate(form Form) error {
-	gprs := 0
-	if i.SrcA.Kind == SrcGPR && i.SrcA.Reg != alpha.RegZero {
-		gprs++
-	}
-	if i.SrcB.Kind == SrcGPR && i.SrcB.Reg != alpha.RegZero {
-		gprs++
-	}
-	if gprs > 1 {
+	if i.NumGPRSources() > 1 {
 		return fmt.Errorf("ildp: %v names two GPR sources", i.Kind)
 	}
-	accs := 0
-	if i.SrcA.Kind == SrcAcc {
-		accs++
-	}
-	if i.SrcB.Kind == SrcAcc {
-		accs++
-	}
+	accs := i.NumAccSources()
 	if accs > 1 && i.Kind != KindCMOV {
 		return fmt.Errorf("ildp: %v names two accumulator sources", i.Kind)
 	}

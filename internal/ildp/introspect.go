@@ -1,0 +1,69 @@
+package ildp
+
+import "github.com/ildp/accdbt/internal/alpha"
+
+// Operand introspection helpers. These expose the structural facts the
+// I-ISA encoding constraints are stated over (§2.2: one GPR and one
+// accumulator per instruction), so that validators can check them without
+// re-deriving per-kind operand conventions.
+
+// NumGPRSources counts the explicit GPR source operands the instruction
+// names. Reads of RegZero do not occupy a register specifier.
+func (i *Inst) NumGPRSources() int {
+	n := 0
+	if i.SrcA.Kind == SrcGPR && i.SrcA.Reg != alpha.RegZero {
+		n++
+	}
+	if i.SrcB.Kind == SrcGPR && i.SrcB.Reg != alpha.RegZero {
+		n++
+	}
+	return n
+}
+
+// NumAccSources counts the explicit accumulator source operands among
+// SrcA/SrcB. The implicit accumulator reads of KindCMOV (the condition)
+// and KindCopyToGPR (the copied value) are reported by ImplicitAccRead.
+func (i *Inst) NumAccSources() int {
+	n := 0
+	if i.SrcA.Kind == SrcAcc {
+		n++
+	}
+	if i.SrcB.Kind == SrcAcc {
+		n++
+	}
+	return n
+}
+
+// ImplicitAccRead reports whether the instruction reads its accumulator
+// through an operand that is not an explicit SrcAcc specifier: the CMOV
+// select condition and the copy-to-GPR source.
+func (i *Inst) ImplicitAccRead() bool {
+	return i.Kind == KindCMOV || i.Kind == KindCopyToGPR
+}
+
+// GPRSources appends the instruction's explicit GPR source registers to
+// dst and returns it.
+func (i *Inst) GPRSources(dst []alpha.Reg) []alpha.Reg {
+	if i.SrcA.Kind == SrcGPR && i.SrcA.Reg != alpha.RegZero {
+		dst = append(dst, i.SrcA.Reg)
+	}
+	if i.SrcB.Kind == SrcGPR && i.SrcB.Reg != alpha.RegZero {
+		dst = append(dst, i.SrcB.Reg)
+	}
+	return dst
+}
+
+// GPRWrite returns the GPR the instruction writes through its destination
+// specifier, or RegZero when it writes none. A conditional move counts as
+// a write (either the selected value or the re-published old value lands
+// in the register file).
+func (i *Inst) GPRWrite() alpha.Reg {
+	switch i.Kind {
+	case KindCopyToGPR, KindSaveVRA:
+		return i.Dest
+	}
+	if i.ProducesResult() {
+		return i.Dest
+	}
+	return alpha.RegZero
+}

@@ -1,0 +1,154 @@
+package iverify
+
+import (
+	"github.com/ildp/accdbt/internal/ildp"
+	"github.com/ildp/accdbt/internal/translate"
+)
+
+// checkChaining proves the fragment's control scaffolding is well formed
+// (§3.2, §3.4): the set-VPC prologue names the fragment's V-ISA entry, the
+// fragment ends — and only ends — with an unconditional transfer, the exit
+// stubs agree with the configured chaining mode, the VM's jump-target
+// register is latched before any transfer into the shared dispatch
+// routine, and every fragment link is either a dispatch transfer, an
+// unlinked translator exit, or a patched link to an installed fragment
+// whose V-ISA start matches the transfer's target.
+func (k *checker) checkChaining() {
+	c := k.c
+	n := len(c.Insts)
+	if n == 0 {
+		k.rep.add(RulePrologue, -1, "empty fragment")
+		return
+	}
+
+	// C1: set-VPC prologue. The VM relies on the committed V-PC for trap
+	// reporting between fragment entry and the first PEI, so the first
+	// instruction must establish it — and nothing later may move it
+	// (intra-fragment V-addresses come from the PEI table).
+	if first := &c.Insts[0]; first.Kind != ildp.KindSetVPC {
+		k.rep.add(RulePrologue, 0, "fragment begins with %v, not set-vpc", first.Kind)
+	} else if first.VAddr != c.VStart {
+		k.rep.add(RulePrologue, 0,
+			"set-vpc establishes V %#x, fragment translates V %#x", first.VAddr, c.VStart)
+	}
+	for i := 1; i < n; i++ {
+		if c.Insts[i].Kind == ildp.KindSetVPC {
+			k.rep.add(RulePrologue, i, "set-vpc in the fragment body")
+		}
+	}
+
+	// C2: exactly one unconditional transfer, as the last instruction.
+	switch last := &c.Insts[n-1]; last.Kind {
+	case ildp.KindBranch, ildp.KindCallTrans:
+	default:
+		k.rep.add(RuleTerminator, n-1,
+			"fragment ends with %v, not an unconditional transfer", last.Kind)
+	}
+	for i := 0; i < n-1; i++ {
+		switch c.Insts[i].Kind {
+		case ildp.KindBranch, ildp.KindCallTrans:
+			k.rep.add(RuleTerminator, i,
+				"unconditional %v in the fragment body leaves unreachable code",
+				c.Insts[i].Kind)
+		case ildp.KindJumpInd, ildp.KindDispatchOp:
+			k.rep.add(RuleTerminator, i,
+				"%v belongs to the dispatch routine, not to translated fragments",
+				c.Insts[i].Kind)
+		}
+	}
+
+	// C3: chain-mode conformance of the exit stubs.
+	for i := 0; i < n; i++ {
+		inst := &c.Insts[i]
+		switch inst.Kind {
+		case ildp.KindLoadETA:
+			if k.cfg.Chain == translate.NoPred {
+				k.rep.add(RuleChainMode, i,
+					"load-eta stub under %v chaining, which never predicts", k.cfg.Chain)
+			}
+		case ildp.KindJumpRet:
+			if k.cfg.Chain != translate.SWPredRAS {
+				k.rep.add(RuleChainMode, i,
+					"ret-dualras requires the dual-address RAS; %v chaining is configured",
+					k.cfg.Chain)
+			} else if i+1 >= n || c.Insts[i+1].Kind != ildp.KindBranch ||
+				c.Insts[i+1].Frag != ildp.FragDispatch {
+				k.rep.add(RuleChainMode, i,
+					"ret-dualras is not followed by the dispatch fall-through branch")
+			}
+		case ildp.KindPushRAS:
+			if k.cfg.Chain != translate.SWPredRAS {
+				k.rep.add(RuleChainMode, i,
+					"push-dual-ras requires the dual-address RAS; %v chaining is configured",
+					k.cfg.Chain)
+			} else if i == 0 || c.Insts[i-1].Kind != ildp.KindSaveVRA ||
+				c.Insts[i-1].VAddr != inst.VAddr {
+				k.rep.add(RuleChainMode, i,
+					"push-dual-ras %#x does not pair with a preceding save-vra", inst.VAddr)
+			}
+		case ildp.KindSaveVRA:
+			if k.cfg.Chain == translate.SWPredRAS &&
+				(i+1 >= n || c.Insts[i+1].Kind != ildp.KindPushRAS ||
+					c.Insts[i+1].VAddr != inst.VAddr) {
+				// An unpushed return address makes every return through it a
+				// guaranteed RAS miss — legal for a predictor, but it means
+				// the translation silently lost the §3.4 mechanism.
+				k.rep.add(RuleChainMode, i,
+					"save-vra %#x has no matching push-dual-ras", inst.VAddr)
+			}
+		}
+	}
+
+	// C4: the dispatch routine dispatches on the jump-target register;
+	// reaching it with a stale latch redirects execution to whatever
+	// target the previous indirect jump had. A ret-dualras latches on the
+	// RAS-miss path, so it counts as a latch for its fall-through branch.
+	latched := false
+	for i := 0; i < n; i++ {
+		inst := &c.Insts[i]
+		if inst.Frag == ildp.FragDispatch && !latched &&
+			(inst.Kind == ildp.KindBranch || inst.Kind == ildp.KindCondBranch) {
+			k.rep.add(RuleJTarget, i,
+				"transfer to dispatch before the jump-target register is latched")
+		}
+		if inst.GPRWrite() == ildp.RegJTarget || inst.Kind == ildp.KindJumpRet {
+			latched = true
+		}
+	}
+
+	// C5: fragment links.
+	for i := 0; i < n; i++ {
+		inst := &c.Insts[i]
+		if !inst.IsControl() {
+			continue
+		}
+		switch inst.Kind {
+		case ildp.KindCallTrans, ildp.KindCallTransCond, ildp.KindJumpRet:
+			if inst.Frag != ildp.NoFrag {
+				k.rep.add(RuleFragLink, i,
+					"%v carries fragment link %d; transfers out of translated code are unlinked",
+					inst.Kind, inst.Frag)
+			}
+		case ildp.KindBranch, ildp.KindCondBranch:
+			switch {
+			case inst.Frag == ildp.FragDispatch:
+			case inst.Frag >= 0:
+				if k.cfg.ResolveFrag == nil {
+					break
+				}
+				if vstart, ok := k.cfg.ResolveFrag(inst.Frag); !ok {
+					k.rep.add(RuleFragLink, i, "links to nonexistent fragment %d", inst.Frag)
+				} else if vstart != inst.VAddr {
+					k.rep.add(RuleFragLink, i,
+						"links to fragment %d translating V %#x; the transfer targets V %#x",
+						inst.Frag, vstart, inst.VAddr)
+				}
+			default:
+				// A linked branch kind with NoFrag would spin in the VM: the
+				// patcher rewrites the kind and the link together.
+				k.rep.add(RuleFragLink, i,
+					"%v carries invalid fragment link %d", inst.Kind, inst.Frag)
+			}
+		}
+	}
+}

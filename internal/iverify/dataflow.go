@@ -1,0 +1,133 @@
+package iverify
+
+import (
+	"github.com/ildp/accdbt/internal/alpha"
+	"github.com/ildp/accdbt/internal/ildp"
+)
+
+// Accumulator-ownership markers for the dataflow walk.
+const (
+	ownerNone    = -1 // no definition yet (fragment-entry accumulator values are garbage)
+	ownerForeign = -2 // written by a strand-less instruction (never emitted by the translator)
+)
+
+// dstate tracks one strand through the dataflow walk.
+type dstate struct {
+	seen      bool      // the strand has executed at least one instruction
+	home      alpha.Reg // GPR holding a copy of the strand's current value
+	homeValid bool
+	homeIdx   int // instruction index that established the copy
+}
+
+// checkDataflow runs a linear abstract interpretation of the accumulator
+// file over the fragment, proving the §3.3 strand discipline: every
+// accumulator read sees a value produced by the reader's own strand
+// (D1/D2), and every spill/reload pair moves the spilled strand's own,
+// unclobbered value (D3). Inter-strand communication must go through
+// GPRs; an accumulator read that crosses strands would be a
+// steering-dependent value — correct only by accident of allocation.
+//
+// The walk needs the per-instruction strand annotations; fragments
+// without them (none produced by this translator) are not checked.
+func (k *checker) checkDataflow() {
+	c := k.c
+	if c.Strands == nil || len(c.Strands) != len(c.Insts) {
+		return
+	}
+	numAcc := k.cfg.NumAcc
+	accOwner := make([]int, numAcc)
+	for i := range accOwner {
+		accOwner[i] = ownerNone
+	}
+	states := map[int]*dstate{}
+	get := func(s int) *dstate {
+		st := states[s]
+		if st == nil {
+			st = &dstate{home: alpha.RegZero}
+			states[s] = st
+		}
+		return st
+	}
+	var lastWrite [ildp.NumGPR]int // last instruction writing each GPR
+	for i := range lastWrite {
+		lastWrite[i] = -1
+	}
+
+	for i := range c.Insts {
+		inst := &c.Insts[i]
+		s := c.Strands[i]
+		// Out-of-range and unbound accumulator operands are E3/E4
+		// violations; the dataflow walk only reasons about operands that
+		// actually address the file.
+		inRange := inst.Acc != ildp.NoAcc && int(inst.Acc) < numAcc
+
+		if inRange && (inst.NumAccSources() > 0 || inst.ImplicitAccRead()) {
+			a := int(inst.Acc)
+			switch owner := accOwner[a]; {
+			case s < 0:
+				k.rep.add(RuleStrandBleed, i,
+					"strand-less %v reads A%d", inst.Kind, a)
+			case owner == ownerNone:
+				k.rep.add(RuleAccUndefined, i,
+					"%v (strand %d) reads A%d before any definition", inst.Kind, s, a)
+			case owner != s:
+				k.rep.add(RuleStrandBleed, i,
+					"%v (strand %d) reads A%d, which holds strand %d's value",
+					inst.Kind, s, a, owner)
+			}
+		}
+
+		// D3: a copy-from-GPR resuming an already-seen strand is a reload
+		// after a premature termination; it must read back the value the
+		// strand saved, from a register nothing has since overwritten.
+		// (A copy-from-GPR opening a strand is a two-GPR repair, not a
+		// reload.)
+		if inst.Kind == ildp.KindCopyFromGPR && s >= 0 {
+			if st := states[s]; st != nil && st.seen {
+				switch src := inst.SrcA; {
+				case !st.homeValid:
+					k.rep.add(RuleSpillRestore, i,
+						"reload of strand %d, but the strand has no saved copy", s)
+				case src.Kind != ildp.SrcGPR || src.Reg != st.home:
+					k.rep.add(RuleSpillRestore, i,
+						"reload of strand %d reads %v; the strand's value was saved to R%d",
+						s, src, st.home)
+				case int(st.home) < ildp.NumGPR && lastWrite[st.home] > st.homeIdx:
+					k.rep.add(RuleSpillRestore, i,
+						"reload of strand %d from R%d, which #%d overwrote after the save",
+						s, st.home, lastWrite[st.home])
+				}
+			}
+		}
+
+		if inst.WritesAcc && inRange {
+			if s >= 0 {
+				accOwner[inst.Acc] = s
+				st := get(s)
+				st.seen = true
+				switch {
+				case inst.Kind == ildp.KindCopyFromGPR && st.homeValid &&
+					inst.SrcA.Kind == ildp.SrcGPR && inst.SrcA.Reg == st.home:
+					// Reload: the saved copy still matches the accumulator,
+					// so a second termination needs no second save.
+				case inst.Dest != alpha.RegZero:
+					// Modified form: the destination specifier is a
+					// simultaneous save.
+					st.home, st.homeValid, st.homeIdx = inst.Dest, true, i
+				default:
+					st.home, st.homeValid = alpha.RegZero, false
+				}
+			} else {
+				accOwner[inst.Acc] = ownerForeign
+			}
+		}
+		if inst.Kind == ildp.KindCopyToGPR && s >= 0 {
+			st := get(s)
+			st.seen = true
+			st.home, st.homeValid, st.homeIdx = inst.Dest, true, i
+		}
+		if w := inst.GPRWrite(); w != alpha.RegZero && int(w) < ildp.NumGPR {
+			lastWrite[w] = i
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package iverify
+
+import (
+	"github.com/ildp/accdbt/internal/alpha"
+	"github.com/ildp/accdbt/internal/ildp"
+)
+
+// checkEncoding proves every instruction is individually encodable in the
+// I-ISA: the one-GPR/one-accumulator source restriction that keeps the
+// instruction formats at 16/32 bits (§2.2), accumulator specifiers that fit
+// the configured file, accumulator operands bound before use, legal size
+// classes summing to the recorded fragment size (§2.3), and the per-form
+// destination-specifier discipline.
+func (k *checker) checkEncoding() {
+	total := 0
+	for i := range k.c.Insts {
+		inst := &k.c.Insts[i]
+
+		// E1: at most one GPR among the sources (§2.2). A second register
+		// specifier does not fit the 16/32-bit formats and, in hardware,
+		// would need a second register-file read port on the strand's
+		// processing element.
+		if n := inst.NumGPRSources(); n > 1 {
+			k.rep.add(RuleGPRSources, i, "%v names %d GPR sources (%v, %v)",
+				inst.Kind, n, inst.SrcA, inst.SrcB)
+		}
+
+		// E2: at most one accumulator among the sources; the CMOV select is
+		// the documented exception (condition in the accumulator plus the
+		// old value re-read).
+		if n := inst.NumAccSources(); n > 1 && inst.Kind != ildp.KindCMOV {
+			k.rep.add(RuleAccSources, i, "%v names %d accumulator sources", inst.Kind, n)
+		}
+
+		// E3: the accumulator specifier must address the configured file.
+		if inst.Acc != ildp.NoAcc && int(inst.Acc) >= k.cfg.NumAcc {
+			k.rep.add(RuleAccRange, i, "accumulator A%d out of range (%d configured)",
+				inst.Acc, k.cfg.NumAcc)
+		}
+
+		// E4: an instruction that reads or writes its accumulator must have
+		// one bound; NoAcc is the absence marker, not an operand.
+		if (inst.ReadsAcc() || inst.WritesAcc) && inst.Acc == ildp.NoAcc {
+			verb := "reads"
+			if inst.WritesAcc {
+				verb = "writes"
+			}
+			k.rep.add(RuleAccBinding, i, "%v %s an accumulator but none is bound",
+				inst.Kind, verb)
+		}
+
+		// E5: each instruction is a 16-, 32-, or 64-bit form (§2.3).
+		sz := inst.EncodedSize(k.cfg.Form)
+		switch sz {
+		case 2, 4, 8:
+		default:
+			k.rep.add(RuleSizeClass, i, "%v has no %d-byte encoding", inst.Kind, sz)
+		}
+		total += sz
+
+		// E6: destination-specifier discipline. The Basic form has no
+		// destination field in producing instructions — architected state
+		// moves through explicit copies (save-VRA writes a GPR directly;
+		// CMOV republishes its destination). The Modified form requires the
+		// embedded destination to be the architected register the result
+		// represents (§2.3) — a mismatched specifier silently corrupts the
+		// register file.
+		switch k.cfg.Form {
+		case ildp.Basic:
+			if inst.ProducesResult() &&
+				inst.Kind != ildp.KindSaveVRA && inst.Kind != ildp.KindCMOV &&
+				inst.Dest != alpha.RegZero {
+				k.rep.add(RuleFormDest, i,
+					"basic-form %v carries destination specifier R%d", inst.Kind, inst.Dest)
+			}
+		case ildp.Modified:
+			if inst.ProducesResult() &&
+				inst.ArchDest != alpha.RegZero && int(inst.ArchDest) < alpha.NumRegs &&
+				inst.Dest != inst.ArchDest {
+				k.rep.add(RuleFormDest, i,
+					"%v destination specifier R%d does not match architected result R%d",
+					inst.Kind, inst.Dest, inst.ArchDest)
+			}
+		}
+	}
+
+	// E5 (fragment level): the recorded fragment size must equal the sum of
+	// the per-instruction size classes, or static-code-size statistics and
+	// the I-cache model are charged for the wrong footprint.
+	if k.c.CodeBytes != 0 && total != k.c.CodeBytes {
+		k.rep.add(RuleSizeClass, -1, "encoded sizes sum to %d bytes, fragment records %d",
+			total, k.c.CodeBytes)
+	}
+}

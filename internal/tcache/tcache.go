@@ -36,6 +36,14 @@ type Fragment struct {
 	PEI        []uint64
 	PEIRecover [][]translate.RegAcc
 
+	// Strands, ExitLive, and EndLive carry the translation metadata the
+	// static fragment verifier checks installed code against (see
+	// translate.Result for their semantics). Strands is nil for
+	// straightened fragments.
+	Strands  []int
+	ExitLive [][]alpha.Reg
+	EndLive  []alpha.Reg
+
 	SrcCount  int
 	CodeBytes int
 	SrcBytes  int
@@ -196,6 +204,9 @@ func (c *Cache) Install(res *translate.Result) (*Fragment, error) {
 		Insts:        res.Insts,
 		PEI:          res.PEI,
 		PEIRecover:   res.PEIRecover,
+		Strands:      res.Strands,
+		ExitLive:     res.ExitLive,
+		EndLive:      res.EndLive,
 		SrcCount:     res.SrcCount,
 		CodeBytes:    res.CodeBytes,
 		SrcBytes:     res.SrcBytes,

@@ -11,6 +11,11 @@ type strandState struct {
 	home    alpha.Reg // GPR holding the strand's current value, RegZero if none
 	inGPR   bool      // current value is available in `home`
 	started bool
+	// archCur is the architected register whose current value lives only
+	// in this strand's accumulator (Basic form), RegZero when none. It
+	// decides where a spill must save the value to keep precise state
+	// recoverable (§2.2).
+	archCur alpha.Reg
 }
 
 // assignAccumulators maps the translator's unlimited strand numbers onto
@@ -32,7 +37,14 @@ func (t *xlat) assignAccumulators() {
 	posPtr := make([]int, t.nextStrand)
 	states := make([]strandState, t.nextStrand)
 	for i := range states {
-		states[i] = strandState{acc: -1, home: alpha.RegZero}
+		states[i] = strandState{acc: -1, home: alpha.RegZero, archCur: alpha.RegZero}
+	}
+	// inAccStrand[r] is the strand whose accumulator holds the only copy
+	// of architected register r's current value, -1 when the register file
+	// is current (mirrors the precise-trap recovery mapping of §2.2).
+	var inAccStrand [alpha.NumRegs]int
+	for i := range inAccStrand {
+		inAccStrand[i] = -1
 	}
 	accOwner := make([]int, numAcc) // strand owning each accumulator, -1 free
 	for i := range accOwner {
@@ -86,12 +98,23 @@ func (t *xlat) assignAccumulators() {
 		vs := accOwner[victim]
 		st := &states[vs]
 		if !st.inGPR {
-			if st.home == alpha.RegZero {
+			if st.archCur != alpha.RegZero && inAccStrand[st.archCur] == vs {
+				// The victim's value is the current definition of an
+				// architected register and exists nowhere else: spill it
+				// to its architected home so a precise trap can still
+				// find it after the accumulator is reassigned (§2.2). The
+				// reload, if any, reads the same home — every use of the
+				// value precedes any redefinition of the register, so the
+				// home cannot be clobbered before the reload.
+				st.home = st.archCur
+				inAccStrand[st.archCur] = -1
+			} else if st.home == alpha.RegZero {
 				st.home = t.nextScratch()
 			}
 			emit(ildp.Inst{
 				Kind: ildp.KindCopyToGPR, Acc: ildp.AccID(victim),
-				Dest: st.home, Frag: ildp.NoFrag, Class: ildp.ClassCopy,
+				Dest: st.home, ArchDest: alpha.RegZero,
+				Frag: ildp.NoFrag, Class: ildp.ClassCopy,
 			}, vs)
 			st.inGPR = true
 			t.res.CopyCount++
@@ -107,6 +130,10 @@ func (t *xlat) assignAccumulators() {
 		inst := t.out[i]
 		s := t.strandOf[i]
 		if s < 0 {
+			// Direct GPR writes (save-VRA) make the register file current.
+			if inst.Dest != alpha.RegZero && int(inst.Dest) < alpha.NumRegs {
+				inAccStrand[inst.Dest] = -1
+			}
 			emit(inst, s)
 			continue
 		}
@@ -123,7 +150,8 @@ func (t *xlat) assignAccumulators() {
 				emit(ildp.Inst{
 					Kind: ildp.KindCopyFromGPR, SrcA: ildp.GPRSrc(st.home),
 					WritesAcc: true, Acc: ildp.AccID(a),
-					Dest: alpha.RegZero, Frag: ildp.NoFrag, Class: ildp.ClassCopy,
+					Dest: alpha.RegZero, ArchDest: alpha.RegZero,
+					Frag: ildp.NoFrag, Class: ildp.ClassCopy,
 				}, s)
 				t.res.CopyCount++
 				t.res.SpillCount++
@@ -143,10 +171,25 @@ func (t *xlat) assignAccumulators() {
 				st.home = inst.Dest
 				st.inGPR = true // Modified-form destination specifier
 			}
+			// Update the acc-only architected-state mapping: the old value
+			// is overwritten; the new one is acc-only when the instruction
+			// represents an architected register but writes no GPR.
+			if st.archCur != alpha.RegZero && inAccStrand[st.archCur] == s {
+				inAccStrand[st.archCur] = -1
+			}
+			st.archCur = alpha.RegZero
+			if inst.ArchDest != alpha.RegZero && int(inst.ArchDest) < alpha.NumRegs &&
+				inst.Dest == alpha.RegZero {
+				st.archCur = inst.ArchDest
+				inAccStrand[inst.ArchDest] = s
+			}
 		}
 		if inst.Kind == ildp.KindCopyToGPR {
 			st.home = inst.Dest
 			st.inGPR = true
+		}
+		if inst.Dest != alpha.RegZero && int(inst.Dest) < alpha.NumRegs {
+			inAccStrand[inst.Dest] = -1
 		}
 
 		emit(inst, s)
@@ -185,6 +228,7 @@ func (t *xlat) finish() {
 	t.cost.charge(costFragmentFixed)
 	t.cost.charge(int64(len(t.res.PEI)) * costPEIEntry)
 	t.res.Insts = t.out
+	t.res.Strands = t.strandOf
 	t.res.Cost = t.cost.units
 }
 

@@ -100,7 +100,8 @@ func (t *xlat) repairTwoGPRs(nd *node, a, b ildp.Src) (ildp.Src, ildp.Src) {
 	}
 	t.push(ildp.Inst{
 		Kind: ildp.KindCopyFromGPR, SrcA: a, WritesAcc: true,
-		Dest: alpha.RegZero, VPC: nd.vpc, Class: ildp.ClassCopy,
+		Dest: alpha.RegZero, ArchDest: alpha.RegZero,
+		VPC: nd.vpc, Class: ildp.ClassCopy,
 	}, nd.strand)
 	t.res.CopyCount++
 	t.cost.charge(costEmitInst)
@@ -260,13 +261,14 @@ func (t *xlat) emitIndirect(i int, nd *node) {
 	cmp := t.nextStrand
 	t.nextStrand++
 	t.push(ildp.Inst{
-		Kind: ildp.KindLoadETA, WritesAcc: true, Dest: alpha.RegZero,
+		Kind: ildp.KindLoadETA, WritesAcc: true,
+		Dest: alpha.RegZero, ArchDest: alpha.RegZero,
 		VPC: nd.vpc, VAddr: nd.vtarget, Class: ildp.ClassChain,
 	}, cmp)
 	t.push(ildp.Inst{
 		Kind: ildp.KindALU, Op: alpha.OpXOR,
 		SrcA: ildp.AccSrc(), SrcB: target,
-		WritesAcc: true, Dest: alpha.RegZero,
+		WritesAcc: true, Dest: alpha.RegZero, ArchDest: alpha.RegZero,
 		VPC: nd.vpc, Class: ildp.ClassChain,
 	}, cmp)
 	t.push(ildp.Inst{
@@ -297,7 +299,7 @@ func (t *xlat) emitJTargetMove(nd *node, target ildp.Src) {
 		t.push(ildp.Inst{
 			Kind: ildp.KindALU, Op: alpha.OpBIS,
 			SrcA: target, SrcB: ildp.ImmSrc(0),
-			WritesAcc: true, Dest: ildp.RegJTarget,
+			WritesAcc: true, Dest: ildp.RegJTarget, ArchDest: alpha.RegZero,
 			VPC: nd.vpc, Class: ildp.ClassChain,
 		}, s)
 		t.res.ChainCount++
@@ -306,7 +308,8 @@ func (t *xlat) emitJTargetMove(nd *node, target ildp.Src) {
 	}
 	t.push(ildp.Inst{
 		Kind: ildp.KindCopyFromGPR, SrcA: target, WritesAcc: true,
-		Dest: alpha.RegZero, VPC: nd.vpc, Class: ildp.ClassChain,
+		Dest: alpha.RegZero, ArchDest: alpha.RegZero,
+		VPC: nd.vpc, Class: ildp.ClassChain,
 	}, s)
 	t.push(ildp.Inst{
 		Kind: ildp.KindCopyToGPR, Dest: ildp.RegJTarget,

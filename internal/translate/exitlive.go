@@ -1,0 +1,42 @@
+package translate
+
+import "github.com/ildp/accdbt/internal/alpha"
+
+// computeExitLive records, for every PEI-table point and for the fragment
+// end, which architected registers the fragment has defined so far. A
+// precise trap (or a side exit followed by interpretation) must be able to
+// recover the current values of exactly these registers from I-ISA state:
+// registers the fragment has not touched are still architecturally current
+// in the register file, so only fragment-defined values can be at risk.
+//
+// The sets are computed at the node level, before emission, accumulator
+// assignment, or Basic-form copy insertion, so they are independent of the
+// bookkeeping (PEIRecover) that the instruction-level passes build — which
+// is what makes them useful as a cross-check for static verification.
+//
+// PEI-table points are loads, stores, and conditional branches (the PEI
+// entries appended by the emitter), in node order.
+func (t *xlat) computeExitLive() {
+	var defined [alpha.NumRegs]bool
+	snapshot := func() []alpha.Reg {
+		var regs []alpha.Reg
+		for r := 0; r < alpha.NumRegs; r++ {
+			if defined[r] {
+				regs = append(regs, alpha.Reg(r))
+			}
+		}
+		return regs
+	}
+	for i := range t.nodes {
+		nd := &t.nodes[i]
+		if nd.isPEI || nd.kind == nkCondBranch {
+			// The snapshot precedes the node's own definition: a trap at
+			// the node reports state from before its effects.
+			t.res.ExitLive = append(t.res.ExitLive, snapshot())
+		}
+		if nd.output() && !nd.isTemp && nd.dest != alpha.RegZero {
+			defined[nd.dest] = true
+		}
+	}
+	t.res.EndLive = snapshot()
+}

@@ -151,6 +151,23 @@ type Result struct {
 	// the destination-GPR specifiers keep architected state current.
 	PEIRecover [][]RegAcc
 
+	// Strands annotates every instruction of Insts with the strand it was
+	// emitted for (parallel slice; -1 for strand-less overhead such as the
+	// set-VPC prologue, stores and branches with GPR-only inputs, and
+	// dispatch stubs). Verification uses it to prove that accumulator
+	// dataflow never crosses strands (§3.3). Nil for straightened code.
+	Strands []int
+
+	// ExitLive parallels PEI: for each PEI-table point, the architected
+	// registers the fragment has (re)defined before that point. Those are
+	// exactly the registers whose current values a precise trap or side
+	// exit must be able to recover from I-ISA state (§2.2); registers not
+	// listed still hold their fragment-entry values in the register file.
+	ExitLive [][]alpha.Reg
+
+	// EndLive is the same set at the fragment's final exit.
+	EndLive []alpha.Reg
+
 	// Straightened marks a code-straightening-only translation (Alpha to
 	// straightened Alpha for the conventional superscalar): instructions
 	// are 1:1, carry two GPR sources, and are 4 bytes each.
@@ -211,6 +228,7 @@ func Translate(sb *Superblock, cfg Config) (*Result, error) {
 		return nil, err
 	}
 	t.analyze()
+	t.computeExitLive()
 	t.formStrands()
 	if err := t.emit(); err != nil {
 		return nil, err

@@ -17,6 +17,7 @@ import (
 	"github.com/ildp/accdbt/internal/alphaprog"
 	"github.com/ildp/accdbt/internal/emu"
 	"github.com/ildp/accdbt/internal/ildp"
+	"github.com/ildp/accdbt/internal/iverify"
 	"github.com/ildp/accdbt/internal/mem"
 	"github.com/ildp/accdbt/internal/tcache"
 	"github.com/ildp/accdbt/internal/trace"
@@ -55,6 +56,13 @@ type Config struct {
 	// TCacheBytes caps the translation cache; exceeding it flushes the
 	// whole cache (0 = unbounded, as in the paper).
 	TCacheBytes int
+
+	// Verify runs the static fragment verifier over every translation
+	// before it is installed (paranoid mode): a fragment that violates the
+	// I-ISA invariants aborts execution with a diagnostic report instead
+	// of being run. Straightened translations are exempt (they carry no
+	// accumulator invariants) but still counted as skipped.
+	Verify bool
 
 	HotThreshold  int
 	MaxSuperblock int
@@ -103,6 +111,7 @@ type Stats struct {
 	RASMisses    uint64
 
 	Fragments          int
+	FragsVerified      int // fragments proven clean by the static verifier
 	SrcInstsTranslated int64
 	NOPsRemoved        int64
 	BranchElims        int64
@@ -145,6 +154,11 @@ type VM struct {
 	recording bool
 	sb        translate.Superblock
 	inTrace   map[uint64]bool
+
+	// testMutateResult, when set, corrupts each translation before the
+	// verifier sees it — the test hook proving paranoid mode rejects bad
+	// installs.
+	testMutateResult func(res *translate.Result)
 
 	Stats Stats
 }
@@ -354,6 +368,20 @@ func (v *VM) finishRecording(end translate.EndKind, nextPC uint64) error {
 			return nil // nothing worth translating (all NOPs)
 		}
 		return fmt.Errorf("vm: translating superblock at %#x: %w", sb.StartPC, err)
+	}
+	if v.testMutateResult != nil {
+		v.testMutateResult(res)
+	}
+	if v.cfg.Verify {
+		rep := iverify.Verify(res, iverify.Config{
+			Form: v.cfg.Form, NumAcc: v.cfg.NumAcc, Chain: v.cfg.Chain,
+		})
+		if !rep.OK() {
+			return fmt.Errorf("vm: fragment verification failed:\n%s", rep)
+		}
+		if !rep.Skipped {
+			v.Stats.FragsVerified++
+		}
 	}
 	if _, err := v.tc.Install(res); err != nil {
 		return err
