@@ -1,6 +1,6 @@
 # Convenience targets; ci/check.sh is the canonical gate.
 
-.PHONY: build test check lint-example
+.PHONY: build test check lint-example experiments
 
 build:
 	go build ./...
@@ -14,3 +14,9 @@ check:
 # Demonstrate the fragment linter on a workload (exit 0 = all invariants hold).
 lint-example:
 	go run ./cmd/ildplint -workload gzip -form basic -chain sw_pred.ras
+
+# Regenerate the committed experiment report, EXPERIMENTS.md's generated
+# block, and the BENCH_experiments.json trajectory (~12s of simulation).
+experiments:
+	go run ./cmd/ildpbench -experiment=all -scale=2 -json > reports/experiments-scale2.json
+	go run ./cmd/ildpreport -write

@@ -19,9 +19,13 @@
 //     architecturally-visible dual-address return address stack, and the
 //     shared dispatch routine;
 //   - trace-driven timing models of the idealised out-of-order superscalar
-//     and the ILDP distributed microarchitecture of Table 1; and
+//     and the ILDP distributed microarchitecture of Table 1;
 //   - twelve synthetic SPEC CPU2000 INT stand-in workloads plus experiment
-//     drivers that regenerate every table and figure of the evaluation.
+//     drivers that regenerate every table and figure of the evaluation; and
+//   - an observability layer: a metrics registry (counters, gauges,
+//     histograms, per-fragment lifecycle events) that taps the VM,
+//     translation cache, and timing models without changing results, and
+//     a versioned machine-readable experiment report (DESIGN.md §8).
 //
 // This package is a façade over the internal implementation packages; it
 // exposes everything a downstream user needs through type aliases and
@@ -45,6 +49,8 @@ import (
 	"github.com/ildp/accdbt/internal/ildp"
 	"github.com/ildp/accdbt/internal/iverify"
 	"github.com/ildp/accdbt/internal/mem"
+	"github.com/ildp/accdbt/internal/metrics"
+	"github.com/ildp/accdbt/internal/report"
 	"github.com/ildp/accdbt/internal/tcache"
 	"github.com/ildp/accdbt/internal/trace"
 	"github.com/ildp/accdbt/internal/translate"
@@ -240,3 +246,33 @@ func WorkloadNames() []string { return workload.Names() }
 
 // RunExperiment executes one simulation run.
 func RunExperiment(spec RunSpec) (*Outcome, error) { return experiments.Run(spec) }
+
+// Observability (DESIGN.md §8).
+type (
+	// MetricsRegistry collects counters, gauges, histograms, and
+	// fragment lifecycle events; attach one via VMConfig.Metrics or
+	// RunSpec.Metrics. All methods are safe on a nil registry, so
+	// instrumentation costs one nil check when disabled.
+	MetricsRegistry = metrics.Registry
+	// MetricsEvent is one fragment lifecycle event (translate, verify,
+	// install, chain, evict).
+	MetricsEvent = metrics.Event
+	// MetricsSnapshot is a registry's deterministic point-in-time state.
+	MetricsSnapshot = metrics.Snapshot
+	// ExperimentReport is the versioned machine-readable report that
+	// `ildpbench -json` emits and `ildpreport` consumes.
+	ExperimentReport = report.Report
+	// ReportOptions parameterises RunReport.
+	ReportOptions = report.RunOptions
+)
+
+// NewMetricsRegistry returns an empty, concurrency-safe registry.
+func NewMetricsRegistry() *MetricsRegistry { return metrics.NewRegistry() }
+
+// RunReport executes experiments and assembles their machine-readable
+// report (one record per paper table/figure cell plus run metadata).
+func RunReport(opts ReportOptions) (*ExperimentReport, error) { return report.Run(opts) }
+
+// DecodeReport parses and schema-validates a report produced by
+// `ildpbench -json` or RunReport.
+func DecodeReport(data []byte) (*ExperimentReport, error) { return report.Decode(data) }

@@ -4,8 +4,10 @@
 #
 #   ./ci/check.sh
 #
-# Steps, in order: formatting, vet, build, the full test suite, and the
-# race detector over the packages with real concurrency exposure.
+# Steps, in order: formatting, vet, build, the full test suite, the
+# race detector over the packages with real concurrency exposure, the
+# docs gate (EXPERIMENTS.md's generated block must match the committed
+# report), and a small-scale smoke of the JSON report pipeline.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -29,5 +31,12 @@ go test ./...
 
 echo "== go test -race (vm, tcache)"
 go test -race ./internal/vm/... ./internal/tcache/...
+
+echo "== docs gate (ildpreport -check)"
+go run ./cmd/ildpreport -check
+
+echo "== json report smoke (scale-1 table2)"
+go run ./cmd/ildpbench -experiment=table2 -scale=1 -json \
+    | go run ./cmd/ildpreport -validate -in -
 
 echo "check: all clean"

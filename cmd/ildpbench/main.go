@@ -6,6 +6,11 @@
 //
 //	ildpbench -experiment=all -scale=1
 //	ildpbench -experiment=fig8 -scale=2 -threshold=50
+//	ildpbench -experiment=all -scale=2 -json > reports/experiments-scale2.json
+//
+// With -json the run emits the versioned machine-readable report
+// (internal/report schema) that `ildpreport` consumes instead of text
+// tables.
 package main
 
 import (
@@ -15,6 +20,7 @@ import (
 	"strings"
 
 	"github.com/ildp/accdbt/internal/experiments"
+	"github.com/ildp/accdbt/internal/report"
 )
 
 func main() {
@@ -22,7 +28,27 @@ func main() {
 		"which experiment to run: table1, table2, overhead, fig4..fig9, fusion, threshold, superblock, vmcost, ras, variance, all")
 	scale := flag.Int("scale", 1, "workload scale factor (loop trip multiplier)")
 	threshold := flag.Int("threshold", 50, "hot-trace threshold (the paper uses 50)")
+	jsonOut := flag.Bool("json", false, "emit a machine-readable JSON report instead of text tables")
 	flag.Parse()
+
+	if *jsonOut {
+		ids := report.ExperimentIDs()
+		if *experiment != "all" {
+			ids = []string{*experiment}
+		}
+		r, err := report.Run(report.RunOptions{
+			Scale: *scale, Threshold: *threshold, Experiments: ids,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ildpbench:", err)
+			os.Exit(1)
+		}
+		if err := r.Encode(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "ildpbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	run := func(name string) bool {
 		return *experiment == "all" || *experiment == name
@@ -70,11 +96,11 @@ func main() {
 		ran = true
 	}
 	if run("threshold") {
-		fmt.Println(experiments.FormatThreshold(experiments.Threshold(*scale, []int{5, 10, 25, 50, 100, 200})))
+		fmt.Println(experiments.FormatThreshold(experiments.Threshold(*scale, report.DefaultThresholdSweep)))
 		ran = true
 	}
 	if run("superblock") {
-		fmt.Println(experiments.FormatSuperblock(experiments.Superblock(*scale, *threshold, []int{25, 50, 100, 200})))
+		fmt.Println(experiments.FormatSuperblock(experiments.Superblock(*scale, *threshold, report.DefaultSuperblockSweep)))
 		ran = true
 	}
 	if run("vmcost") {
@@ -82,11 +108,11 @@ func main() {
 		ran = true
 	}
 	if run("ras") {
-		fmt.Println(experiments.FormatRASSweep(experiments.RASSweep(*scale, *threshold, []int{2, 4, 8, 16, 32})))
+		fmt.Println(experiments.FormatRASSweep(experiments.RASSweep(*scale, *threshold, report.DefaultRASSweep)))
 		ran = true
 	}
 	if run("variance") {
-		fmt.Println(experiments.FormatVariance(experiments.Variance(*scale, *threshold, []uint64{0, 1, 2, 3, 4})))
+		fmt.Println(experiments.FormatVariance(experiments.Variance(*scale, *threshold, report.DefaultVarianceSeeds)))
 		ran = true
 	}
 	if !ran {

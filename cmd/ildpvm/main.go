@@ -12,6 +12,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -21,6 +22,7 @@ import (
 	"github.com/ildp/accdbt/internal/alphaprog"
 	"github.com/ildp/accdbt/internal/ildp"
 	"github.com/ildp/accdbt/internal/mem"
+	"github.com/ildp/accdbt/internal/metrics"
 	"github.com/ildp/accdbt/internal/tcache"
 	"github.com/ildp/accdbt/internal/translate"
 	"github.com/ildp/accdbt/internal/uarch"
@@ -41,6 +43,7 @@ func main() {
 	maxV := flag.Int64("max", 0, "V-instruction budget (0 = unlimited)")
 	fuse := flag.Bool("fuse", false, "unsplit memory operations (the §4.5 extension)")
 	dump := flag.Int("dump", 0, "disassemble the N hottest translated fragments")
+	metricsJSON := flag.Bool("metrics", false, "collect a metrics registry (counters + fragment lifecycle events) and dump it as JSON")
 	timing := flag.Bool("timing", false, "attach the matching timing model and report IPC")
 	pes := flag.Int("pes", 8, "ILDP processing elements (with -timing)")
 	commLat := flag.Int64("comm", 0, "ILDP global wire latency in cycles (with -timing)")
@@ -81,6 +84,12 @@ func main() {
 		fatal(fmt.Errorf("unknown form %q", *form))
 	}
 
+	var reg *metrics.Registry
+	if *metricsJSON {
+		reg = metrics.NewRegistry()
+		cfg.Metrics = reg
+	}
+
 	var ooo *uarch.OoO
 	var core *uarch.ILDP
 	if *timing {
@@ -111,13 +120,25 @@ func main() {
 
 	report(name, v, cfg)
 	if ooo != nil {
-		printTiming("out-of-order superscalar", ooo.Finish())
+		r := ooo.Finish()
+		printTiming("out-of-order superscalar", r)
+		r.Publish(reg, "uarch.ooo")
 	}
 	if core != nil {
-		printTiming(fmt.Sprintf("ILDP %d-PE", *pes), core.Finish())
+		r := core.Finish()
+		printTiming(fmt.Sprintf("ILDP %d-PE", *pes), r)
+		r.Publish(reg, "uarch.ildp")
 	}
 	if *dump > 0 {
 		dumpFragments(v, *dump)
+	}
+	if reg != nil {
+		v.Stats.Publish(reg)
+		out, err := json.MarshalIndent(reg, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("metrics:\n%s\n", out)
 	}
 }
 

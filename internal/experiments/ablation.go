@@ -58,7 +58,7 @@ func FormatFusion(rows []FusionRow) string {
 		is = append(is, r.SplitIPC)
 		ifu = append(ifu, r.FusedIPC)
 	}
-	t.Row("Avg/GeoM", stats.Mean(es), stats.Mean(ef), stats.GeoMean(is), stats.GeoMean(ifu))
+	t.Row("Avg/GeoM", stats.Mean(es), stats.Mean(ef), stats.GeoMean(is), stats.GeoMean(ifu), "", "")
 	return t.String()
 }
 

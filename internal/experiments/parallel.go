@@ -1,23 +1,67 @@
 package experiments
 
 import (
+	"runtime"
 	"sync"
+	"time"
 
+	"github.com/ildp/accdbt/internal/metrics"
 	"github.com/ildp/accdbt/internal/workload"
 )
 
+// metricsReg, when set via SetMetrics, receives per-workload wall-time
+// gauges and the workload wall-time histogram from perWorkload, so slow
+// kernels are visible in experiment reports.
+var (
+	metricsMu  sync.Mutex
+	metricsReg *metrics.Registry
+)
+
+// SetMetrics attaches a registry to the experiment drivers. Per-workload
+// wall time accumulates into "experiments.wall_ms.<bench>" gauges and
+// the "experiments.workload_wall_ms" histogram. Pass nil to detach.
+func SetMetrics(reg *metrics.Registry) {
+	metricsMu.Lock()
+	metricsReg = reg
+	metricsMu.Unlock()
+}
+
+// currentMetrics returns the attached registry (possibly nil).
+func currentMetrics() *metrics.Registry {
+	metricsMu.Lock()
+	defer metricsMu.Unlock()
+	return metricsReg
+}
+
 // perWorkload evaluates f over all workloads concurrently, preserving
 // order. Every run is deterministic, so parallelism never changes
-// results — it only makes regenerating the full evaluation fast.
+// results — it only makes regenerating the full evaluation fast. The
+// number of simultaneously running evaluations is bounded by
+// GOMAXPROCS: one goroutine per workload with no cap oversubscribes the
+// machine once callers nest sweeps, and the timing-model runs are
+// memory-hungry enough for that to thrash.
 func perWorkload[T any](scale int, f func(*workload.Spec) T) []T {
 	specs := workload.All(scale)
 	out := make([]T, len(specs))
+	limit := runtime.GOMAXPROCS(0)
+	if limit < 1 {
+		limit = 1
+	}
+	sem := make(chan struct{}, limit)
 	var wg sync.WaitGroup
 	for i, w := range specs {
 		wg.Add(1)
 		go func(i int, w *workload.Spec) {
 			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			start := time.Now()
 			out[i] = f(w)
+			if reg := currentMetrics(); reg != nil {
+				ms := float64(time.Since(start)) / float64(time.Millisecond)
+				reg.Gauge("experiments.wall_ms." + w.Name).Add(ms)
+				reg.Histogram("experiments.workload_wall_ms").Observe(ms)
+			}
 		}(i, w)
 	}
 	wg.Wait()

@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+
+	"github.com/ildp/accdbt/internal/metrics"
+	"github.com/ildp/accdbt/internal/workload"
+)
+
+// TestPerWorkloadOrderAndBound checks that perWorkload preserves
+// workload order in its results and never runs more than GOMAXPROCS
+// evaluations at once.
+func TestPerWorkloadOrderAndBound(t *testing.T) {
+	limit := runtime.GOMAXPROCS(0)
+	var mu sync.Mutex
+	running, peak := 0, 0
+
+	got := perWorkload(1, func(w *workload.Spec) string {
+		mu.Lock()
+		running++
+		if running > peak {
+			peak = running
+		}
+		mu.Unlock()
+		defer func() {
+			mu.Lock()
+			running--
+			mu.Unlock()
+		}()
+		return w.Name
+	})
+
+	specs := workload.All(1)
+	if len(got) != len(specs) {
+		t.Fatalf("got %d results, want %d", len(got), len(specs))
+	}
+	for i, w := range specs {
+		if got[i] != w.Name {
+			t.Errorf("result %d = %q, want %q (order not preserved)", i, got[i], w.Name)
+		}
+	}
+	if peak > limit {
+		t.Errorf("peak concurrency %d exceeds GOMAXPROCS %d", peak, limit)
+	}
+}
+
+// TestPerWorkloadWallTimeMetrics checks the per-workload wall times land
+// in the attached registry.
+func TestPerWorkloadWallTimeMetrics(t *testing.T) {
+	reg := metrics.NewRegistry()
+	SetMetrics(reg)
+	defer SetMetrics(nil)
+
+	perWorkload(1, func(w *workload.Spec) struct{} { return struct{}{} })
+
+	gauges := reg.GaugesWithPrefix("experiments.wall_ms.")
+	if want := len(workload.All(1)); len(gauges) != want {
+		t.Errorf("got %d wall-time gauges, want %d", len(gauges), want)
+	}
+	for name, v := range gauges {
+		if v < 0 {
+			t.Errorf("%s = %v, want >= 0", name, v)
+		}
+	}
+	snap := reg.Snapshot()
+	found := false
+	for _, h := range snap.Histograms {
+		if h.Name == "experiments.workload_wall_ms" {
+			found = true
+			if int(h.Count) != len(workload.All(1)) {
+				t.Errorf("histogram count = %d, want %d", h.Count, len(workload.All(1)))
+			}
+		}
+	}
+	if !found {
+		t.Error("experiments.workload_wall_ms histogram missing")
+	}
+}

@@ -12,6 +12,7 @@ import (
 
 	"github.com/ildp/accdbt/internal/ildp"
 	"github.com/ildp/accdbt/internal/mem"
+	"github.com/ildp/accdbt/internal/metrics"
 	"github.com/ildp/accdbt/internal/translate"
 	"github.com/ildp/accdbt/internal/uarch"
 	"github.com/ildp/accdbt/internal/vm"
@@ -59,6 +60,12 @@ type RunSpec struct {
 	HotThreshold int // default 50 (the paper's threshold)
 	MaxSB        int // maximum superblock size (default 200)
 	RASSize      int // dual-address RAS entries (default 16)
+
+	// Metrics, when non-nil, receives the run's fragment lifecycle
+	// events during execution plus the aggregate VM statistics and (for
+	// timed runs) the timing-model summary at the end. Collection never
+	// changes simulation results.
+	Metrics *metrics.Registry
 }
 
 // Outcome is the result of one run.
@@ -91,6 +98,7 @@ func Run(spec RunSpec) (*Outcome, error) {
 	cfg.NumAcc = spec.NumAcc
 	cfg.HotThreshold = spec.HotThreshold
 	cfg.FuseMemOps = spec.FuseMem
+	cfg.Metrics = spec.Metrics
 	if spec.MaxSB > 0 {
 		cfg.MaxSuperblock = spec.MaxSB
 	}
@@ -163,6 +171,16 @@ func Run(spec RunSpec) (*Outcome, error) {
 	if ildpM != nil {
 		out.Timing = ildpM.Finish()
 		out.PEDist = ildpM.PEDistribution()
+	}
+	if spec.Metrics != nil {
+		out.VM.Publish(spec.Metrics)
+		if spec.Timing {
+			prefix := "uarch.ildp"
+			if ooo != nil {
+				prefix = "uarch.ooo"
+			}
+			out.Timing.Publish(spec.Metrics, prefix)
+		}
 	}
 	return out, nil
 }

@@ -1,0 +1,85 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// EventKind identifies a fragment lifecycle transition.
+type EventKind uint8
+
+// Fragment lifecycle kinds, in the order a fragment moves through the
+// co-designed VM: a hot superblock is translated (§3.3), optionally
+// statically verified (DESIGN.md §7), installed into the translation
+// cache (§3.2), chained to other fragments as their targets translate
+// (§3.2/§4.3), and evicted when a bounded cache flushes.
+const (
+	EventTranslate EventKind = iota
+	EventVerify
+	EventInstall
+	EventChain
+	EventEvict
+)
+
+var eventKindNames = [...]string{"translate", "verify", "install", "chain", "evict"}
+
+// String returns the lower-case kind name.
+func (k EventKind) String() string {
+	if int(k) < len(eventKindNames) {
+		return eventKindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// MarshalJSON serializes the kind as its string name.
+func (k EventKind) MarshalJSON() ([]byte, error) {
+	return json.Marshal(k.String())
+}
+
+// UnmarshalJSON parses a kind from its string name.
+func (k *EventKind) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err != nil {
+		return err
+	}
+	for i, name := range eventKindNames {
+		if name == s {
+			*k = EventKind(i)
+			return nil
+		}
+	}
+	return fmt.Errorf("metrics: unknown event kind %q", s)
+}
+
+// Event is one fragment lifecycle event. Seq is assigned by the
+// registry at emission; the remaining fields are populated by the layer
+// that observed the transition (zero values are omitted from JSON).
+type Event struct {
+	Kind EventKind `json:"kind"`
+	Seq  int       `json:"seq"`
+
+	// Frag is the translation-cache fragment ID (install/chain/evict);
+	// -1 when the fragment is not yet installed.
+	Frag int32 `json:"frag"`
+	// VStart is the fragment's V-ISA entry address.
+	VStart uint64 `json:"vstart"`
+
+	// SrcInsts and OutInsts are the V-ISA instructions consumed and
+	// I-ISA (or straightened Alpha) instructions produced (translate).
+	SrcInsts int `json:"src_insts,omitempty"`
+	OutInsts int `json:"out_insts,omitempty"`
+	// CodeBytes is the encoded fragment size (translate/install/evict).
+	CodeBytes int `json:"code_bytes,omitempty"`
+	// Cost is the modelled translation overhead in Alpha-instruction
+	// work units (translate).
+	Cost int64 `json:"cost,omitempty"`
+
+	// OK reports a verify outcome; Skipped marks straightened fragments
+	// the verifier does not cover (verify).
+	OK      bool `json:"ok,omitempty"`
+	Skipped bool `json:"skipped,omitempty"`
+
+	// Detail carries kind-specific context: the patched exit kind and
+	// target fragment for chain events, the flush reason for evict.
+	Detail string `json:"detail,omitempty"`
+}

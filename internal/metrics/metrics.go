@@ -1,0 +1,385 @@
+// Package metrics is the observability layer of the reproduction: typed
+// counters, gauges, and histograms collected in a Registry, plus
+// per-fragment lifecycle events (translate, verify, install, chain,
+// evict) emitted by the VM and the translation cache.
+//
+// The design goal is near-zero cost when disabled. Every constructor on
+// a nil *Registry returns a nil instrument, and every instrument method
+// is a no-op on a nil receiver, so instrumented code holds instruments
+// unconditionally and pays one nil check per operation when metrics are
+// off. When enabled, counters and gauges are single atomic operations
+// and histograms take a short mutex.
+//
+// A Registry serializes to JSON deterministically (instruments sorted by
+// name, events in emission order), which is what `ildpvm -metrics` dumps
+// and what the experiment report (internal/report) embeds as run
+// timings. DESIGN.md §8 maps the metric names wired through the VM to
+// the paper sections they reproduce.
+package metrics
+
+import (
+	"encoding/json"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing uint64. All methods are safe on
+// a nil receiver (no-ops) and safe for concurrent use.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Load returns the current value (0 on a nil receiver).
+func (c *Counter) Load() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a float64 that can be set or accumulated. All methods are
+// safe on a nil receiver and for concurrent use.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Add accumulates delta into the gauge (compare-and-swap loop).
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Load returns the current value (0 on a nil receiver).
+func (g *Gauge) Load() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram accumulates observations into geometric buckets and tracks
+// count, sum, min, and max. All methods are safe on a nil receiver and
+// for concurrent use.
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []float64 // upper bounds, ascending; len(buckets) = len(bounds)+1
+	counts []uint64
+	count  uint64
+	sum    float64
+	min    float64
+	max    float64
+}
+
+// defaultBounds covers nine decades (1e-2 .. 1e7) with a 1-2-5 ladder,
+// wide enough for work units, instruction counts, and milliseconds.
+func defaultBounds() []float64 {
+	var b []float64
+	for mag := -2; mag <= 7; mag++ {
+		p := math.Pow(10, float64(mag))
+		b = append(b, p, 2*p, 5*p)
+	}
+	return b
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if h.count == 0 || v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i]++
+}
+
+// Count returns the number of observations (0 on a nil receiver).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Sum returns the sum of all observations (0 on a nil receiver).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// snapshot returns the histogram summary under its lock.
+func (h *Histogram) snapshot(name string) HistogramSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := HistogramSnapshot{
+		Name: name, Count: h.count, Sum: h.sum, Min: h.min, Max: h.max,
+	}
+	if h.count > 0 {
+		s.Mean = h.sum / float64(h.count)
+	}
+	// Only non-empty buckets are serialized, to keep snapshots small.
+	for i, n := range h.counts {
+		if n == 0 {
+			continue
+		}
+		ub := math.Inf(1)
+		if i < len(h.bounds) {
+			ub = h.bounds[i]
+		}
+		s.Buckets = append(s.Buckets, Bucket{UpperBound: ub, Count: n})
+	}
+	return s
+}
+
+// maxEvents caps the per-registry lifecycle event buffer; overflow is
+// counted in the events_dropped field of the snapshot instead of growing
+// without bound on long runs.
+const maxEvents = 8192
+
+// Registry holds named instruments and the fragment lifecycle event
+// stream. The zero value is not usable; construct with NewRegistry. A
+// nil *Registry is a valid "metrics disabled" registry: all lookups
+// return nil instruments and Event is a no-op.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	events   []Event
+	dropped  uint64
+	eventSeq int
+}
+
+// NewRegistry returns an empty enabled registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+// Counter returns (creating if needed) the named counter, or nil when
+// the registry is disabled.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns (creating if needed) the named gauge, or nil when the
+// registry is disabled.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns (creating if needed) the named histogram, or nil
+// when the registry is disabled.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.hists[name]
+	if h == nil {
+		bounds := defaultBounds()
+		h = &Histogram{bounds: bounds, counts: make([]uint64, len(bounds)+1)}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Event appends a fragment lifecycle event, stamping its sequence
+// number. No-op on a nil registry; past maxEvents the event is dropped
+// and counted.
+func (r *Registry) Event(e Event) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e.Seq = r.eventSeq
+	r.eventSeq++
+	if len(r.events) >= maxEvents {
+		r.dropped++
+		return
+	}
+	r.events = append(r.events, e)
+}
+
+// Events returns a copy of the recorded lifecycle events in emission
+// order (nil on a disabled registry).
+func (r *Registry) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, len(r.events))
+	copy(out, r.events)
+	return out
+}
+
+// GaugesWithPrefix returns the name→value map of all gauges whose name
+// starts with prefix (empty on a disabled registry).
+func (r *Registry) GaugesWithPrefix(prefix string) map[string]float64 {
+	out := map[string]float64{}
+	if r == nil {
+		return out
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, g := range r.gauges {
+		if len(name) >= len(prefix) && name[:len(prefix)] == prefix {
+			out[name] = g.Load()
+		}
+	}
+	return out
+}
+
+// NamedCounter is one counter in a snapshot.
+type NamedCounter struct {
+	Name  string `json:"name"`
+	Value uint64 `json:"value"`
+}
+
+// NamedGauge is one gauge in a snapshot.
+type NamedGauge struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+}
+
+// Bucket is one non-empty histogram bucket; UpperBound is +Inf for the
+// overflow bucket (serialized as the string "+Inf").
+type Bucket struct {
+	UpperBound float64 `json:"le"`
+	Count      uint64  `json:"count"`
+}
+
+// MarshalJSON renders the +Inf overflow bound as a string, since JSON
+// has no infinity literal.
+func (b Bucket) MarshalJSON() ([]byte, error) {
+	type bucket struct {
+		UpperBound any    `json:"le"`
+		Count      uint64 `json:"count"`
+	}
+	var le any = b.UpperBound
+	if math.IsInf(b.UpperBound, 1) {
+		le = "+Inf"
+	}
+	return json.Marshal(bucket{UpperBound: le, Count: b.Count})
+}
+
+// HistogramSnapshot is one histogram in a snapshot.
+type HistogramSnapshot struct {
+	Name    string   `json:"name"`
+	Count   uint64   `json:"count"`
+	Sum     float64  `json:"sum"`
+	Mean    float64  `json:"mean"`
+	Min     float64  `json:"min"`
+	Max     float64  `json:"max"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// Snapshot is a point-in-time, JSON-serializable view of a registry,
+// with instruments sorted by name for deterministic output.
+type Snapshot struct {
+	Counters      []NamedCounter      `json:"counters,omitempty"`
+	Gauges        []NamedGauge        `json:"gauges,omitempty"`
+	Histograms    []HistogramSnapshot `json:"histograms,omitempty"`
+	Events        []Event             `json:"events,omitempty"`
+	EventsDropped uint64              `json:"events_dropped,omitempty"`
+}
+
+// Snapshot captures the registry (empty snapshot on a nil registry).
+func (r *Registry) Snapshot() Snapshot {
+	var s Snapshot
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, c := range r.counters {
+		s.Counters = append(s.Counters, NamedCounter{Name: name, Value: c.Load()})
+	}
+	for name, g := range r.gauges {
+		s.Gauges = append(s.Gauges, NamedGauge{Name: name, Value: g.Load()})
+	}
+	for name, h := range r.hists {
+		s.Histograms = append(s.Histograms, h.snapshot(name))
+	}
+	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name })
+	sort.Slice(s.Gauges, func(i, j int) bool { return s.Gauges[i].Name < s.Gauges[j].Name })
+	sort.Slice(s.Histograms, func(i, j int) bool { return s.Histograms[i].Name < s.Histograms[j].Name })
+	s.Events = append([]Event(nil), r.events...)
+	s.EventsDropped = r.dropped
+	return s
+}
+
+// MarshalJSON serializes the registry as its snapshot.
+func (r *Registry) MarshalJSON() ([]byte, error) {
+	return json.Marshal(r.Snapshot())
+}

@@ -1,0 +1,181 @@
+package metrics
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNilRegistryIsSafe(t *testing.T) {
+	var r *Registry
+	r.Counter("a").Inc()
+	r.Counter("a").Add(5)
+	r.Gauge("g").Set(1)
+	r.Gauge("g").Add(2)
+	r.Histogram("h").Observe(3)
+	r.Event(Event{Kind: EventInstall})
+	if got := r.Counter("a").Load(); got != 0 {
+		t.Fatalf("nil counter Load = %d, want 0", got)
+	}
+	if got := r.Gauge("g").Load(); got != 0 {
+		t.Fatalf("nil gauge Load = %v, want 0", got)
+	}
+	if got := r.Histogram("h").Count(); got != 0 {
+		t.Fatalf("nil histogram Count = %d, want 0", got)
+	}
+	if ev := r.Events(); ev != nil {
+		t.Fatalf("nil registry Events = %v, want nil", ev)
+	}
+	s := r.Snapshot()
+	if len(s.Counters)+len(s.Gauges)+len(s.Histograms)+len(s.Events) != 0 {
+		t.Fatalf("nil registry snapshot not empty: %+v", s)
+	}
+}
+
+func TestCounterGaugeHistogram(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("vm.fragments")
+	c.Inc()
+	c.Add(4)
+	if got := c.Load(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if r.Counter("vm.fragments") != c {
+		t.Fatal("same name returned a different counter")
+	}
+
+	g := r.Gauge("wall")
+	g.Set(2.5)
+	g.Add(1.5)
+	if got := g.Load(); got != 4 {
+		t.Fatalf("gauge = %v, want 4", got)
+	}
+
+	h := r.Histogram("cost")
+	for _, v := range []float64{1, 10, 100, 1000} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 || h.Sum() != 1111 {
+		t.Fatalf("histogram count/sum = %d/%v, want 4/1111", h.Count(), h.Sum())
+	}
+	hs := h.snapshot("cost")
+	if hs.Min != 1 || hs.Max != 1000 || hs.Mean != 1111.0/4 {
+		t.Fatalf("histogram snapshot min/max/mean = %v/%v/%v", hs.Min, hs.Max, hs.Mean)
+	}
+	var total uint64
+	for _, b := range hs.Buckets {
+		total += b.Count
+	}
+	if total != 4 {
+		t.Fatalf("bucket counts sum to %d, want 4", total)
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Counter("c").Inc()
+				r.Gauge("g").Add(1)
+				r.Histogram("h").Observe(float64(j))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("c").Load(); got != 8000 {
+		t.Fatalf("counter = %d, want 8000", got)
+	}
+	if got := r.Gauge("g").Load(); got != 8000 {
+		t.Fatalf("gauge = %v, want 8000", got)
+	}
+	if got := r.Histogram("h").Count(); got != 8000 {
+		t.Fatalf("histogram count = %d, want 8000", got)
+	}
+}
+
+func TestEventsSequencedAndCapped(t *testing.T) {
+	r := NewRegistry()
+	for i := 0; i < maxEvents+10; i++ {
+		r.Event(Event{Kind: EventInstall, Frag: int32(i)})
+	}
+	ev := r.Events()
+	if len(ev) != maxEvents {
+		t.Fatalf("kept %d events, want %d", len(ev), maxEvents)
+	}
+	for i, e := range ev {
+		if e.Seq != i {
+			t.Fatalf("event %d has seq %d", i, e.Seq)
+		}
+	}
+	if s := r.Snapshot(); s.EventsDropped != 10 {
+		t.Fatalf("dropped = %d, want 10", s.EventsDropped)
+	}
+}
+
+func TestSnapshotJSONDeterministic(t *testing.T) {
+	build := func() *Registry {
+		r := NewRegistry()
+		// Insertion order differs from name order on purpose.
+		r.Counter("z").Add(1)
+		r.Counter("a").Add(2)
+		r.Gauge("m").Set(3)
+		r.Histogram("h").Observe(4)
+		r.Event(Event{Kind: EventTranslate, VStart: 0x1000, SrcInsts: 7, Cost: 900})
+		r.Event(Event{Kind: EventVerify, VStart: 0x1000, OK: true})
+		return r
+	}
+	b1, err := json.Marshal(build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := json.Marshal(build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b1) != string(b2) {
+		t.Fatalf("snapshots differ:\n%s\n%s", b1, b2)
+	}
+	if !strings.Contains(string(b1), `"kind":"translate"`) {
+		t.Fatalf("event kind not serialized as string: %s", b1)
+	}
+	// Counters must be name-sorted.
+	if ia, iz := strings.Index(string(b1), `"name":"a"`), strings.Index(string(b1), `"name":"z"`); ia > iz {
+		t.Fatalf("counters not sorted by name: %s", b1)
+	}
+}
+
+func TestEventKindRoundTrip(t *testing.T) {
+	for k := EventTranslate; k <= EventEvict; k++ {
+		b, err := json.Marshal(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back EventKind
+		if err := json.Unmarshal(b, &back); err != nil {
+			t.Fatal(err)
+		}
+		if back != k {
+			t.Fatalf("round trip %v -> %v", k, back)
+		}
+	}
+	var bad EventKind
+	if err := json.Unmarshal([]byte(`"bogus"`), &bad); err == nil {
+		t.Fatal("unknown kind did not error")
+	}
+}
+
+func TestGaugesWithPrefix(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("experiments.wall_ms.gzip").Set(12)
+	r.Gauge("experiments.wall_ms.mcf").Set(34)
+	r.Gauge("other").Set(56)
+	got := r.GaugesWithPrefix("experiments.wall_ms.")
+	if len(got) != 2 || got["experiments.wall_ms.gzip"] != 12 || got["experiments.wall_ms.mcf"] != 34 {
+		t.Fatalf("GaugesWithPrefix = %v", got)
+	}
+}

@@ -1,0 +1,267 @@
+package report
+
+import (
+	"github.com/ildp/accdbt/internal/stats"
+)
+
+// aggKind selects the aggregate-row function for one column.
+type aggKind uint8
+
+const (
+	aggNone   aggKind = iota // blank cell in the aggregate row
+	aggMean                  // arithmetic mean
+	aggGeo                   // geometric mean
+	aggSpread                // (max-min)/mean, the variance study's row
+)
+
+// columnDef describes one series of an experiment: its stable record
+// key, the rendered column header, the unit recorded on emitted cells,
+// how the aggregate row summarises it, and whether values are integral
+// counts (rendered without decimals).
+type columnDef struct {
+	key     string
+	header  string
+	unit    string
+	agg     aggKind
+	integer bool
+}
+
+// tableDef describes one experiment's table: ID, rendered title, the
+// row-key column header, the aggregate-row label ("" = no aggregate
+// row), and the columns in render order. The same definitions drive the
+// emitter (record building), the validator, and the renderer, so the
+// three cannot drift apart.
+type tableDef struct {
+	exp       string
+	title     string
+	rowHeader string
+	aggLabel  string
+	cols      []columnDef
+}
+
+// tableDefs lists every experiment in canonical render order.
+var tableDefs = []tableDef{
+	{
+		exp:       "table2",
+		title:     "Table 2. Translated instruction statistics",
+		rowHeader: "bench",
+		aggLabel:  "Avg.",
+		cols: []columnDef{
+			{key: "dyn_b", header: "dyn B", unit: "ratio", agg: aggMean},
+			{key: "dyn_m", header: "dyn M", unit: "ratio", agg: aggMean},
+			{key: "copy_pct_b", header: "copy% B", unit: "percent", agg: aggMean},
+			{key: "copy_pct_m", header: "copy% M", unit: "percent", agg: aggMean},
+			{key: "static_b", header: "static B", unit: "ratio", agg: aggMean},
+			{key: "static_m", header: "static M", unit: "ratio", agg: aggMean},
+			{key: "xlate_inst", header: "xlate inst", unit: "insts", agg: aggMean},
+		},
+	},
+	{
+		exp:       "overhead",
+		title:     "Translation overhead (Alpha instructions to translate one Alpha instruction, §4.2)",
+		rowHeader: "bench",
+		aggLabel:  "Avg.",
+		cols: []columnDef{
+			{key: "insts_per_inst", header: "insts/inst", unit: "insts", agg: aggMean},
+			{key: "fragments", header: "fragments", unit: "count", agg: aggNone, integer: true},
+			{key: "src_insts", header: "src insts", unit: "insts", agg: aggNone, integer: true},
+		},
+	},
+	{
+		exp:       "fig4",
+		title:     "Figure 4. Branch/jump mispredictions per 1000 instructions",
+		rowHeader: "bench",
+		aggLabel:  "Avg.",
+		cols: []columnDef{
+			{key: "original", header: "original", unit: "per1000", agg: aggMean},
+			{key: "no_pred", header: "no_pred", unit: "per1000", agg: aggMean},
+			{key: "sw_pred_no_ras", header: "sw_pred.no_ras", unit: "per1000", agg: aggMean},
+			{key: "sw_pred_ras", header: "sw_pred.ras", unit: "per1000", agg: aggMean},
+		},
+	},
+	{
+		exp:       "fig5",
+		title:     "Figure 5. Relative instruction count (straightened Alpha / original)",
+		rowHeader: "bench",
+		aggLabel:  "Avg.",
+		cols: []columnDef{
+			{key: "no_pred", header: "no_pred", unit: "ratio", agg: aggMean},
+			{key: "sw_pred_no_ras", header: "sw_pred.no_ras", unit: "ratio", agg: aggMean},
+			{key: "sw_pred_ras", header: "sw_pred.ras", unit: "ratio", agg: aggMean},
+		},
+	},
+	{
+		exp:       "fig6",
+		title:     "Figure 6. IPC impact of code straightening and hardware RAS",
+		rowHeader: "bench",
+		aggLabel:  "GeoMean",
+		cols: []columnDef{
+			{key: "orig_no_ras", header: "orig/noRAS", unit: "ipc", agg: aggGeo},
+			{key: "orig_ras", header: "orig/RAS", unit: "ipc", agg: aggGeo},
+			{key: "straight_no_ras", header: "straight/noRAS", unit: "ipc", agg: aggGeo},
+			{key: "straight_ras", header: "straight/RAS", unit: "ipc", agg: aggGeo},
+		},
+	},
+	{
+		exp:       "fig7",
+		title:     "Figure 7. Output register usage (fractions of producing instructions)",
+		rowHeader: "bench",
+		cols: []columnDef{
+			{key: "no_user", header: "no-user", unit: "fraction"},
+			{key: "no_user_global", header: "nouser>gbl", unit: "fraction"},
+			{key: "local", header: "local", unit: "fraction"},
+			{key: "local_global", header: "local>gbl", unit: "fraction"},
+			{key: "temp", header: "temp", unit: "fraction"},
+			{key: "comm", header: "comm", unit: "fraction"},
+			{key: "liveout", header: "liveout", unit: "fraction"},
+			{key: "global_pct", header: "global%", unit: "percent"},
+		},
+	},
+	{
+		exp:       "fig8",
+		title:     "Figure 8. IPC comparison (V-ISA instructions per cycle)",
+		rowHeader: "bench",
+		aggLabel:  "GeoMean",
+		cols: []columnDef{
+			{key: "original", header: "orig SS", unit: "ipc", agg: aggGeo},
+			{key: "straightened", header: "straightened", unit: "ipc", agg: aggGeo},
+			{key: "ildp_basic", header: "ILDP basic", unit: "ipc", agg: aggGeo},
+			{key: "ildp_modified", header: "ILDP modified", unit: "ipc", agg: aggGeo},
+			{key: "native_iisa", header: "native I-ISA", unit: "ipc", agg: aggGeo},
+		},
+	},
+	{
+		exp:       "fig9",
+		title:     "Figure 9. IPC variation over machine parameters (modified ISA)",
+		rowHeader: "bench",
+		aggLabel:  "GeoMean",
+		cols: []columnDef{
+			{key: "acc8", header: "8 acc", unit: "ipc", agg: aggGeo},
+			{key: "base", header: "base(4a/8PE/32K/0c)", unit: "ipc", agg: aggGeo},
+			{key: "small_d", header: "8KB D$", unit: "ipc", agg: aggGeo},
+			{key: "comm2", header: "2-cyc comm", unit: "ipc", agg: aggGeo},
+			{key: "pe6", header: "6 PE", unit: "ipc", agg: aggGeo},
+			{key: "pe4", header: "4 PE", unit: "ipc", agg: aggGeo},
+		},
+	},
+	{
+		exp:       "fusion",
+		title:     "Ablation: unsplit memory operations (§4.5 extension, modified ISA)",
+		rowHeader: "bench",
+		aggLabel:  "Avg/GeoM",
+		cols: []columnDef{
+			{key: "expand_split", header: "expand split", unit: "ratio", agg: aggMean},
+			{key: "expand_fused", header: "expand fused", unit: "ratio", agg: aggMean},
+			{key: "ipc_split", header: "IPC split", unit: "ipc", agg: aggGeo},
+			{key: "ipc_fused", header: "IPC fused", unit: "ipc", agg: aggGeo},
+			{key: "static_split", header: "static split", unit: "ratio", agg: aggNone},
+			{key: "static_fused", header: "static fused", unit: "ratio", agg: aggNone},
+		},
+	},
+	{
+		exp:       "threshold",
+		title:     "Ablation: hot-trace threshold (the paper uses 50)",
+		rowHeader: "threshold",
+		cols: []columnDef{
+			{key: "trans_fraction", header: "translated frac", unit: "fraction"},
+			{key: "cost_share", header: "xlate cost / V-inst", unit: "insts"},
+			{key: "fragments", header: "fragments", unit: "count"},
+		},
+	},
+	{
+		exp:       "superblock",
+		title:     "Ablation: maximum superblock size (§4.1; the paper uses 200)",
+		rowHeader: "max size",
+		cols: []columnDef{
+			{key: "ipc", header: "straightened IPC", unit: "ipc"},
+			{key: "fragments", header: "fragments", unit: "count"},
+			{key: "exits", header: "VM exits", unit: "count"},
+		},
+	},
+	{
+		exp:       "vmcost",
+		title:     "VM software overhead (§4.1-4.2): interpretation + translation",
+		rowHeader: "bench",
+		aggLabel:  "Avg.",
+		cols: []columnDef{
+			{key: "interp_insts", header: "interp insts", unit: "insts", agg: aggNone, integer: true},
+			{key: "trans_v_insts", header: "trans V-insts", unit: "insts", agg: aggNone, integer: true},
+			{key: "interp_cost", header: "interp cost", unit: "insts", agg: aggNone, integer: true},
+			{key: "xlate_cost", header: "xlate cost", unit: "insts", agg: aggNone, integer: true},
+			{key: "ovh_per_v", header: "ovh/V-inst", unit: "insts", agg: aggMean},
+			{key: "interp_per_src", header: "interp/src", unit: "insts", agg: aggMean},
+		},
+	},
+	{
+		exp:       "ras",
+		title:     "Ablation: dual-address RAS size (eon + vortex, modified ISA)",
+		rowHeader: "entries",
+		cols: []columnDef{
+			{key: "hit_rate", header: "hit rate", unit: "fraction"},
+			{key: "ipc", header: "IPC", unit: "ipc"},
+			{key: "expansion", header: "expansion", unit: "ratio"},
+		},
+	},
+	{
+		exp:       "variance",
+		title:     "Dataset sensitivity: Table 2 means across perturbed data seeds",
+		rowHeader: "seed",
+		aggLabel:  "spread",
+		cols: []columnDef{
+			{key: "dyn_b", header: "dyn B", unit: "ratio", agg: aggSpread},
+			{key: "dyn_m", header: "dyn M", unit: "ratio", agg: aggSpread},
+			{key: "copy_pct_b", header: "copy% B", unit: "percent", agg: aggSpread},
+			{key: "copy_pct_m", header: "copy% M", unit: "percent", agg: aggSpread},
+		},
+	},
+}
+
+// defFor returns the table definition for an experiment ID.
+func defFor(exp string) (tableDef, bool) {
+	for _, d := range tableDefs {
+		if d.exp == exp {
+			return d, true
+		}
+	}
+	return tableDef{}, false
+}
+
+// ExperimentIDs returns every defined experiment ID in canonical order.
+func ExperimentIDs() []string {
+	out := make([]string, len(tableDefs))
+	for i, d := range tableDefs {
+		out[i] = d.exp
+	}
+	return out
+}
+
+// aggregate reduces a column's values per its aggregate kind.
+func aggregate(kind aggKind, xs []float64) (float64, bool) {
+	if len(xs) == 0 {
+		return 0, false
+	}
+	switch kind {
+	case aggMean:
+		return stats.Mean(xs), true
+	case aggGeo:
+		return stats.GeoMean(xs), true
+	case aggSpread:
+		min, max, sum := xs[0], xs[0], 0.0
+		for _, x := range xs {
+			if x < min {
+				min = x
+			}
+			if x > max {
+				max = x
+			}
+			sum += x
+		}
+		mean := sum / float64(len(xs))
+		if mean == 0 {
+			return 0, true
+		}
+		return (max - min) / mean, true
+	default:
+		return 0, false
+	}
+}

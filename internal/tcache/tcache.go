@@ -9,6 +9,7 @@ import (
 
 	"github.com/ildp/accdbt/internal/alpha"
 	"github.com/ildp/accdbt/internal/ildp"
+	"github.com/ildp/accdbt/internal/metrics"
 	"github.com/ildp/accdbt/internal/translate"
 )
 
@@ -73,6 +74,10 @@ type Cache struct {
 	capacity int
 	// Flushes counts whole-cache flushes triggered by the capacity limit.
 	Flushes int
+
+	// reg, when non-nil, receives install/chain/evict lifecycle events
+	// and cache-level counters (nil = metrics disabled, zero cost).
+	reg *metrics.Registry
 }
 
 type patchSite struct {
@@ -173,11 +178,24 @@ func (c *Cache) CodeBytes() int {
 // the paper's unbounded configuration.
 func (c *Cache) SetCapacity(bytes int) { c.capacity = bytes }
 
+// SetMetrics attaches a metrics registry; the cache emits install,
+// chain, and evict fragment lifecycle events into it. A nil registry
+// disables emission (the default).
+func (c *Cache) SetMetrics(reg *metrics.Registry) { c.reg = reg }
+
 // Flush evicts every fragment (the dispatch routine survives). Pending
 // links are dropped; the VM re-translates on the next hot trace, which
 // also gives sub-optimal early fragments a second chance — the paper notes
 // there may be a performance cost in NOT occasionally flushing.
 func (c *Cache) Flush() {
+	if c.reg != nil {
+		for _, f := range c.frags {
+			c.reg.Event(metrics.Event{Kind: metrics.EventEvict, Frag: f.ID,
+				VStart: f.VStart, CodeBytes: f.CodeBytes, Detail: "capacity flush"})
+		}
+		c.reg.Counter("tcache.flushes").Inc()
+		c.reg.Counter("tcache.evicted_fragments").Add(uint64(len(c.frags)))
+	}
 	c.frags = c.frags[:0]
 	c.byVPC = map[uint64]int32{}
 	c.pending = map[uint64][]patchSite{}
@@ -227,6 +245,12 @@ func (c *Cache) Install(res *translate.Result) (*Fragment, error) {
 
 	c.frags = append(c.frags, f)
 	c.byVPC[f.VStart] = f.ID
+	if c.reg != nil {
+		c.reg.Event(metrics.Event{Kind: metrics.EventInstall, Frag: f.ID,
+			VStart: f.VStart, OutInsts: len(f.Insts), CodeBytes: f.CodeBytes})
+		c.reg.Counter("tcache.installs").Inc()
+		c.reg.Counter("tcache.code_bytes").Add(uint64(f.CodeBytes))
+	}
 
 	// Link this fragment's own exits against existing fragments.
 	for i := range f.Insts {
@@ -266,4 +290,9 @@ func (c *Cache) patch(f *Fragment, idx int, target int32) {
 	}
 	inst.Frag = target
 	c.Patches++
+	if c.reg != nil {
+		c.reg.Event(metrics.Event{Kind: metrics.EventChain, Frag: f.ID,
+			VStart: f.VStart, Detail: fmt.Sprintf("exit %d -> frag %d", idx, target)})
+		c.reg.Counter("tcache.patches").Inc()
+	}
 }

@@ -20,6 +20,7 @@ package uarch
 
 import (
 	"github.com/ildp/accdbt/internal/cachesim"
+	"github.com/ildp/accdbt/internal/metrics"
 	"github.com/ildp/accdbt/internal/trace"
 )
 
@@ -118,6 +119,34 @@ func (r Result) MispredictsPer1000() float64 {
 		return 0
 	}
 	return float64(r.CondMispredicts+r.TargetMispredicts) * 1000 / float64(r.Insts)
+}
+
+// Publish copies the timing summary into the registry under the given
+// prefix (e.g. "uarch.ildp"): cycle/instruction counters, predictor and
+// cache-miss counters, stall accounting, and the derived IPC and
+// misprediction-rate gauges. No-op on a nil registry.
+func (r Result) Publish(reg *metrics.Registry, prefix string) {
+	if reg == nil {
+		return
+	}
+	c := func(name string, v uint64) { reg.Counter(prefix + "." + name).Add(v) }
+	c("cycles", uint64(r.Cycles))
+	c("insts", r.Insts)
+	c("v_insts", r.VInsts)
+	c("cond_mispredicts", r.CondMispredicts)
+	c("target_mispredicts", r.TargetMispredicts)
+	c("misfetches", r.Misfetches)
+	c("branches", r.Branches)
+	c("icache_misses", r.ICacheMisses)
+	c("dcache_misses", r.DCacheMisses)
+	c("l2_misses", r.L2Misses)
+	c("icache_stall_cycles", uint64(r.ICacheStall))
+	c("dcache_stall_cycles", uint64(r.DCacheStall))
+	c("redirect_loss_cycles", uint64(r.RedirectLoss))
+	c("episodes", r.Episodes)
+	reg.Gauge(prefix + ".ipc").Set(r.IPC())
+	reg.Gauge(prefix + ".native_ipc").Set(r.NativeIPC())
+	reg.Gauge(prefix + ".mispredicts_per_1000").Set(r.MispredictsPer1000())
 }
 
 // regSpace is the unified dependence-tracking register space: 64 GPRs

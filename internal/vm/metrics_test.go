@@ -1,0 +1,83 @@
+package vm
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/ildp/accdbt/internal/ildp"
+	"github.com/ildp/accdbt/internal/metrics"
+	"github.com/ildp/accdbt/internal/translate"
+)
+
+// TestMetricsDoNotChangeResults runs the torture program with and
+// without a metrics registry attached and requires identical simulation
+// outcomes: observability must be a pure tap.
+func TestMetricsDoNotChangeResults(t *testing.T) {
+	for _, form := range []ildp.Form{ildp.Basic, ildp.Modified} {
+		cfg := DefaultConfig()
+		cfg.Form = form
+		cfg.Chain = translate.SWPredRAS
+		plain := vmRun(t, torture, cfg)
+
+		cfg.Metrics = metrics.NewRegistry()
+		observed := vmRun(t, torture, cfg)
+
+		if !reflect.DeepEqual(plain.Stats, observed.Stats) {
+			t.Errorf("%v: Stats differ with metrics enabled:\nplain:    %+v\nobserved: %+v",
+				form, plain.Stats, observed.Stats)
+		}
+		if plain.CPU().ExitStatus != observed.CPU().ExitStatus ||
+			plain.CPU().ConsoleString() != observed.CPU().ConsoleString() {
+			t.Errorf("%v: architectural outcome differs with metrics enabled", form)
+		}
+	}
+}
+
+// TestMetricsLifecycleEvents checks that a metrics-enabled run emits
+// translate events matching the fragment count and publishes the VM
+// counters consistently with Stats.
+func TestMetricsLifecycleEvents(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Form = ildp.Modified
+	cfg.Chain = translate.SWPredRAS
+	reg := metrics.NewRegistry()
+	cfg.Metrics = reg
+	v := vmRun(t, torture, cfg)
+
+	var translates, installs, chains int
+	for _, e := range reg.Events() {
+		switch e.Kind {
+		case metrics.EventTranslate:
+			translates++
+		case metrics.EventInstall:
+			installs++
+		case metrics.EventChain:
+			chains++
+		}
+	}
+	if translates != v.Stats.Fragments {
+		t.Errorf("translate events = %d, want %d (fragment count)", translates, v.Stats.Fragments)
+	}
+	if installs != v.Stats.Fragments {
+		t.Errorf("install events = %d, want %d", installs, v.Stats.Fragments)
+	}
+	if chains != v.TCache().Patches {
+		t.Errorf("chain events = %d, want %d (patches)", chains, v.TCache().Patches)
+	}
+
+	v.Stats.Publish(reg)
+	snap := reg.Snapshot()
+	counters := map[string]uint64{}
+	for _, c := range snap.Counters {
+		counters[c.Name] = c.Value
+	}
+	if counters["vm.fragments"] != uint64(v.Stats.Fragments) {
+		t.Errorf("vm.fragments = %d, want %d", counters["vm.fragments"], v.Stats.Fragments)
+	}
+	if counters["vm.trans_i_insts"] != v.Stats.TransIInsts {
+		t.Errorf("vm.trans_i_insts = %d, want %d", counters["vm.trans_i_insts"], v.Stats.TransIInsts)
+	}
+	if counters["tcache.installs"] != uint64(v.Stats.Fragments) {
+		t.Errorf("tcache.installs = %d, want %d", counters["tcache.installs"], v.Stats.Fragments)
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"github.com/ildp/accdbt/internal/ildp"
 	"github.com/ildp/accdbt/internal/iverify"
 	"github.com/ildp/accdbt/internal/mem"
+	"github.com/ildp/accdbt/internal/metrics"
 	"github.com/ildp/accdbt/internal/tcache"
 	"github.com/ildp/accdbt/internal/trace"
 	"github.com/ildp/accdbt/internal/translate"
@@ -75,6 +76,14 @@ type Config struct {
 	// InterpSink, when non-nil, also receives records for interpreted
 	// instructions (used by the "original" no-DBT baseline).
 	InterpSink trace.Sink
+
+	// Metrics, when non-nil, receives fragment lifecycle events
+	// (translate, verify, install, chain, evict) and per-fragment
+	// translation histograms as the run progresses; Stats.Publish adds
+	// the aggregate counters at the end of a run. A nil registry
+	// disables all collection at near-zero cost and never changes
+	// simulation results.
+	Metrics *metrics.Registry
 }
 
 // DefaultConfig returns the paper's baseline: modified ISA, four
@@ -135,6 +144,52 @@ func (s *Stats) InterpCost() int64 { return int64(s.InterpInsts) * InterpCostPer
 // interpretation plus translation — in Alpha instructions.
 func (s *Stats) VMOverhead() int64 { return s.InterpCost() + s.TranslateCost }
 
+// Publish copies every aggregate statistic into the registry under the
+// "vm." namespace (see DESIGN.md §8 for the metric-to-paper mapping).
+// Call it once at the end of a run; it is a no-op on a nil registry.
+func (s *Stats) Publish(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	u := func(name string, v uint64) { reg.Counter(name).Add(v) }
+	i := func(name string, v int64) { reg.Counter(name).Add(uint64(v)) }
+	u("vm.interp_insts", s.InterpInsts)
+	u("vm.trans_v_insts", s.TransVInsts)
+	u("vm.trans_i_insts", s.TransIInsts)
+	u("vm.copies_executed", s.CopiesExecuted)
+	u("vm.frag_entries", s.FragEntries)
+	u("vm.exits", s.Exits)
+	u("vm.dispatch_runs", s.DispatchRuns)
+	u("vm.dispatch_hits", s.DispatchHits)
+	u("vm.swpred_hits", s.SWPredHits)
+	u("vm.swpred_misses", s.SWPredMisses)
+	u("vm.ras_hits", s.RASHits)
+	u("vm.ras_misses", s.RASMisses)
+	i("vm.fragments", int64(s.Fragments))
+	i("vm.frags_verified", int64(s.FragsVerified))
+	i("vm.src_insts_translated", s.SrcInstsTranslated)
+	i("vm.nops_removed", s.NOPsRemoved)
+	i("vm.branch_elims", s.BranchElims)
+	i("vm.translate_cost", s.TranslateCost)
+	i("vm.static_code_bytes", s.StaticCodeBytes)
+	i("vm.static_src_bytes", s.StaticSrcBytes)
+	i("vm.static_copies", s.StaticCopies)
+	i("vm.static_chain", s.StaticChain)
+	i("vm.spills", s.Spills)
+	for c, n := range s.ClassCounts {
+		u("vm.class."+ildp.Class(c).String(), n)
+	}
+	// Metric-name slugs for ildp.UsageClass (whose String forms contain
+	// spaces and arrows).
+	usageSlugs := [...]string{"none", "no_user", "local", "temp", "liveout",
+		"comm", "local_to_global", "no_user_to_global"}
+	for uc, n := range s.UsageDyn {
+		if n != 0 && uc < len(usageSlugs) {
+			u("vm.usage."+usageSlugs[uc], n)
+		}
+	}
+}
+
 // ErrBudget is returned by Run when the V-instruction budget is exhausted.
 var ErrBudget = errors.New("vm: instruction budget exhausted")
 
@@ -182,6 +237,7 @@ func New(m *mem.Memory, cfg Config) *VM {
 	if cfg.TCacheBytes > 0 {
 		tc.SetCapacity(cfg.TCacheBytes)
 	}
+	tc.SetMetrics(cfg.Metrics)
 	return &VM{
 		cfg:      cfg,
 		cpu:      emu.New(m),
@@ -369,6 +425,14 @@ func (v *VM) finishRecording(end translate.EndKind, nextPC uint64) error {
 		}
 		return fmt.Errorf("vm: translating superblock at %#x: %w", sb.StartPC, err)
 	}
+	if reg := v.cfg.Metrics; reg != nil {
+		reg.Event(metrics.Event{Kind: metrics.EventTranslate, Frag: -1,
+			VStart: res.VStart, SrcInsts: res.SrcCount, OutInsts: len(res.Insts),
+			CodeBytes: res.CodeBytes, Cost: res.Cost})
+		reg.Histogram("translate.cost_per_fragment").Observe(float64(res.Cost))
+		reg.Histogram("translate.src_insts_per_fragment").Observe(float64(res.SrcCount))
+		reg.Histogram("translate.code_bytes_per_fragment").Observe(float64(res.CodeBytes))
+	}
 	if v.testMutateResult != nil {
 		v.testMutateResult(res)
 	}
@@ -376,6 +440,8 @@ func (v *VM) finishRecording(end translate.EndKind, nextPC uint64) error {
 		rep := iverify.Verify(res, iverify.Config{
 			Form: v.cfg.Form, NumAcc: v.cfg.NumAcc, Chain: v.cfg.Chain,
 		})
+		v.cfg.Metrics.Event(metrics.Event{Kind: metrics.EventVerify, Frag: -1,
+			VStart: res.VStart, OK: rep.OK(), Skipped: rep.Skipped})
 		if !rep.OK() {
 			return fmt.Errorf("vm: fragment verification failed:\n%s", rep)
 		}
