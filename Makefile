@@ -1,6 +1,6 @@
 # Convenience targets; ci/check.sh is the canonical gate.
 
-.PHONY: build test check lint-example experiments
+.PHONY: build test check lint-example experiments profile
 
 build:
 	go build ./...
@@ -20,3 +20,9 @@ lint-example:
 experiments:
 	go run ./cmd/ildpbench -experiment=all -scale=2 -json > reports/experiments-scale2.json
 	go run ./cmd/ildpreport -write
+
+# Profile a workload end to end: hot-fragment table on stdout, Perfetto
+# timeline and folded flamegraph stacks under reports/.
+profile:
+	go run ./cmd/ildpprof -workload gzip -selfcheck -top 20 \
+		-trace reports/gzip-trace.json -folded reports/gzip.folded

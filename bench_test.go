@@ -13,6 +13,7 @@ import (
 	"github.com/ildp/accdbt"
 	"github.com/ildp/accdbt/internal/experiments"
 	"github.com/ildp/accdbt/internal/mem"
+	"github.com/ildp/accdbt/internal/prof"
 	"github.com/ildp/accdbt/internal/stats"
 	"github.com/ildp/accdbt/internal/translate"
 	"github.com/ildp/accdbt/internal/uarch"
@@ -206,6 +207,53 @@ func BenchmarkTranslator(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkProfilerOverhead measures the cost of the execution profiler
+// on a full timed DBT run: the "off" case is the identical run with a
+// nil profiler (the production fast path), the "on" case attaches a
+// profiler to the VM and timing model. Events/s reports the trace-event
+// rate the ring absorbs while profiling.
+func BenchmarkProfilerOverhead(b *testing.B) {
+	spec, err := workload.ByName("gzip", benchScale)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog := spec.MustProgram()
+	run := func(b *testing.B, profiled bool) {
+		var events, retires uint64
+		for i := 0; i < b.N; i++ {
+			var p *prof.Profiler
+			if profiled {
+				p = prof.New(prof.Config{})
+			}
+			m := uarch.NewILDP(uarch.DefaultILDP())
+			m.SetProfiler(p)
+			cfg := vm.DefaultConfig()
+			cfg.HotThreshold = benchThreshold
+			cfg.Sink = m
+			cfg.Prof = p
+			v := vm.New(mem.New(), cfg)
+			if err := v.LoadProgram(prog); err != nil {
+				b.Fatal(err)
+			}
+			if err := v.Run(0); err != nil {
+				b.Fatal(err)
+			}
+			m.Finish()
+			if p != nil {
+				p.Finish()
+				events += p.EventsRecorded()
+				retires += p.Retires()
+			}
+		}
+		if profiled {
+			b.ReportMetric(float64(events)/b.Elapsed().Seconds()/1e6, "Mevents/s")
+			b.ReportMetric(float64(retires)/b.Elapsed().Seconds()/1e6, "Mrecs/s")
+		}
+	}
+	b.Run("off", func(b *testing.B) { run(b, false) })
+	b.Run("on", func(b *testing.B) { run(b, true) })
 }
 
 // BenchmarkTimingModelILDP measures ILDP timing-model throughput.

@@ -39,4 +39,20 @@ echo "== json report smoke (scale-1 table2)"
 go run ./cmd/ildpbench -experiment=table2 -scale=1 -json \
     | go run ./cmd/ildpreport -validate -in -
 
+echo "== profiler smoke (ildpprof selfcheck + trace schema)"
+# -selfcheck verifies cycle conservation against the timing model, that
+# the hot table is sorted, and that the exported Perfetto JSON passes
+# schema validation (non-empty spans, balanced flows).
+prof_out=$(go run ./cmd/ildpprof -workload gzip -selfcheck -top 5)
+echo "$prof_out" | grep -q "selfcheck: cycle conservation and trace schema OK" || {
+    echo "ildpprof selfcheck failed:" >&2
+    echo "$prof_out" >&2
+    exit 1
+}
+echo "$prof_out" | awk '/^ *[0-9]+ +0x/ { rows++ } END { exit rows > 0 ? 0 : 1 }' || {
+    echo "ildpprof hot-fragment table is empty:" >&2
+    echo "$prof_out" >&2
+    exit 1
+}
+
 echo "check: all clean"

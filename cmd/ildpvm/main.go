@@ -23,6 +23,7 @@ import (
 	"github.com/ildp/accdbt/internal/ildp"
 	"github.com/ildp/accdbt/internal/mem"
 	"github.com/ildp/accdbt/internal/metrics"
+	"github.com/ildp/accdbt/internal/prof"
 	"github.com/ildp/accdbt/internal/tcache"
 	"github.com/ildp/accdbt/internal/translate"
 	"github.com/ildp/accdbt/internal/uarch"
@@ -43,6 +44,7 @@ func main() {
 	maxV := flag.Int64("max", 0, "V-instruction budget (0 = unlimited)")
 	fuse := flag.Bool("fuse", false, "unsplit memory operations (the §4.5 extension)")
 	dump := flag.Int("dump", 0, "disassemble the N hottest translated fragments")
+	hot := flag.Int("hot", 0, "attach the execution profiler and print the N hottest fragments by cycles (implies -timing)")
 	metricsJSON := flag.Bool("metrics", false, "collect a metrics registry (counters + fragment lifecycle events) and dump it as JSON")
 	timing := flag.Bool("timing", false, "attach the matching timing model and report IPC")
 	pes := flag.Int("pes", 8, "ILDP processing elements (with -timing)")
@@ -90,6 +92,13 @@ func main() {
 		cfg.Metrics = reg
 	}
 
+	var profiler *prof.Profiler
+	if *hot > 0 {
+		*timing = true
+		profiler = prof.New(prof.Config{})
+		cfg.Prof = profiler
+	}
+
 	var ooo *uarch.OoO
 	var core *uarch.ILDP
 	if *timing {
@@ -98,6 +107,7 @@ func main() {
 			mc.UseHWRAS = false
 			mc.DualRASTrace = cfg.Chain == translate.SWPredRAS
 			ooo = uarch.NewOoO(mc)
+			ooo.SetProfiler(profiler)
 			cfg.Sink = ooo
 		} else {
 			mc := uarch.DefaultILDP()
@@ -106,6 +116,7 @@ func main() {
 			mc.CacheOpts.Replicas = *pes
 			mc.DualRASTrace = cfg.Chain == translate.SWPredRAS
 			core = uarch.NewILDP(mc)
+			core.SetProfiler(profiler)
 			cfg.Sink = core
 		}
 	}
@@ -131,6 +142,12 @@ func main() {
 	}
 	if *dump > 0 {
 		dumpFragments(v, *dump)
+	}
+	if profiler != nil {
+		fmt.Printf("\nhot fragments:\n")
+		if err := profiler.Profile().WriteHotTable(os.Stdout, *hot); err != nil {
+			fatal(err)
+		}
 	}
 	if reg != nil {
 		v.Stats.Publish(reg)

@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"github.com/ildp/accdbt/internal/prof"
+	"github.com/ildp/accdbt/internal/translate"
+	"github.com/ildp/accdbt/internal/workload"
+)
+
+// TestProfilerEquivalence proves the acceptance criterion that profiling
+// never changes simulation results: for every machine, a run with the
+// profiler attached must produce bit-identical VM statistics, timing
+// results, and PE distribution to the same run without it.
+func TestProfilerEquivalence(t *testing.T) {
+	wl, err := workload.ByName("gzip", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mach := range []Machine{Original, Straightened, ILDPBasic, ILDPModified} {
+		spec := RunSpec{
+			Workload: wl, Machine: mach, Chain: translate.SWPredRAS,
+			Timing: true,
+		}
+		base, err := Run(spec)
+		if err != nil {
+			t.Fatalf("%v baseline: %v", mach, err)
+		}
+
+		spec.Prof = prof.New(prof.Config{Capacity: 1 << 12, SampleEvery: 2})
+		profiled, err := Run(spec)
+		if err != nil {
+			t.Fatalf("%v profiled: %v", mach, err)
+		}
+
+		if !reflect.DeepEqual(base.VM, profiled.VM) {
+			t.Errorf("%v: VM stats differ with profiling enabled:\n%+v\n%+v",
+				mach, base.VM, profiled.VM)
+		}
+		if base.Timing != profiled.Timing {
+			t.Errorf("%v: timing results differ with profiling enabled:\n%+v\n%+v",
+				mach, base.Timing, profiled.Timing)
+		}
+		if !reflect.DeepEqual(base.PEDist, profiled.PEDist) {
+			t.Errorf("%v: PE distribution differs with profiling enabled", mach)
+		}
+	}
+}
+
+// TestProfilerConservation checks the other acceptance criterion on real
+// runs: the profile's per-frame cycle totals sum exactly to the timing
+// model's cycle count, the hot table is sorted, and the exported trace
+// passes schema validation — for both chain-heavy and return-heavy
+// workloads and for a wrapped ring.
+func TestProfilerConservation(t *testing.T) {
+	for _, tc := range []struct {
+		wl    string
+		chain translate.ChainMode
+		cap   int
+	}{
+		{"gzip", translate.SWPredRAS, 0},
+		{"eon", translate.SWPredRAS, 1 << 10}, // returns + tiny ring (wraparound)
+		{"perlbmk", translate.NoPred, 0},      // dispatch-dominated
+	} {
+		wl, err := workload.ByName(tc.wl, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := prof.New(prof.Config{Capacity: tc.cap})
+		out, err := Run(RunSpec{
+			Workload: wl, Machine: ILDPModified, Chain: tc.chain,
+			Timing: true, Prof: p,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", tc.wl, err)
+		}
+
+		pr := p.Profile()
+		if len(pr.Frags) == 0 {
+			t.Fatalf("%s: no fragments profiled", tc.wl)
+		}
+		if err := pr.CheckConservation(out.Timing.Cycles); err != nil {
+			t.Errorf("%s: %v", tc.wl, err)
+		}
+		if pr.Frags[0].Entries == 0 || pr.Frags[0].Cycles <= 0 {
+			t.Errorf("%s: hottest fragment has empty aggregates: %+v", tc.wl, pr.Frags[0])
+		}
+
+		var buf bytes.Buffer
+		if err := p.WritePerfetto(&buf); err != nil {
+			t.Fatalf("%s: %v", tc.wl, err)
+		}
+		if err := prof.ValidateTrace(buf.Bytes()); err != nil {
+			t.Errorf("%s: %v", tc.wl, err)
+		}
+
+		var folded bytes.Buffer
+		if err := pr.WriteFolded(&folded); err != nil {
+			t.Fatalf("%s: %v", tc.wl, err)
+		}
+		if folded.Len() == 0 {
+			t.Errorf("%s: folded output is empty", tc.wl)
+		}
+	}
+}

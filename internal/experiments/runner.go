@@ -13,6 +13,7 @@ import (
 	"github.com/ildp/accdbt/internal/ildp"
 	"github.com/ildp/accdbt/internal/mem"
 	"github.com/ildp/accdbt/internal/metrics"
+	"github.com/ildp/accdbt/internal/prof"
 	"github.com/ildp/accdbt/internal/translate"
 	"github.com/ildp/accdbt/internal/uarch"
 	"github.com/ildp/accdbt/internal/vm"
@@ -66,6 +67,11 @@ type RunSpec struct {
 	// timed runs) the timing-model summary at the end. Collection never
 	// changes simulation results.
 	Metrics *metrics.Registry
+
+	// Prof, when non-nil, is attached to both the VM and the timing
+	// model so the run's fragment activity and cycle attribution land in
+	// one execution profile. Profiling never changes simulation results.
+	Prof *prof.Profiler
 }
 
 // Outcome is the result of one run.
@@ -99,6 +105,7 @@ func Run(spec RunSpec) (*Outcome, error) {
 	cfg.HotThreshold = spec.HotThreshold
 	cfg.FuseMemOps = spec.FuseMem
 	cfg.Metrics = spec.Metrics
+	cfg.Prof = spec.Prof
 	if spec.MaxSB > 0 {
 		cfg.MaxSuperblock = spec.MaxSB
 	}
@@ -156,6 +163,15 @@ func Run(spec RunSpec) (*Outcome, error) {
 		return nil, fmt.Errorf("experiments: unknown machine %v", spec.Machine)
 	}
 
+	if spec.Prof != nil {
+		if ooo != nil {
+			ooo.SetProfiler(spec.Prof)
+		}
+		if ildpM != nil {
+			ildpM.SetProfiler(spec.Prof)
+		}
+	}
+
 	v := vm.New(mem.New(), cfg)
 	if err := v.LoadProgram(prog); err != nil {
 		return nil, err
@@ -172,6 +188,7 @@ func Run(spec RunSpec) (*Outcome, error) {
 		out.Timing = ildpM.Finish()
 		out.PEDist = ildpM.PEDistribution()
 	}
+	spec.Prof.Finish()
 	if spec.Metrics != nil {
 		out.VM.Publish(spec.Metrics)
 		if spec.Timing {

@@ -112,6 +112,14 @@ func defaultBounds() []float64 {
 	return b
 }
 
+// NewHistogram returns a standalone histogram with the default bucket
+// ladder, for callers (like the execution profiler) that want quantile
+// summaries without a whole registry.
+func NewHistogram() *Histogram {
+	bounds := defaultBounds()
+	return &Histogram{bounds: bounds, counts: make([]uint64, len(bounds)+1)}
+}
+
 // Observe records one observation.
 func (h *Histogram) Observe(v float64) {
 	if h == nil {
@@ -151,6 +159,55 @@ func (h *Histogram) Sum() float64 {
 	return h.sum
 }
 
+// Quantile returns an estimate of the q-quantile (0 ≤ q ≤ 1) of the
+// observed values by linear interpolation inside the bucket where the
+// cumulative count crosses q·count. The estimate is clamped to the
+// observed [min, max], which also gives the overflow bucket a finite
+// upper edge. Returns 0 on a nil or empty histogram.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.min
+	}
+	if q >= 1 {
+		return h.max
+	}
+	target := q * float64(h.count)
+	var cum float64
+	for i, n := range h.counts {
+		if n == 0 {
+			continue
+		}
+		next := cum + float64(n)
+		if next < target {
+			cum = next
+			continue
+		}
+		// The target rank falls in bucket i: (lo, hi].
+		lo := h.min
+		if i > 0 && h.bounds[i-1] > lo {
+			lo = h.bounds[i-1]
+		}
+		hi := h.max
+		if i < len(h.bounds) && h.bounds[i] < hi {
+			hi = h.bounds[i]
+		}
+		if hi < lo {
+			hi = lo
+		}
+		v := lo + (hi-lo)*(target-cum)/float64(n)
+		return v
+	}
+	return h.max
+}
+
 // snapshot returns the histogram summary under its lock.
 func (h *Histogram) snapshot(name string) HistogramSnapshot {
 	h.mu.Lock()
@@ -175,9 +232,10 @@ func (h *Histogram) snapshot(name string) HistogramSnapshot {
 	return s
 }
 
-// maxEvents caps the per-registry lifecycle event buffer; overflow is
-// counted in the events_dropped field of the snapshot instead of growing
-// without bound on long runs.
+// maxEvents caps the per-registry lifecycle event buffer. The buffer is
+// a ring: past the cap the oldest events are overwritten and counted in
+// the events_dropped field of the snapshot, so long runs keep the most
+// recent window in constant memory.
 const maxEvents = 8192
 
 // Registry holds named instruments and the fragment lifecycle event
@@ -189,9 +247,8 @@ type Registry struct {
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
-	events   []Event
-	dropped  uint64
-	eventSeq int
+	events   []Event // ring once len == maxEvents; eventSeq%maxEvents is the write slot
+	eventSeq int     // total events ever emitted
 }
 
 // NewRegistry returns an empty enabled registry.
@@ -253,8 +310,9 @@ func (r *Registry) Histogram(name string) *Histogram {
 }
 
 // Event appends a fragment lifecycle event, stamping its sequence
-// number. No-op on a nil registry; past maxEvents the event is dropped
-// and counted.
+// number. No-op on a nil registry. The buffer is a bounded ring: past
+// maxEvents each new event overwrites the oldest one, and the number of
+// overwritten (dropped) events is reported by EventsDropped.
 func (r *Registry) Event(e Event) {
 	if r == nil {
 		return
@@ -262,25 +320,52 @@ func (r *Registry) Event(e Event) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	e.Seq = r.eventSeq
-	r.eventSeq++
-	if len(r.events) >= maxEvents {
-		r.dropped++
-		return
+	if len(r.events) < maxEvents {
+		r.events = append(r.events, e)
+	} else {
+		r.events[r.eventSeq%maxEvents] = e
 	}
-	r.events = append(r.events, e)
+	r.eventSeq++
 }
 
-// Events returns a copy of the recorded lifecycle events in emission
-// order (nil on a disabled registry).
+// eventsLocked returns the retained events oldest-first. Callers hold r.mu.
+func (r *Registry) eventsLocked() []Event {
+	out := make([]Event, 0, len(r.events))
+	if r.eventSeq <= maxEvents {
+		return append(out, r.events...)
+	}
+	head := r.eventSeq % maxEvents // oldest retained slot
+	out = append(out, r.events[head:]...)
+	return append(out, r.events[:head]...)
+}
+
+// Events returns a copy of the retained lifecycle events in emission
+// order (nil on a disabled registry). Short runs (at most maxEvents
+// events) see every event; longer runs see the most recent maxEvents,
+// with EventsDropped counting the overwritten prefix.
 func (r *Registry) Events() []Event {
 	if r == nil {
 		return nil
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	out := make([]Event, len(r.events))
-	copy(out, r.events)
-	return out
+	if r.eventSeq == 0 {
+		return nil
+	}
+	return r.eventsLocked()
+}
+
+// EventsDropped returns how many old events the ring has overwritten.
+func (r *Registry) EventsDropped() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.eventSeq > maxEvents {
+		return uint64(r.eventSeq - maxEvents)
+	}
+	return 0
 }
 
 // GaugesWithPrefix returns the name→value map of all gauges whose name
@@ -374,8 +459,12 @@ func (r *Registry) Snapshot() Snapshot {
 	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name })
 	sort.Slice(s.Gauges, func(i, j int) bool { return s.Gauges[i].Name < s.Gauges[j].Name })
 	sort.Slice(s.Histograms, func(i, j int) bool { return s.Histograms[i].Name < s.Histograms[j].Name })
-	s.Events = append([]Event(nil), r.events...)
-	s.EventsDropped = r.dropped
+	if r.eventSeq > 0 {
+		s.Events = r.eventsLocked()
+	}
+	if r.eventSeq > maxEvents {
+		s.EventsDropped = uint64(r.eventSeq - maxEvents)
+	}
 	return s
 }
 

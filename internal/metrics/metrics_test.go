@@ -107,13 +107,106 @@ func TestEventsSequencedAndCapped(t *testing.T) {
 	if len(ev) != maxEvents {
 		t.Fatalf("kept %d events, want %d", len(ev), maxEvents)
 	}
+	// The ring keeps the newest events: the 10 oldest were overwritten.
 	for i, e := range ev {
-		if e.Seq != i {
-			t.Fatalf("event %d has seq %d", i, e.Seq)
+		if want := i + 10; e.Seq != want {
+			t.Fatalf("event %d has seq %d, want %d", i, e.Seq, want)
+		}
+		if e.Frag != int32(i+10) {
+			t.Fatalf("event %d has frag %d, want %d", i, e.Frag, i+10)
 		}
 	}
 	if s := r.Snapshot(); s.EventsDropped != 10 {
 		t.Fatalf("dropped = %d, want 10", s.EventsDropped)
+	}
+	if got := r.EventsDropped(); got != 10 {
+		t.Fatalf("EventsDropped = %d, want 10", got)
+	}
+}
+
+func TestEventsShortRunUnchanged(t *testing.T) {
+	r := NewRegistry()
+	for i := 0; i < 100; i++ {
+		r.Event(Event{Kind: EventInstall, Frag: int32(i)})
+	}
+	ev := r.Events()
+	if len(ev) != 100 {
+		t.Fatalf("kept %d events, want 100", len(ev))
+	}
+	for i, e := range ev {
+		if e.Seq != i || e.Frag != int32(i) {
+			t.Fatalf("event %d = seq %d frag %d", i, e.Seq, e.Frag)
+		}
+	}
+	if got := r.EventsDropped(); got != 0 {
+		t.Fatalf("EventsDropped = %d, want 0", got)
+	}
+}
+
+func TestEventsRingWraparoundMultiple(t *testing.T) {
+	r := NewRegistry()
+	n := 3*maxEvents + 7
+	for i := 0; i < n; i++ {
+		r.Event(Event{Kind: EventInstall, Frag: int32(i)})
+	}
+	ev := r.Events()
+	if len(ev) != maxEvents {
+		t.Fatalf("kept %d events, want %d", len(ev), maxEvents)
+	}
+	first := n - maxEvents
+	for i, e := range ev {
+		if e.Seq != first+i {
+			t.Fatalf("event %d has seq %d, want %d", i, e.Seq, first+i)
+		}
+	}
+	if got := r.EventsDropped(); got != uint64(first) {
+		t.Fatalf("EventsDropped = %d, want %d", got, first)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram()
+	if got := h.Quantile(0.5); got != 0 {
+		t.Fatalf("empty histogram quantile = %v, want 0", got)
+	}
+	// Uniform 1..1000: quantiles should land near q*1000 despite the
+	// coarse 1-2-5 buckets (interpolation keeps the error inside one
+	// bucket).
+	for i := 1; i <= 1000; i++ {
+		h.Observe(float64(i))
+	}
+	checks := []struct{ q, want, tol float64 }{
+		{0, 1, 0}, {1, 1000, 0},
+		{0.5, 500, 60}, {0.95, 950, 60}, {0.99, 990, 60},
+	}
+	for _, c := range checks {
+		got := h.Quantile(c.q)
+		if got < c.want-c.tol || got > c.want+c.tol {
+			t.Errorf("Quantile(%v) = %v, want %v ± %v", c.q, got, c.want, c.tol)
+		}
+	}
+	// Quantiles are monotone in q and clamped to [min, max].
+	prev := h.Quantile(0)
+	for q := 0.05; q <= 1.0; q += 0.05 {
+		v := h.Quantile(q)
+		if v < prev {
+			t.Fatalf("Quantile not monotone: q=%v gave %v < %v", q, v, prev)
+		}
+		prev = v
+	}
+
+	var nilH *Histogram
+	if got := nilH.Quantile(0.5); got != 0 {
+		t.Fatalf("nil histogram quantile = %v, want 0", got)
+	}
+
+	// Single observation: every quantile is that value.
+	one := NewHistogram()
+	one.Observe(42)
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := one.Quantile(q); got != 42 {
+			t.Fatalf("single-value Quantile(%v) = %v, want 42", q, got)
+		}
 	}
 }
 

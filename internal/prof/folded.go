@@ -1,0 +1,61 @@
+package prof
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// WriteFolded renders the cycle attribution as folded stacks, the line
+// format consumed by standard flamegraph tools (flamegraph.pl, inferno,
+// speedscope): semicolon-separated frames, a space, and the sample
+// weight. Frames are `frag<ID>@<vstart>;acc<K>` — the fragment plus the
+// accumulator (strand) whose instructions the cycles retired through —
+// with `;nostrand` collecting accumulator-less instructions (stores,
+// branches, chaining overhead) and top-level `dispatch` / `vm` rows for
+// the pseudo-frames. Weights are cycles; when no timing model was
+// attached (all cycles zero) fragment I-instruction counts are emitted
+// instead so the output stays useful for functional-only runs.
+func (pr *Profile) WriteFolded(w io.Writer) error {
+	type line struct {
+		stack  string
+		weight int64
+	}
+	var lines []line
+	add := func(stack string, weight int64) {
+		if weight > 0 {
+			lines = append(lines, line{stack, weight})
+		}
+	}
+
+	useInsts := pr.TotalCycles == 0
+	for i := range pr.Frags {
+		f := &pr.Frags[i]
+		base := fmt.Sprintf("frag%d@%#x", f.ID, f.VStart)
+		if useInsts {
+			add(base, int64(f.IInsts))
+			continue
+		}
+		for acc, cyc := range f.AccCycles {
+			if acc == accNone {
+				add(base+";nostrand", cyc)
+			} else {
+				add(fmt.Sprintf("%s;acc%d", base, acc), cyc)
+			}
+		}
+	}
+	if useInsts {
+		add("dispatch", int64(pr.DispatchIInsts))
+	} else {
+		add("dispatch", pr.DispatchCycles)
+		add("vm", pr.VMCycles)
+	}
+
+	sort.Slice(lines, func(i, j int) bool { return lines[i].stack < lines[j].stack })
+	for _, l := range lines {
+		if _, err := fmt.Fprintf(w, "%s %d\n", l.stack, l.weight); err != nil {
+			return err
+		}
+	}
+	return nil
+}

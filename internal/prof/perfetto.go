@@ -1,0 +1,257 @@
+package prof
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Chrome trace-event / Perfetto JSON export. The emitted file follows
+// the "JSON Array Format" object flavour understood by both
+// chrome://tracing and ui.perfetto.dev:
+//
+//   - pid 1 ("vm") / tid 1 carries fragment and dispatch activations as
+//     complete ("X") duration events, chain verdicts as instant ("i")
+//     events, and chain edges between activations as flow ("s"/"f")
+//     pairs;
+//   - pid 2 ("pe") has one counter ("C") track per processing element,
+//     sampled at every activation boundary with the instructions the PE
+//     retired during that activation;
+//   - translations and evictions appear as instant events on the VM
+//     track.
+//
+// Timestamps are simulated cycles presented as microseconds (the
+// trace-event "ts"/"dur" unit), so 1 cycle renders as 1 µs.
+
+// traceEvent is one trace-event entry; field order is fixed by the
+// struct, making the output deterministic for golden tests.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	TS   int64          `json:"ts"`
+	Dur  *int64         `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`  // instant-event scope
+	ID   *uint64        `json:"id,omitempty"` // flow-event binding
+	BP   string         `json:"bp,omitempty"` // flow end binding point
+	Cat  string         `json:"cat,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+const (
+	pidVM = 1
+	pidPE = 2
+	tidVM = 1
+)
+
+func frameName(frag int32, vstart uint64) string {
+	switch frag {
+	case FrameDispatch:
+		return "dispatch"
+	case FrameVM:
+		return "vm"
+	}
+	return fmt.Sprintf("frag %d @%#x", frag, vstart)
+}
+
+// WritePerfetto renders the ring buffer as Chrome trace-event JSON.
+func (p *Profiler) WritePerfetto(w io.Writer) error {
+	events := p.Events()
+	out := []traceEvent{
+		{Name: "process_name", Ph: "M", PID: pidVM, TID: tidVM,
+			Args: map[string]any{"name": "vm"}},
+		{Name: "thread_name", Ph: "M", PID: pidVM, TID: tidVM,
+			Args: map[string]any{"name": "fragments"}},
+		{Name: "process_name", Ph: "M", PID: pidPE, TID: 0,
+			Args: map[string]any{"name": "pe"}},
+	}
+	peSeen := map[int16]bool{}
+
+	// Open activation while walking (the ring may start mid-stream after
+	// wraparound, so an exit without a matching enter is skipped).
+	type openSpan struct {
+		ok     bool
+		ts     int64
+		frag   int32
+		vstart uint64
+	}
+	var open openSpan
+	var flowID uint64
+	pendingFlow := false
+	var flowTS int64
+	var flowKind ChainKind
+
+	closeSpan := func(end int64) {
+		if !open.ok {
+			return
+		}
+		dur := end - open.ts
+		if dur < 0 {
+			dur = 0
+		}
+		out = append(out, traceEvent{
+			Name: frameName(open.frag, open.vstart), Ph: "X",
+			TS: open.ts, Dur: &dur, PID: pidVM, TID: tidVM,
+			Args: map[string]any{"frag": open.frag, "vstart": fmt.Sprintf("%#x", open.vstart)},
+		})
+		open.ok = false
+	}
+
+	for _, e := range events {
+		switch e.Kind {
+		case EvEnter:
+			closeSpan(e.TS)
+			if pendingFlow {
+				// Emit the chain edge as a start/finish flow pair, now
+				// that both endpoints are known (a dangling start would
+				// leave the trace unbalanced).
+				flowID++
+				id := flowID
+				out = append(out, traceEvent{
+					Name: flowKind.String(), Ph: "s", TS: flowTS,
+					PID: pidVM, TID: tidVM, ID: &id, Cat: "chain",
+				})
+				out = append(out, traceEvent{
+					Name: flowKind.String(), Ph: "f", TS: e.TS,
+					PID: pidVM, TID: tidVM, ID: &id, BP: "e", Cat: "chain",
+				})
+				pendingFlow = false
+			}
+			open = openSpan{ok: true, ts: e.TS, frag: e.Frag, vstart: e.VStart}
+		case EvExit:
+			closeSpan(e.TS)
+			pendingFlow = false
+		case EvChain:
+			kind := ChainKind(e.Arg)
+			out = append(out, traceEvent{
+				Name: kind.String(), Ph: "i", TS: e.TS, PID: pidVM, TID: tidVM, S: "t",
+				Args: map[string]any{"from": frameName(e.Frag, e.VStart)},
+			})
+			switch kind {
+			case ChainDirect, ChainSWPredMiss, ChainRASHit, ChainDispatchHit:
+				// These lead into another frame: edge pending until the
+				// matching enter event.
+				pendingFlow, flowTS, flowKind = true, e.TS, kind
+			}
+		case EvTranslate:
+			out = append(out, traceEvent{
+				Name: "translate", Ph: "i", TS: e.TS, PID: pidVM, TID: tidVM, S: "t",
+				Args: map[string]any{"vstart": fmt.Sprintf("%#x", e.VStart), "cost": e.Arg},
+			})
+		case EvEvict:
+			out = append(out, traceEvent{
+				Name: "evict", Ph: "i", TS: e.TS, PID: pidVM, TID: tidVM, S: "t",
+				Args: map[string]any{"frag": e.Frag, "vstart": fmt.Sprintf("%#x", e.VStart)},
+			})
+		case EvPESample:
+			if !peSeen[e.PE] {
+				peSeen[e.PE] = true
+				out = append(out, traceEvent{
+					Name: "thread_name", Ph: "M", PID: pidPE, TID: int(e.PE),
+					Args: map[string]any{"name": fmt.Sprintf("pe%d insts", e.PE)},
+				})
+			}
+			out = append(out, traceEvent{
+				Name: fmt.Sprintf("pe%d insts", e.PE), Ph: "C", TS: e.TS,
+				PID: pidPE, TID: int(e.PE),
+				Args: map[string]any{"insts": e.Arg},
+			})
+		}
+	}
+	closeSpan(p.Clock())
+
+	// A run with no fragment activations (the no-DBT baseline) still has
+	// a timeline: one VM span covering the whole interpreted stream.
+	if len(events) == 0 && p.Clock() >= 0 {
+		dur := p.Clock()
+		out = append(out, traceEvent{
+			Name: frameName(FrameVM, KeyVM), Ph: "X",
+			TS: 0, Dur: &dur, PID: pidVM, TID: tidVM,
+			Args: map[string]any{"frag": FrameVM, "vstart": fmt.Sprintf("%#x", KeyVM)},
+		})
+	}
+
+	doc := struct {
+		TraceEvents     []traceEvent   `json:"traceEvents"`
+		DisplayTimeUnit string         `json:"displayTimeUnit"`
+		OtherData       map[string]any `json:"otherData"`
+	}{
+		TraceEvents:     out,
+		DisplayTimeUnit: "ns",
+		OtherData: map[string]any{
+			"clock":          "simulated cycles (1 cycle = 1us)",
+			"events_dropped": p.EventsDropped(),
+		},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(doc)
+}
+
+// ValidateTrace parses data as Chrome trace-event JSON and checks the
+// structural invariants the exporters guarantee: a non-empty event
+// array, every event carrying a name/phase/pid, non-negative timestamps
+// and durations, and flow start/finish pairing.
+func ValidateTrace(data []byte) error {
+	var doc struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			TS   *int64  `json:"ts"`
+			Dur  *int64  `json:"dur"`
+			PID  *int    `json:"pid"`
+			ID   *uint64 `json:"id"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return fmt.Errorf("prof: trace JSON does not parse: %w", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		return fmt.Errorf("prof: trace has no events")
+	}
+	flows := map[uint64]int{}
+	spans := 0
+	for i, e := range doc.TraceEvents {
+		if e.Name == "" || e.Ph == "" || e.PID == nil {
+			return fmt.Errorf("prof: event %d missing name/ph/pid", i)
+		}
+		switch e.Ph {
+		case "M":
+			// metadata events carry no timestamp requirements
+		case "X":
+			spans++
+			if e.TS == nil || *e.TS < 0 {
+				return fmt.Errorf("prof: span event %d has bad ts", i)
+			}
+			if e.Dur == nil || *e.Dur < 0 {
+				return fmt.Errorf("prof: span event %d has bad dur", i)
+			}
+		case "s":
+			if e.ID == nil {
+				return fmt.Errorf("prof: flow start %d missing id", i)
+			}
+			flows[*e.ID]++
+		case "f":
+			if e.ID == nil {
+				return fmt.Errorf("prof: flow finish %d missing id", i)
+			}
+			flows[*e.ID]--
+		case "i", "C":
+			if e.TS == nil || *e.TS < 0 {
+				return fmt.Errorf("prof: event %d has bad ts", i)
+			}
+		default:
+			return fmt.Errorf("prof: event %d has unknown phase %q", i, e.Ph)
+		}
+	}
+	if spans == 0 {
+		return fmt.Errorf("prof: trace has no fragment spans")
+	}
+	for id, n := range flows {
+		if n != 0 {
+			return fmt.Errorf("prof: flow %d unbalanced (%+d)", id, n)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,156 @@
+package prof
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Profile is a point-in-time summary of the profiler's aggregation: the
+// hot-fragment table plus the pseudo-frame totals.
+type Profile struct {
+	// Frags holds one entry per distinct fragment V-start, sorted by
+	// cycles descending (I-instructions break ties, then V-start for
+	// determinism).
+	Frags []FragAgg
+
+	// DispatchCycles / VMCycles are the pseudo-frame totals: cycles in
+	// the shared dispatch routine and cycles retired outside translated
+	// code.
+	DispatchCycles int64
+	VMCycles       int64
+
+	// DispatchIInsts counts dispatch-routine instructions executed;
+	// DispatchChains the table-lookup verdicts observed in dispatch.
+	DispatchIInsts uint64
+	DispatchChains [numChainKinds]uint64
+
+	// TotalCycles is the sum of every frame's cycles. With a timing
+	// model attached it equals the model's reported total exactly.
+	TotalCycles int64
+
+	Activations uint64
+
+	// SpanP50/P95/P99 summarise fragment activation spans in cycles.
+	SpanP50, SpanP95, SpanP99 float64
+
+	EventsRecorded, EventsDropped uint64
+}
+
+// Profile snapshots the aggregation (closing any dangling activation).
+func (p *Profiler) Profile() *Profile {
+	out := &Profile{}
+	if p == nil {
+		return out
+	}
+	p.Finish()
+	for key, f := range p.frames {
+		switch key {
+		case KeyDispatch:
+			out.DispatchCycles = f.Cycles
+			out.DispatchIInsts = f.IInsts
+			out.DispatchChains = f.Chains
+		case KeyVM:
+			out.VMCycles = f.Cycles
+		default:
+			out.Frags = append(out.Frags, *f)
+		}
+		out.TotalCycles += f.Cycles
+	}
+	sort.Slice(out.Frags, func(i, j int) bool {
+		a, b := &out.Frags[i], &out.Frags[j]
+		if a.Cycles != b.Cycles {
+			return a.Cycles > b.Cycles
+		}
+		if a.IInsts != b.IInsts {
+			return a.IInsts > b.IInsts
+		}
+		return a.VStart < b.VStart
+	})
+	out.Activations = p.activations
+	out.SpanP50 = p.SpanQuantile(0.50)
+	out.SpanP95 = p.SpanQuantile(0.95)
+	out.SpanP99 = p.SpanQuantile(0.99)
+	out.EventsRecorded = p.EventsRecorded()
+	out.EventsDropped = p.EventsDropped()
+	return out
+}
+
+// CheckConservation verifies that the per-frame cycle totals sum to the
+// timing model's total cycle count, and that the hot table is sorted.
+func (pr *Profile) CheckConservation(totalCycles int64) error {
+	if pr.TotalCycles != totalCycles {
+		return fmt.Errorf("prof: frame cycles sum to %d, timing model reports %d",
+			pr.TotalCycles, totalCycles)
+	}
+	for i := 1; i < len(pr.Frags); i++ {
+		if pr.Frags[i].Cycles > pr.Frags[i-1].Cycles {
+			return fmt.Errorf("prof: hot table not sorted at row %d (%d > %d)",
+				i, pr.Frags[i].Cycles, pr.Frags[i-1].Cycles)
+		}
+	}
+	return nil
+}
+
+// WriteHotTable renders the top-N fragment rows as an aligned text
+// table, followed by the pseudo-frame and span-quantile summary.
+func (pr *Profile) WriteHotTable(w io.Writer, topN int) error {
+	if topN <= 0 || topN > len(pr.Frags) {
+		topN = len(pr.Frags)
+	}
+	total := pr.TotalCycles
+	if total == 0 {
+		total = 1
+	}
+	if _, err := fmt.Fprintf(w, "%5s  %-12s %9s %12s %6s %12s %7s %7s  %-22s\n",
+		"frag", "vstart", "entries", "cycles", "cyc%", "I-insts", "strand", "maxlen",
+		"exits (chain/disp/vm/trap)"); err != nil {
+		return err
+	}
+	for _, f := range pr.Frags[:topN] {
+		_, err := fmt.Fprintf(w, "%5d  %-12s %9d %12d %5.1f%% %12d %7d %7d  %d/%d/%d/%d\n",
+			f.ID, fmt.Sprintf("%#x", f.VStart), f.Entries, f.Cycles,
+			100*float64(f.Cycles)/float64(total), f.IInsts,
+			f.Info.Strands, f.Info.MaxStrand,
+			f.Exits[ExitChain], f.Exits[ExitDispatch], f.Exits[ExitVM], f.Exits[ExitTrap])
+		if err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w,
+		"\nframes: %d fragments + dispatch (%d cycles, %d insts) + vm (%d cycles)\n"+
+			"cycles: %d total across frames; %d activations\n"+
+			"span quantiles (cycles/activation): p50 %.0f, p95 %.0f, p99 %.0f\n"+
+			"trace events: %d recorded, %d overwritten by the ring\n",
+		len(pr.Frags), pr.DispatchCycles, pr.DispatchIInsts, pr.VMCycles,
+		pr.TotalCycles, pr.Activations,
+		pr.SpanP50, pr.SpanP95, pr.SpanP99,
+		pr.EventsRecorded, pr.EventsDropped)
+	return err
+}
+
+// ChainTotals sums the chain-verdict counters over all frames,
+// including the dispatch pseudo-frame.
+func (pr *Profile) ChainTotals() [numChainKinds]uint64 {
+	out := pr.DispatchChains
+	for i := range pr.Frags {
+		for k, n := range pr.Frags[i].Chains {
+			out[k] += n
+		}
+	}
+	return out
+}
+
+// WriteChainSummary renders the chain-kind totals one per line.
+func (pr *Profile) WriteChainSummary(w io.Writer) error {
+	totals := pr.ChainTotals()
+	for k, n := range totals {
+		if n == 0 {
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "%-14s %12d\n", ChainKind(k), n); err != nil {
+			return err
+		}
+	}
+	return nil
+}

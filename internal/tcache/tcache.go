@@ -10,6 +10,7 @@ import (
 	"github.com/ildp/accdbt/internal/alpha"
 	"github.com/ildp/accdbt/internal/ildp"
 	"github.com/ildp/accdbt/internal/metrics"
+	"github.com/ildp/accdbt/internal/prof"
 	"github.com/ildp/accdbt/internal/translate"
 )
 
@@ -53,6 +54,33 @@ type Fragment struct {
 	ExecCount uint64
 
 	Straightened bool
+
+	// strand statistics, computed lazily for the profiler.
+	strandN, strandMax int
+	strandsDone        bool
+}
+
+// StrandStats returns the number of strands in the fragment and the
+// longest strand's length in instructions (0, 0 for straightened code).
+// Computed once and memoized; fragments are immutable after install
+// apart from exit-patching, which does not change strand structure.
+func (f *Fragment) StrandStats() (n, maxLen int) {
+	if !f.strandsDone {
+		f.strandsDone = true
+		lens := map[int]int{}
+		for _, s := range f.Strands {
+			if s >= 0 {
+				lens[s]++
+			}
+		}
+		f.strandN = len(lens)
+		for _, l := range lens {
+			if l > f.strandMax {
+				f.strandMax = l
+			}
+		}
+	}
+	return f.strandN, f.strandMax
 }
 
 // Cache is the translation cache. It is unbounded, as in the paper (§4.1:
@@ -78,6 +106,10 @@ type Cache struct {
 	// reg, when non-nil, receives install/chain/evict lifecycle events
 	// and cache-level counters (nil = metrics disabled, zero cost).
 	reg *metrics.Registry
+
+	// prof, when non-nil, receives eviction events for the execution
+	// tracer (nil = profiling disabled, zero cost).
+	prof *prof.Profiler
 }
 
 type patchSite struct {
@@ -183,6 +215,10 @@ func (c *Cache) SetCapacity(bytes int) { c.capacity = bytes }
 // disables emission (the default).
 func (c *Cache) SetMetrics(reg *metrics.Registry) { c.reg = reg }
 
+// SetProfiler attaches an execution profiler; the cache reports
+// fragment evictions into it. A nil profiler disables emission.
+func (c *Cache) SetProfiler(p *prof.Profiler) { c.prof = p }
+
 // Flush evicts every fragment (the dispatch routine survives). Pending
 // links are dropped; the VM re-translates on the next hot trace, which
 // also gives sub-optimal early fragments a second chance — the paper notes
@@ -195,6 +231,11 @@ func (c *Cache) Flush() {
 		}
 		c.reg.Counter("tcache.flushes").Inc()
 		c.reg.Counter("tcache.evicted_fragments").Add(uint64(len(c.frags)))
+	}
+	if c.prof != nil {
+		for _, f := range c.frags {
+			c.prof.Evict(f.ID, f.VStart)
+		}
 	}
 	c.frags = c.frags[:0]
 	c.byVPC = map[uint64]int32{}

@@ -2,6 +2,7 @@ package uarch
 
 import (
 	"github.com/ildp/accdbt/internal/cachesim"
+	"github.com/ildp/accdbt/internal/prof"
 	"github.com/ildp/accdbt/internal/trace"
 )
 
@@ -46,8 +47,16 @@ type ILDP struct {
 
 	storeDone map[uint64]int64
 
+	// prof, when non-nil, receives every record's PE, issue, and retire
+	// cycle for cycle attribution (nil = profiling disabled).
+	prof *prof.Profiler
+
 	res Result
 }
+
+// SetProfiler attaches an execution profiler fed with per-record retire
+// timing. A nil profiler disables the feed.
+func (m *ILDP) SetProfiler(p *prof.Profiler) { m.prof = p }
 
 // NewILDP builds an ILDP model with the given configuration.
 func NewILDP(cfg Config) *ILDP {
@@ -250,6 +259,10 @@ func (m *ILDP) Append(rec trace.Rec) {
 	m.lastRetire = ret
 	m.retire[m.head%uint64(len(m.retire))] = ret
 	m.head++
+
+	if m.prof != nil {
+		m.prof.Retire(pe, issue, ret, profAcc(&rec))
+	}
 
 	m.res.Insts++
 	m.res.VInsts += uint64(rec.VCredit)

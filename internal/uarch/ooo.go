@@ -2,6 +2,7 @@ package uarch
 
 import (
 	"github.com/ildp/accdbt/internal/cachesim"
+	"github.com/ildp/accdbt/internal/prof"
 	"github.com/ildp/accdbt/internal/trace"
 )
 
@@ -27,8 +28,16 @@ type OoO struct {
 	// store-to-load dependences at 8-byte granularity.
 	storeDone map[uint64]int64
 
+	// prof, when non-nil, receives every record's issue and retire cycle
+	// (the superscalar has no PEs; everything reports element 0).
+	prof *prof.Profiler
+
 	res Result
 }
+
+// SetProfiler attaches an execution profiler fed with per-record retire
+// timing. A nil profiler disables the feed.
+func (m *OoO) SetProfiler(p *prof.Profiler) { m.prof = p }
 
 // NewOoO builds a superscalar model with the given configuration.
 func NewOoO(cfg Config) *OoO {
@@ -116,6 +125,10 @@ func (m *OoO) Append(rec trace.Rec) {
 	m.lastRetire = ret
 	m.retire[m.head%uint64(len(m.retire))] = ret
 	m.head++
+
+	if m.prof != nil {
+		m.prof.Retire(0, issue, ret, profAcc(&rec))
+	}
 
 	m.res.Insts++
 	m.res.VInsts += uint64(rec.VCredit)

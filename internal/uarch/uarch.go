@@ -164,3 +164,13 @@ func accIdx(a uint8) int { return numGPRTrack + int(a) }
 func isEndOfRun(rec *trace.Rec) bool {
 	return rec.Taken && rec.Target == 0 && rec.IsBranch()
 }
+
+// profAcc returns the accumulator (strand) to attribute a record's
+// cycles to in the execution profiler: the destination accumulator,
+// else the source, else none.
+func profAcc(rec *trace.Rec) uint8 {
+	if rec.DstAcc != trace.NoAcc {
+		return rec.DstAcc
+	}
+	return rec.SrcAcc
+}

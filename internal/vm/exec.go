@@ -6,9 +6,35 @@ import (
 	"github.com/ildp/accdbt/internal/alpha"
 	"github.com/ildp/accdbt/internal/emu"
 	"github.com/ildp/accdbt/internal/ildp"
+	"github.com/ildp/accdbt/internal/prof"
 	"github.com/ildp/accdbt/internal/tcache"
 	"github.com/ildp/accdbt/internal/trace"
 )
+
+// profEnter, profExit, and profChain forward frame transitions and
+// chain-verdict events to the execution profiler. Each guards on a nil
+// profiler so the disabled path costs one pointer test.
+func (v *VM) profEnter(f *tcache.Fragment) {
+	if p := v.cfg.Prof; p != nil {
+		n, maxLen := f.StrandStats()
+		p.FragEnter(f.ID, f.VStart, prof.FragInfo{
+			Insts: len(f.Insts), SrcInsts: f.SrcCount,
+			Strands: n, MaxStrand: maxLen, Straightened: f.Straightened,
+		}, v.Stats.TransIInsts, v.Stats.TransVInsts)
+	}
+}
+
+func (v *VM) profExit(reason prof.ExitKind) {
+	if p := v.cfg.Prof; p != nil {
+		p.FragExit(reason, v.Stats.TransIInsts, v.Stats.TransVInsts)
+	}
+}
+
+func (v *VM) profChain(kind prof.ChainKind) {
+	if p := v.cfg.Prof; p != nil {
+		p.Chain(kind)
+	}
+}
 
 // execTranslated runs translated code starting at frag, following fragment
 // links, chaining code, the dual-address RAS, and the shared dispatch
@@ -17,6 +43,7 @@ import (
 func (v *VM) execTranslated(frag *tcache.Fragment) (uint64, error) {
 	frag.ExecCount++
 	v.Stats.FragEntries++
+	v.profEnter(frag)
 	idx := 0
 	peiIdx := 0
 
@@ -26,6 +53,7 @@ func (v *VM) execTranslated(frag *tcache.Fragment) (uint64, error) {
 		peiIdx = 0
 		frag.ExecCount++
 		v.Stats.FragEntries++
+		v.profEnter(frag)
 	}
 
 	for {
@@ -126,8 +154,10 @@ func (v *VM) execTranslated(frag *tcache.Fragment) (uint64, error) {
 				// Software jump prediction verdict.
 				if taken {
 					v.Stats.SWPredMisses++
+					v.profChain(prof.ChainSWPredMiss)
 				} else {
 					v.Stats.SWPredHits++
+					v.profChain(prof.ChainSWPredHit)
 				}
 			}
 			if taken {
@@ -137,6 +167,7 @@ func (v *VM) execTranslated(frag *tcache.Fragment) (uint64, error) {
 				}
 				if next == nil {
 					v.finishRec(&rec, true)
+					v.profExit(prof.ExitVM)
 					return exitV, nil
 				}
 				v.finishRec(&rec, false)
@@ -155,6 +186,7 @@ func (v *VM) execTranslated(frag *tcache.Fragment) (uint64, error) {
 			}
 			if next == nil {
 				v.finishRec(&rec, true)
+				v.profExit(prof.ExitVM)
 				return exitV, nil
 			}
 			v.finishRec(&rec, false)
@@ -167,6 +199,7 @@ func (v *VM) execTranslated(frag *tcache.Fragment) (uint64, error) {
 			if ok && entry.v == target && entry.frag != ildp.NoFrag {
 				if f := v.tc.Frag(entry.frag); f != nil && f.VStart == entry.v {
 					v.Stats.RASHits++
+					v.profChain(prof.ChainRASHit)
 					rec.Taken = true
 					rec.PredHit = true
 					rec.Target = f.IAddr
@@ -178,6 +211,7 @@ func (v *VM) execTranslated(frag *tcache.Fragment) (uint64, error) {
 			// Miss: latch the target for dispatch and fall through to the
 			// unconditional branch that follows.
 			v.Stats.RASMisses++
+			v.profChain(prof.ChainRASMiss)
 			v.writeGPR(ildp.RegJTarget, target)
 			rec.Taken = false
 
@@ -190,12 +224,15 @@ func (v *VM) execTranslated(frag *tcache.Fragment) (uint64, error) {
 			rec.Taken = true
 			if f := v.tc.Lookup(target); f != nil {
 				v.Stats.DispatchHits++
+				v.profChain(prof.ChainDispatchHit)
 				rec.Target = f.IAddr
 				v.finishRec(&rec, false)
 				enterFrag(f)
 				continue
 			}
+			v.profChain(prof.ChainDispatchMiss)
 			v.finishRec(&rec, true)
+			v.profExit(prof.ExitVM)
 			return target, nil
 
 		default:
@@ -216,6 +253,9 @@ func (v *VM) execTranslated(frag *tcache.Fragment) (uint64, error) {
 func (v *VM) takeBranch(inst *ildp.Inst, rec *trace.Rec) (*tcache.Fragment, uint64, error) {
 	switch {
 	case inst.Frag == ildp.FragDispatch:
+		if p := v.cfg.Prof; p != nil {
+			p.EnterDispatch(v.Stats.TransIInsts, v.Stats.TransVInsts)
+		}
 		f, exitV, err := v.runDispatch()
 		if err != nil {
 			return nil, 0, err
@@ -231,6 +271,7 @@ func (v *VM) takeBranch(inst *ildp.Inst, rec *trace.Rec) (*tcache.Fragment, uint
 		if f == nil {
 			return nil, 0, fmt.Errorf("vm: dangling fragment link %d", inst.Frag)
 		}
+		v.profChain(prof.ChainDirect)
 		rec.Target = f.IAddr
 		return f, 0, nil
 	default:
@@ -255,10 +296,13 @@ func (v *VM) runDispatch() (*tcache.Fragment, uint64, error) {
 			rec.Taken = true
 			if f := v.tc.Lookup(target); f != nil {
 				v.Stats.DispatchHits++
+				v.profChain(prof.ChainDispatchHit)
 				rec.Target = f.IAddr
 				v.finishRec(&rec, false)
 				return f, 0, nil
 			}
+			// The caller's exit-to-VM path closes the dispatch frame.
+			v.profChain(prof.ChainDispatchMiss)
 			v.finishRec(&rec, true)
 			return nil, target, nil
 		}

@@ -20,6 +20,7 @@ import (
 	"github.com/ildp/accdbt/internal/iverify"
 	"github.com/ildp/accdbt/internal/mem"
 	"github.com/ildp/accdbt/internal/metrics"
+	"github.com/ildp/accdbt/internal/prof"
 	"github.com/ildp/accdbt/internal/tcache"
 	"github.com/ildp/accdbt/internal/trace"
 	"github.com/ildp/accdbt/internal/translate"
@@ -84,6 +85,14 @@ type Config struct {
 	// disables all collection at near-zero cost and never changes
 	// simulation results.
 	Metrics *metrics.Registry
+
+	// Prof, when non-nil, receives execution-trace events (fragment
+	// enter/exit, chain-transition verdicts, translations, evictions)
+	// as the run progresses; attach the same profiler to the timing
+	// model (SetProfiler) for cycle-exact attribution. A nil profiler
+	// disables tracing at near-zero cost and never changes simulation
+	// results.
+	Prof *prof.Profiler
 }
 
 // DefaultConfig returns the paper's baseline: modified ISA, four
@@ -238,6 +247,7 @@ func New(m *mem.Memory, cfg Config) *VM {
 		tc.SetCapacity(cfg.TCacheBytes)
 	}
 	tc.SetMetrics(cfg.Metrics)
+	tc.SetProfiler(cfg.Prof)
 	return &VM{
 		cfg:      cfg,
 		cpu:      emu.New(m),
@@ -432,6 +442,9 @@ func (v *VM) finishRecording(end translate.EndKind, nextPC uint64) error {
 		reg.Histogram("translate.cost_per_fragment").Observe(float64(res.Cost))
 		reg.Histogram("translate.src_insts_per_fragment").Observe(float64(res.SrcCount))
 		reg.Histogram("translate.code_bytes_per_fragment").Observe(float64(res.CodeBytes))
+	}
+	if p := v.cfg.Prof; p != nil {
+		p.Translate(res.VStart, res.SrcCount, len(res.Insts), res.Cost)
 	}
 	if v.testMutateResult != nil {
 		v.testMutateResult(res)
