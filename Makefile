@@ -1,6 +1,6 @@
 # Convenience targets; ci/check.sh is the canonical gate.
 
-.PHONY: build test check lint-example experiments profile
+.PHONY: build test check lint-example experiments profile chaos
 
 build:
 	go build ./...
@@ -26,3 +26,9 @@ experiments:
 profile:
 	go run ./cmd/ildpprof -workload gzip -selfcheck -top 20 \
 		-trace reports/gzip-trace.json -folded reports/gzip.folded
+
+# Sweep the differential chaos oracle: 50 seeded fault schedules across
+# all four machines, each run compared bit-for-bit against the pure
+# interpreter. Exit 0 means every fault was recovered transparently.
+chaos:
+	go run ./cmd/ildpchaos -seeds 50

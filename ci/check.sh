@@ -32,6 +32,14 @@ go test ./...
 echo "== go test -race (vm, tcache)"
 go test -race ./internal/vm/... ./internal/tcache/...
 
+echo "== chaos smoke (short soak under the race detector)"
+# A fixed-seed slice of the differential chaos oracle: fault-injected
+# runs must stay bit-identical to the pure interpreter with the race
+# detector watching the recovery paths. The full 50-seed sweep is
+# `make chaos`; -short keeps this slice to a few seconds.
+go test -race -short -run 'TestChaos|TestSelfHeal' ./internal/experiments/ ./internal/vm/
+go run ./cmd/ildpchaos -seeds 4 -seed-base 1001 -machines ildp-modified
+
 echo "== docs gate (ildpreport -check)"
 go run ./cmd/ildpreport -check
 

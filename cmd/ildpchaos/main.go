@@ -1,0 +1,141 @@
+// Command ildpchaos runs the differential chaos oracle from the shell:
+// each (seed, machine) pair executes a workload once on the pure Alpha
+// interpreter and once on the self-healing DBT VM with deterministic
+// fault injection, then compares the final architected state
+// bit-for-bit. Any divergence or unrecovered fault fails the sweep.
+//
+// Usage:
+//
+//	ildpchaos -seeds 50 -workload gzip -machines all -kinds all
+//	ildpchaos -seeds 1 -seed-base 424242 -machines ildp-modified -kinds bitflip -v
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/ildp/accdbt/internal/experiments"
+	"github.com/ildp/accdbt/internal/faultinject"
+	"github.com/ildp/accdbt/internal/workload"
+)
+
+var allMachines = []experiments.Machine{
+	experiments.Original,
+	experiments.Straightened,
+	experiments.ILDPBasic,
+	experiments.ILDPModified,
+}
+
+func parseMachines(s string) ([]experiments.Machine, error) {
+	if s == "all" {
+		return allMachines, nil
+	}
+	var out []experiments.Machine
+	for _, name := range strings.Split(s, ",") {
+		name = strings.TrimSpace(name)
+		found := false
+		for _, m := range allMachines {
+			if m.String() == name {
+				out = append(out, m)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("unknown machine %q (want original, straightened, ildp-basic, ildp-modified, or all)", name)
+		}
+	}
+	return out, nil
+}
+
+func parseKinds(s string) ([]faultinject.Kind, error) {
+	if s == "all" {
+		return nil, nil // nil means "all kinds" to the injector
+	}
+	var out []faultinject.Kind
+	for _, name := range strings.Split(s, ",") {
+		k, err := faultinject.KindByName(strings.TrimSpace(name))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, k)
+	}
+	return out, nil
+}
+
+func main() {
+	seeds := flag.Int("seeds", 50, "number of consecutive seeds to sweep")
+	seedBase := flag.Uint64("seed-base", 1000, "first seed of the sweep")
+	wlName := flag.String("workload", "gzip", "workload name (see ildpbench -list)")
+	scale := flag.Int("scale", 1, "workload scale factor")
+	machinesFlag := flag.String("machines", "all", "comma-separated machines, or \"all\"")
+	kindsFlag := flag.String("kinds", "all", "comma-separated fault kinds, or \"all\"")
+	entryRate := flag.Int("entry-rate", 16, "fault one fragment entry in N decisions")
+	transRate := flag.Int("trans-rate", 4, "fault one translation in N decisions")
+	maxFaults := flag.Int("max-faults", 0, "stop injecting after N applied faults (0 = unlimited)")
+	maxV := flag.Int64("max", 50_000_000, "V-instruction budget per run (0 = unlimited)")
+	verbose := flag.Bool("v", false, "print one line per run instead of only failures")
+	flag.Parse()
+
+	machines, err := parseMachines(*machinesFlag)
+	if err != nil {
+		fatal(err)
+	}
+	kinds, err := parseKinds(*kindsFlag)
+	if err != nil {
+		fatal(err)
+	}
+	wl, err := workload.ByName(*wlName, *scale)
+	if err != nil {
+		fatal(err)
+	}
+
+	var runs, failures int
+	var faults faultinject.Counts
+	var recoveries, quarantines uint64
+	for s := 0; s < *seeds; s++ {
+		seed := *seedBase + uint64(s)
+		m := machines[s%len(machines)]
+		out, err := experiments.RunChaos(experiments.ChaosSpec{
+			Workload: wl, Machine: m, Seed: seed,
+			Kinds:     kinds,
+			EntryRate: *entryRate, TranslateRate: *transRate,
+			MaxFaults: *maxFaults,
+			MaxV:      *maxV,
+		})
+		runs++
+		switch {
+		case err != nil:
+			failures++
+			fmt.Fprintf(os.Stderr, "FAIL seed %d on %v: %v\n", seed, m, err)
+			continue
+		case out.Mismatch != "":
+			failures++
+			fmt.Fprintf(os.Stderr, "FAIL seed %d on %v: state diverged: %s (faults: %s)\n",
+				seed, m, out.Mismatch, out.Faults)
+			continue
+		}
+		for k, n := range out.Faults {
+			faults[k] += n
+		}
+		recoveries += out.VM.Recoveries()
+		quarantines += out.VM.Quarantines
+		if *verbose {
+			fmt.Printf("ok   seed %d on %-13v %3d faults, %3d recoveries, %d quarantined (%s)\n",
+				seed, m, out.Faults.Total(), out.VM.Recoveries(), out.VM.Quarantines, out.Faults)
+		}
+	}
+
+	fmt.Printf("chaos: %d/%d runs green on %s; %d faults applied, %d recoveries, %d quarantines (%s)\n",
+		runs-failures, runs, wl.Name, faults.Total(), recoveries, quarantines, faults)
+	if failures > 0 {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "ildpchaos: %v\n", err)
+	os.Exit(1)
+}

@@ -13,13 +13,17 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"sort"
+	"strconv"
 
 	"github.com/ildp/accdbt/internal/alpha/alphaasm"
 	"github.com/ildp/accdbt/internal/alphaprog"
+	"github.com/ildp/accdbt/internal/emu"
+	"github.com/ildp/accdbt/internal/faultinject"
 	"github.com/ildp/accdbt/internal/ildp"
 	"github.com/ildp/accdbt/internal/mem"
 	"github.com/ildp/accdbt/internal/metrics"
@@ -49,6 +53,7 @@ func main() {
 	timing := flag.Bool("timing", false, "attach the matching timing model and report IPC")
 	pes := flag.Int("pes", 8, "ILDP processing elements (with -timing)")
 	commLat := flag.Int64("comm", 0, "ILDP global wire latency in cycles (with -timing)")
+	chaos := flag.String("chaos", "", "enable deterministic fault injection with this decimal seed (forces verify + paranoid + self-heal)")
 	flag.Parse()
 
 	if *list {
@@ -84,6 +89,17 @@ func main() {
 		cfg.Straighten = true
 	default:
 		fatal(fmt.Errorf("unknown form %q", *form))
+	}
+
+	if *chaos != "" {
+		seed, err := strconv.ParseUint(*chaos, 10, 64)
+		if err != nil {
+			fatal(fmt.Errorf("-chaos wants a decimal seed: %w", err))
+		}
+		cfg.Verify = true
+		cfg.Paranoid = true
+		cfg.SelfHeal = true
+		cfg.Faults = &faultinject.Config{Seed: seed}
 	}
 
 	var reg *metrics.Registry
@@ -126,10 +142,23 @@ func main() {
 		fatal(err)
 	}
 	if err := v.Run(*maxV); err != nil && err != vm.ErrBudget {
+		var tr *emu.Trap
+		if errors.As(err, &tr) {
+			fmt.Fprintf(os.Stderr, "ildpvm: trap at V-PC %#x: %v\n", tr.PC, tr.Cause)
+			os.Exit(2)
+		}
 		fatal(err)
 	}
 
 	report(name, v, cfg)
+	if inj := v.Injector(); inj != nil {
+		s := &v.Stats
+		fmt.Printf("chaos:              %d faults applied over %d decisions (%s)\n",
+			inj.Counts().Total(), inj.Decisions(), inj.Counts())
+		fmt.Printf("recovery:           %d episodes (%d reverify, %d spurious, %d evict, %d trans-fail, %d stale), %d quarantined, %d fallback insts, cost %d\n",
+			s.Recoveries(), s.ReverifyFails, s.SpuriousTraps, s.ForcedEvicts,
+			s.TransFailures, s.StaleLinks, s.Quarantines, s.FallbackInsts, s.RecoveryCost)
+	}
 	if ooo != nil {
 		r := ooo.Finish()
 		printTiming("out-of-order superscalar", r)
@@ -151,6 +180,8 @@ func main() {
 	}
 	if reg != nil {
 		v.Stats.Publish(reg)
+		fmt.Printf("metrics events:     %d recorded, %d dropped by the ring\n",
+			reg.EventsRecorded(), reg.EventsDropped())
 		out, err := json.MarshalIndent(reg, "", "  ")
 		if err != nil {
 			fatal(err)
@@ -240,7 +271,9 @@ func dumpFragments(v *vm.VM, n int) {
 	tc := v.TCache()
 	var frags []*tcache.Fragment
 	for id := int32(0); int(id) < tc.Len(); id++ {
-		frags = append(frags, tc.Frag(id))
+		if f := tc.Frag(id); f != nil { // invalidated slots stay nil
+			frags = append(frags, f)
+		}
 	}
 	sort.Slice(frags, func(i, j int) bool {
 		return frags[i].ExecCount > frags[j].ExecCount

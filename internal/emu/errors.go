@@ -1,0 +1,24 @@
+package emu
+
+import (
+	"fmt"
+
+	"github.com/ildp/accdbt/internal/alpha"
+)
+
+// SemanticsError reports a semantic-evaluation helper (EvalOp, EvalCond,
+// LoadMem, StoreMem) invoked with an operation outside its domain. The
+// helpers sit on the hottest executor paths, so they raise the error as a
+// panic value rather than threading an error return through every ALU
+// operation; vm.Run recovers the panic and surfaces it as an ordinary
+// error at the VM boundary. A SemanticsError always indicates a malformed
+// instruction — a corrupt fragment or a translator bug — never a
+// condition of the guest program.
+type SemanticsError struct {
+	Func string   // the helper that was misused
+	Op   alpha.Op // the out-of-domain operation
+}
+
+func (e *SemanticsError) Error() string {
+	return fmt.Sprintf("emu: %s called with out-of-domain op %v", e.Func, e.Op)
+}

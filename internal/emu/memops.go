@@ -25,7 +25,7 @@ func LoadMem(m *mem.Memory, op alpha.Op, addr uint64) (uint64, error) {
 	case alpha.OpLDQU:
 		return m.Read64(addr &^ 7)
 	}
-	panic("emu: LoadMem with non-load op " + op.String())
+	panic(&SemanticsError{Func: "LoadMem", Op: op})
 }
 
 // StoreMem performs the memory write of an Alpha store operation.
@@ -44,7 +44,7 @@ func StoreMem(m *mem.Memory, op alpha.Op, addr uint64, v uint64) error {
 	case alpha.OpSTQU:
 		return m.Write64(addr&^7, v)
 	}
-	panic("emu: StoreMem with non-store op " + op.String())
+	panic(&SemanticsError{Func: "StoreMem", Op: op})
 }
 
 // MemWidth returns the access width in bytes of a load/store operation.

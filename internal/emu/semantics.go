@@ -177,7 +177,7 @@ func EvalOp(op alpha.Op, a, b uint64) uint64 {
 		// op: lda -> addq-like.
 		return a + b
 	}
-	panic("emu: EvalOp called with non-ALU op " + op.String())
+	panic(&SemanticsError{Func: "EvalOp", Op: op})
 }
 
 // EvalCond evaluates the branch/CMOV condition of op against value v (the
@@ -201,7 +201,7 @@ func EvalCond(op alpha.Op, v uint64) bool {
 	case alpha.OpBLBS, alpha.OpCMOVLBS:
 		return v&1 == 1
 	}
-	panic("emu: EvalCond called with non-conditional op " + op.String())
+	panic(&SemanticsError{Func: "EvalCond", Op: op})
 }
 
 // IsALUOp reports whether op is handled by EvalOp.

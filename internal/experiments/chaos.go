@@ -1,0 +1,196 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/ildp/accdbt/internal/alpha"
+	"github.com/ildp/accdbt/internal/emu"
+	"github.com/ildp/accdbt/internal/faultinject"
+	"github.com/ildp/accdbt/internal/ildp"
+	"github.com/ildp/accdbt/internal/mem"
+	"github.com/ildp/accdbt/internal/metrics"
+	"github.com/ildp/accdbt/internal/prof"
+	"github.com/ildp/accdbt/internal/uarch"
+	"github.com/ildp/accdbt/internal/vm"
+	"github.com/ildp/accdbt/internal/workload"
+)
+
+// ChaosSpec describes one differential chaos run: the workload executes
+// twice, once on a pure Alpha interpreter (the oracle) and once on the
+// DBT VM with a deterministic fault injector attached and every
+// self-healing mechanism forced on (install-time verification, paranoid
+// entry re-checks, retranslate-with-backoff / quarantine). The run
+// passes only if the faulted VM finishes with architected state
+// bit-identical to the oracle: registers, PC, halt/exit status, console
+// output, and all of memory.
+type ChaosSpec struct {
+	Workload *workload.Spec
+	Machine  Machine
+
+	// Seed selects the fault schedule (see faultinject.Config.Seed).
+	Seed uint64
+	// Kinds restricts injection to the listed fault kinds (nil = all).
+	Kinds []faultinject.Kind
+	// EntryRate / TranslateRate / MaxFaults parameterise the schedule;
+	// zero values take the faultinject defaults.
+	EntryRate     int
+	TranslateRate int
+	MaxFaults     int
+
+	// MaxV is a safety budget on both runs (0 = run to completion).
+	// Exhausting it is reported as an error, never as a verdict: the
+	// oracle only compares completed runs.
+	MaxV int64
+
+	// Timing attaches the machine's timing model (and Prof, if set, to
+	// both the VM and the model) so cycle conservation can be checked
+	// across recovery pseudo-frames.
+	Timing  bool
+	Metrics *metrics.Registry
+	Prof    *prof.Profiler
+}
+
+// ChaosOutcome is the result of one differential chaos run.
+type ChaosOutcome struct {
+	Spec      ChaosSpec
+	VM        vm.Stats
+	Timing    uarch.Result
+	Faults    faultinject.Counts // faults actually applied, by kind
+	Decisions uint64             // injector decision points consulted
+
+	// Mismatch is empty when the faulted run's final architected state is
+	// bit-identical to the oracle's; otherwise it names the first
+	// divergence found.
+	Mismatch string
+}
+
+// RunChaos executes one differential chaos run. A non-nil error means
+// the run could not be compared (assembly failure, an unrecovered fault
+// aborting the VM, or the budget expiring); a state divergence is not an
+// error — it is reported in Outcome.Mismatch so harnesses can show the
+// seed and fault schedule that produced it.
+func RunChaos(spec ChaosSpec) (*ChaosOutcome, error) {
+	prog, err := spec.Workload.Program()
+	if err != nil {
+		return nil, err
+	}
+
+	// The oracle: the same program, purely interpreted.
+	oracle := emu.New(mem.New())
+	if err := oracle.LoadProgram(prog); err != nil {
+		return nil, err
+	}
+	if err := oracle.Run(spec.MaxV); err != nil {
+		return nil, fmt.Errorf("chaos oracle (%s): %w", spec.Workload.Name, err)
+	}
+
+	cfg := vm.DefaultConfig()
+	cfg.Verify = true
+	cfg.Paranoid = true
+	cfg.SelfHeal = true
+	cfg.Metrics = spec.Metrics
+	cfg.Prof = spec.Prof
+	cfg.Faults = &faultinject.Config{
+		Seed:          spec.Seed,
+		EntryRate:     spec.EntryRate,
+		TranslateRate: spec.TranslateRate,
+		Kinds:         spec.Kinds,
+		MaxFaults:     spec.MaxFaults,
+	}
+
+	var ooo *uarch.OoO
+	var ildpM *uarch.ILDP
+	switch spec.Machine {
+	case Original:
+		// No DBT, so no fragments to fault: the schedule never fires and
+		// the run degenerates to a sanity check of the oracle itself.
+		cfg.HotThreshold = math.MaxInt32
+		if spec.Timing {
+			ooo = uarch.NewOoO(uarch.DefaultOoO())
+			cfg.InterpSink = ooo
+		}
+	case Straightened:
+		cfg.Straighten = true
+		if spec.Timing {
+			mc := uarch.DefaultOoO()
+			mc.UseHWRAS = false
+			mc.DualRASTrace = true
+			ooo = uarch.NewOoO(mc)
+			cfg.Sink = ooo
+		}
+	case ILDPBasic, ILDPModified:
+		cfg.Form = ildp.Basic
+		if spec.Machine == ILDPModified {
+			cfg.Form = ildp.Modified
+		}
+		if spec.Timing {
+			mc := uarch.DefaultILDP()
+			mc.DualRASTrace = true
+			mc.CacheOpts.Replicas = mc.PEs
+			ildpM = uarch.NewILDP(mc)
+			cfg.Sink = ildpM
+		}
+	default:
+		return nil, fmt.Errorf("chaos: unknown machine %v", spec.Machine)
+	}
+	if spec.Prof != nil {
+		if ooo != nil {
+			ooo.SetProfiler(spec.Prof)
+		}
+		if ildpM != nil {
+			ildpM.SetProfiler(spec.Prof)
+		}
+	}
+
+	v := vm.New(mem.New(), cfg)
+	if err := v.LoadProgram(prog); err != nil {
+		return nil, err
+	}
+	if err := v.Run(spec.MaxV); err != nil {
+		return nil, fmt.Errorf("chaos: seed %d, %s on %v: unrecovered fault: %w",
+			spec.Seed, spec.Workload.Name, spec.Machine, err)
+	}
+
+	out := &ChaosOutcome{Spec: spec, VM: v.Stats}
+	if ooo != nil {
+		out.Timing = ooo.Finish()
+	}
+	if ildpM != nil {
+		out.Timing = ildpM.Finish()
+	}
+	spec.Prof.Finish()
+	out.Faults = v.Injector().Counts()
+	out.Decisions = v.Injector().Decisions()
+	out.Mismatch = diffState(v.CPU(), oracle)
+	if spec.Metrics != nil {
+		out.VM.Publish(spec.Metrics)
+	}
+	return out, nil
+}
+
+// diffState compares the faulted run's final architected state against
+// the oracle's and returns the first divergence ("" when bit-identical).
+func diffState(got, want *emu.CPU) string {
+	if got.Halted != want.Halted {
+		return fmt.Sprintf("halted: got %v, want %v", got.Halted, want.Halted)
+	}
+	if got.ExitStatus != want.ExitStatus {
+		return fmt.Sprintf("exit status: got %d, want %d", got.ExitStatus, want.ExitStatus)
+	}
+	if got.PC != want.PC {
+		return fmt.Sprintf("PC: got %#x, want %#x", got.PC, want.PC)
+	}
+	for r := alpha.Reg(0); r < alpha.NumRegs; r++ {
+		if got.Reg[r] != want.Reg[r] {
+			return fmt.Sprintf("R%d: got %#x, want %#x", r, got.Reg[r], want.Reg[r])
+		}
+	}
+	if got.ConsoleString() != want.ConsoleString() {
+		return fmt.Sprintf("console: got %q, want %q", got.ConsoleString(), want.ConsoleString())
+	}
+	if ok, addr := mem.Equal(got.Mem, want.Mem); !ok {
+		return fmt.Sprintf("memory differs at %#x", addr)
+	}
+	return ""
+}

@@ -1,0 +1,173 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/ildp/accdbt/internal/faultinject"
+	"github.com/ildp/accdbt/internal/prof"
+	"github.com/ildp/accdbt/internal/vm"
+	"github.com/ildp/accdbt/internal/workload"
+)
+
+// chaosWorkload returns the soak workload: small enough that hundreds of
+// faulted runs stay fast, busy enough that fragments chain, return, and
+// dispatch.
+func chaosWorkload(t *testing.T) *workload.Spec {
+	t.Helper()
+	wl, err := workload.ByName("gzip", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wl
+}
+
+// checkChaosOutcome asserts the differential verdict plus the recovery
+// accounting invariants: every applied fault of a kind maps to exactly
+// one recovery event of the matching class, and the modelled recovery
+// cost is the episode count times the per-event constant.
+func checkChaosOutcome(t *testing.T, out *ChaosOutcome) {
+	t.Helper()
+	if out.Mismatch != "" {
+		t.Fatalf("seed %d on %v: architected state diverged: %s (faults applied: %s)",
+			out.Spec.Seed, out.Spec.Machine, out.Mismatch, out.Faults)
+	}
+	st, c := out.VM, out.Faults
+	if st.ReverifyFails != c[faultinject.KindBitFlip] {
+		t.Errorf("ReverifyFails = %d, bitflips applied = %d",
+			st.ReverifyFails, c[faultinject.KindBitFlip])
+	}
+	if st.SpuriousTraps != c[faultinject.KindSpuriousTrap] {
+		t.Errorf("SpuriousTraps = %d, spurious traps applied = %d",
+			st.SpuriousTraps, c[faultinject.KindSpuriousTrap])
+	}
+	if st.ForcedEvicts != c[faultinject.KindEvict] {
+		t.Errorf("ForcedEvicts = %d, evicts applied = %d",
+			st.ForcedEvicts, c[faultinject.KindEvict])
+	}
+	if st.CacheShrinks != c[faultinject.KindShrinkCache] {
+		t.Errorf("CacheShrinks = %d, shrinks applied = %d",
+			st.CacheShrinks, c[faultinject.KindShrinkCache])
+	}
+	if want := c[faultinject.KindFailTranslate] + c[faultinject.KindPoisonTranslate]; st.TransFailures != want {
+		t.Errorf("TransFailures = %d, injected translation faults = %d",
+			st.TransFailures, want)
+	}
+	if want := int64(st.Recoveries()) * vm.RecoveryCostPerEvent; st.RecoveryCost != want {
+		t.Errorf("RecoveryCost = %d, want %d (%d episodes)",
+			st.RecoveryCost, want, st.Recoveries())
+	}
+	if st.Recoveries() > 0 && st.FallbackInsts == 0 {
+		t.Error("recoveries happened but no instructions were attributed to fallback")
+	}
+}
+
+// TestChaosSoak is the differential chaos oracle's combined-kind sweep:
+// many seeds, every fault kind enabled, cycling through all four
+// machines. Every run must finish bit-identical to the pure-interpreter
+// oracle with its recovery counters reconciling against the injected
+// fault counts. Together with TestChaosPerKind this exercises well over
+// 50 distinct seeds in full mode.
+func TestChaosSoak(t *testing.T) {
+	wl := chaosWorkload(t)
+	machines := []Machine{Original, Straightened, ILDPBasic, ILDPModified}
+	seeds := 40
+	if testing.Short() {
+		seeds = 8
+	}
+	sawFault := false
+	for s := 0; s < seeds; s++ {
+		seed := uint64(1000 + s)
+		m := machines[s%len(machines)]
+		t.Run(fmt.Sprintf("seed%d-%v", seed, m), func(t *testing.T) {
+			out, err := RunChaos(ChaosSpec{
+				Workload: wl, Machine: m, Seed: seed,
+				EntryRate: 16, TranslateRate: 4,
+				MaxV: 20_000_000,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkChaosOutcome(t, out)
+			if out.Faults.Total() > 0 {
+				sawFault = true
+			}
+		})
+	}
+	if !sawFault {
+		t.Error("soak applied no faults at all; the schedule rates are miscalibrated")
+	}
+}
+
+// TestChaosPerKind isolates each fault kind on the modified-ISA machine
+// (the full accumulator pipeline, where recovery is hardest), asserting
+// the oracle holds and that the isolated kind actually fired.
+func TestChaosPerKind(t *testing.T) {
+	wl := chaosWorkload(t)
+	perKind := 4
+	if testing.Short() {
+		perKind = 1
+	}
+	for _, k := range faultinject.AllKinds() {
+		for s := 0; s < perKind; s++ {
+			seed := uint64(9000 + 100*int(k) + s)
+			t.Run(fmt.Sprintf("%v-seed%d", k, seed), func(t *testing.T) {
+				// TranslateRate 1 faults every translation: the soak
+				// workload forms only a couple of superblocks, so anything
+				// sparser can miss them all, and rate 1 drives the
+				// backoff-to-quarantine path on every seed.
+				out, err := RunChaos(ChaosSpec{
+					Workload: wl, Machine: ILDPModified, Seed: seed,
+					Kinds:     []faultinject.Kind{k},
+					EntryRate: 8, TranslateRate: 1,
+					MaxV: 20_000_000,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				checkChaosOutcome(t, out)
+				if out.Faults[k] == 0 {
+					t.Errorf("isolated kind %v never fired (%d decisions)", k, out.Decisions)
+				}
+				for _, other := range faultinject.AllKinds() {
+					if other != k && out.Faults[other] != 0 {
+						t.Errorf("kind %v fired %d times in a %v-only schedule",
+							other, out.Faults[other], k)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestChaosConservationTimed attaches the timing models and the profiler
+// to faulted runs and checks the cycle-conservation invariant still
+// holds with recovery pseudo-frames in the attribution, and that the
+// recovery frame's entry count equals the VM's recovery episode count.
+func TestChaosConservationTimed(t *testing.T) {
+	wl := chaosWorkload(t)
+	for _, m := range []Machine{Straightened, ILDPBasic, ILDPModified} {
+		t.Run(m.String(), func(t *testing.T) {
+			p := prof.New(prof.Config{})
+			out, err := RunChaos(ChaosSpec{
+				Workload: wl, Machine: m, Seed: 424242,
+				EntryRate: 8, TranslateRate: 2,
+				MaxV: 20_000_000, Timing: true, Prof: p,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkChaosOutcome(t, out)
+			pr := p.Profile()
+			if err := pr.CheckConservation(out.Timing.Cycles); err != nil {
+				t.Errorf("cycle conservation broke under chaos: %v", err)
+			}
+			if got, want := pr.RecoveryEntries, out.VM.Recoveries(); got != want {
+				t.Errorf("profiler recorded %d recovery episodes, VM counted %d", got, want)
+			}
+			if out.VM.Recoveries() == 0 {
+				t.Errorf("seed produced no recoveries on %v; pick a livelier seed", m)
+			}
+		})
+	}
+}

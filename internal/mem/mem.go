@@ -89,6 +89,43 @@ func (m *Memory) Mapped(addr uint64) bool {
 // PageCount returns the number of mapped pages.
 func (m *Memory) PageCount() int { return len(m.pages) }
 
+// Equal reports whether two memories hold identical contents. A page
+// mapped in one memory but not the other compares equal when it is
+// all-zero (lazy allocation means the set of mapped pages depends on
+// the access pattern, not just on the stored data), and returns the
+// first differing address otherwise.
+func Equal(a, b *Memory) (bool, uint64) {
+	zero := [PageSize]byte{}
+	pageEq := func(pa, pb *[PageSize]byte) (bool, uint64) {
+		if pa == nil {
+			pa = &zero
+		}
+		if pb == nil {
+			pb = &zero
+		}
+		for i := range pa {
+			if pa[i] != pb[i] {
+				return false, uint64(i)
+			}
+		}
+		return true, 0
+	}
+	for pn, pa := range a.pages {
+		if ok, off := pageEq(pa, b.pages[pn]); !ok {
+			return false, pn<<PageBits + off
+		}
+	}
+	for pn, pb := range b.pages {
+		if _, seen := a.pages[pn]; seen {
+			continue
+		}
+		if ok, off := pageEq(nil, pb); !ok {
+			return false, pn<<PageBits + off
+		}
+	}
+	return true, 0
+}
+
 // Read8s copies n bytes starting at addr into a fresh slice.
 func (m *Memory) Read8s(addr uint64, n int) ([]byte, error) {
 	out := make([]byte, n)

@@ -19,9 +19,17 @@ const (
 	EventInstall
 	EventChain
 	EventEvict
+	// EventFault marks an injected fault (chaos testing; Detail names the
+	// fault kind), EventRecover the recovery episode that absorbed a
+	// fault or failure, and EventQuarantine a superblock pinned to
+	// interpret-only after exhausting its retranslation budget.
+	EventFault
+	EventRecover
+	EventQuarantine
 )
 
-var eventKindNames = [...]string{"translate", "verify", "install", "chain", "evict"}
+var eventKindNames = [...]string{"translate", "verify", "install", "chain", "evict",
+	"fault", "recover", "quarantine"}
 
 // String returns the lower-case kind name.
 func (k EventKind) String() string {

@@ -355,6 +355,18 @@ func (r *Registry) Events() []Event {
 	return r.eventsLocked()
 }
 
+// EventsRecorded returns how many lifecycle events were ever emitted
+// into the registry, including any the bounded ring has since
+// overwritten (0 on a disabled registry).
+func (r *Registry) EventsRecorded() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return uint64(r.eventSeq)
+}
+
 // EventsDropped returns how many old events the ring has overwritten.
 func (r *Registry) EventsDropped() uint64 {
 	if r == nil {

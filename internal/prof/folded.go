@@ -49,6 +49,7 @@ func (pr *Profile) WriteFolded(w io.Writer) error {
 	} else {
 		add("dispatch", pr.DispatchCycles)
 		add("vm", pr.VMCycles)
+		add("recovery", pr.RecoveryCycles)
 	}
 
 	sort.Slice(lines, func(i, j int) bool { return lines[i].stack < lines[j].stack })

@@ -51,6 +51,8 @@ func frameName(frag int32, vstart uint64) string {
 		return "dispatch"
 	case FrameVM:
 		return "vm"
+	case FrameRecovery:
+		return "recovery"
 	}
 	return fmt.Sprintf("frag %d @%#x", frag, vstart)
 }

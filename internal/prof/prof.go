@@ -78,11 +78,15 @@ const (
 	ExitVM
 	// ExitTrap aborted on a precise trap.
 	ExitTrap
+	// ExitRecover was cut short by a recovery episode: an injected or
+	// detected fault at a fragment entry sent control to the recovery
+	// pseudo-frame instead of the next fragment.
+	ExitRecover
 
-	numExitKinds = int(ExitTrap) + 1
+	numExitKinds = int(ExitRecover) + 1
 )
 
-var exitKindNames = [numExitKinds]string{"chain", "dispatch", "vm", "trap"}
+var exitKindNames = [numExitKinds]string{"chain", "dispatch", "vm", "trap", "recover"}
 
 // String returns the lower-case exit-kind name.
 func (k ExitKind) String() string {
@@ -100,6 +104,13 @@ const (
 	// KeyVM aggregates cycles retired outside any fragment (the
 	// interpreted stream of the no-DBT baseline).
 	KeyVM uint64 = 2
+	// KeyRecovery aggregates cycles (and spans) attributed to recovery
+	// episodes — fragment invalidation, retranslation backoff, and
+	// interpreter fallback after an injected or detected fault. Recovery
+	// work is modelled in Alpha instructions (vm.Stats.RecoveryCost), so
+	// this frame usually carries entries but few cycles; it exists so the
+	// cycle-conservation invariant holds across recoveries.
+	KeyRecovery uint64 = 3
 )
 
 // numAccSlots is 8 accumulators plus one slot for acc-less instructions.
@@ -179,6 +190,7 @@ type Event struct {
 const (
 	FrameDispatch int32 = -1
 	FrameVM       int32 = -2
+	FrameRecovery int32 = -3
 )
 
 // Config sizes the profiler.
@@ -331,6 +343,8 @@ func (p *Profiler) closeFrame(reason ExitKind, iTotal, vTotal uint64) {
 			frag = FrameDispatch
 		} else if f.VStart == KeyVM {
 			frag = FrameVM
+		} else if f.VStart == KeyRecovery {
+			frag = FrameRecovery
 		}
 		for pe, n := range p.peSince {
 			if n != 0 {
@@ -410,9 +424,35 @@ func (p *Profiler) EnterDispatch(iTotal, vTotal uint64) {
 	}
 }
 
+// EnterRecovery begins an activation of the recovery pseudo-frame: the
+// current fragment's activation (if any) closes with an ExitRecover
+// reason, and cycles retired until the next fragment entry are
+// attributed to recovery, keeping the conservation invariant intact.
+func (p *Profiler) EnterRecovery(iTotal, vTotal uint64) {
+	if p == nil {
+		return
+	}
+	entryChain := p.pendingChain
+	p.pendingChain = -1
+	p.closeFrame(ExitRecover, iTotal, vTotal)
+	p.pendingExit = ExitChain
+	p.open(KeyRecovery, FrameRecovery, KeyRecovery, iTotal, vTotal)
+	if p.armed {
+		p.push(Event{Kind: EvEnter, TS: p.clock, Frag: FrameRecovery, VStart: KeyRecovery,
+			Arg: entryChain, PE: -1})
+	}
+}
+
 // FragExit ends the current activation and returns control to the VM.
+// When the open frame is the recovery pseudo-frame the call is a no-op:
+// a recovery episode outlives the translated-code activation it cut
+// short and closes only at the next frame entry (or Finish), so the
+// exit-to-VM path that follows a mid-episode recovery leaves it open.
 func (p *Profiler) FragExit(reason ExitKind, iTotal, vTotal uint64) {
 	if p == nil {
+		return
+	}
+	if p.cur != nil && p.cur.VStart == KeyRecovery {
 		return
 	}
 	p.pendingChain = -1

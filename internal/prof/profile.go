@@ -25,6 +25,12 @@ type Profile struct {
 	DispatchIInsts uint64
 	DispatchChains [numChainKinds]uint64
 
+	// RecoveryCycles / RecoveryEntries are the recovery pseudo-frame
+	// totals: activations of (and cycles attributed to) fault-recovery
+	// episodes. Zero unless fault injection or self-healing is active.
+	RecoveryCycles  int64
+	RecoveryEntries uint64
+
 	// TotalCycles is the sum of every frame's cycles. With a timing
 	// model attached it equals the model's reported total exactly.
 	TotalCycles int64
@@ -52,6 +58,9 @@ func (p *Profiler) Profile() *Profile {
 			out.DispatchChains = f.Chains
 		case KeyVM:
 			out.VMCycles = f.Cycles
+		case KeyRecovery:
+			out.RecoveryCycles = f.Cycles
+			out.RecoveryEntries = f.Entries
 		default:
 			out.Frags = append(out.Frags, *f)
 		}
@@ -126,6 +135,10 @@ func (pr *Profile) WriteHotTable(w io.Writer, topN int) error {
 		pr.TotalCycles, pr.Activations,
 		pr.SpanP50, pr.SpanP95, pr.SpanP99,
 		pr.EventsRecorded, pr.EventsDropped)
+	if err == nil && pr.RecoveryEntries > 0 {
+		_, err = fmt.Fprintf(w, "recovery: %d episodes (%d cycles attributed)\n",
+			pr.RecoveryEntries, pr.RecoveryCycles)
+	}
 	return err
 }
 

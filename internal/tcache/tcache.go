@@ -55,9 +55,52 @@ type Fragment struct {
 
 	Straightened bool
 
+	// pristineInsts / pristinePEI are install-time deep copies of the
+	// mutable fragment image, maintained when the cache's shadow mode is
+	// on (see EnableShadow). Legitimate post-install mutation — exit
+	// patching — updates the shadow in lockstep, so any divergence means
+	// the installed code was tampered with after install.
+	pristineInsts []ildp.Inst
+	pristinePEI   []uint64
+
 	// strand statistics, computed lazily for the profiler.
 	strandN, strandMax int
 	strandsDone        bool
+}
+
+// snapshotPristine captures the fragment's current instruction stream and
+// PEI table as the integrity baseline.
+func (f *Fragment) snapshotPristine() {
+	f.pristineInsts = append([]ildp.Inst(nil), f.Insts...)
+	f.pristinePEI = append([]uint64(nil), f.PEI...)
+}
+
+// IntegrityOK compares the installed fragment against its install-time
+// pristine copy; any difference — a single flipped bit in any
+// instruction field or PEI entry — reports false. Always true when
+// shadow mode is off (no baseline to compare against). The comparison is
+// the VM's paranoid-mode entry check: unlike the static verifier it
+// catches semantics-preserving-looking corruption (immediates,
+// displacements) and covers straightened fragments, which carry no
+// I-ISA invariants.
+func (f *Fragment) IntegrityOK() bool {
+	if f.pristineInsts == nil {
+		return true
+	}
+	if len(f.Insts) != len(f.pristineInsts) || len(f.PEI) != len(f.pristinePEI) {
+		return false
+	}
+	for i := range f.Insts {
+		if f.Insts[i] != f.pristineInsts[i] {
+			return false
+		}
+	}
+	for i := range f.PEI {
+		if f.PEI[i] != f.pristinePEI[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // StrandStats returns the number of strands in the fragment and the
@@ -96,6 +139,13 @@ type Cache struct {
 
 	// Patches counts call-translator exits converted to direct branches.
 	Patches int
+
+	// Invalidates counts single-fragment invalidations (recovery path).
+	Invalidates int
+
+	// shadow, when true, keeps a pristine copy of every installed
+	// fragment for runtime integrity re-checks (vm paranoid mode).
+	shadow bool
 
 	// capacity is the flush threshold in code bytes (0 = unbounded, the
 	// paper's configuration); Flushes counts whole-cache flushes.
@@ -193,14 +243,28 @@ func (c *Cache) Frag(id int32) *Fragment {
 	return c.frags[id]
 }
 
-// Len returns the number of installed fragments.
+// Len returns the number of fragment ID slots, including slots emptied
+// by Invalidate; iterate with Frag and skip nil.
 func (c *Cache) Len() int { return len(c.frags) }
+
+// Live returns the number of fragments currently installed.
+func (c *Cache) Live() int {
+	n := 0
+	for _, f := range c.frags {
+		if f != nil {
+			n++
+		}
+	}
+	return n
+}
 
 // CodeBytes returns the total encoded bytes of installed fragments.
 func (c *Cache) CodeBytes() int {
 	n := 0
 	for _, f := range c.frags {
-		n += f.CodeBytes
+		if f != nil {
+			n += f.CodeBytes
+		}
 	}
 	return n
 }
@@ -209,6 +273,14 @@ func (c *Cache) CodeBytes() int {
 // whole cache first (Dynamo-style preemptive flush, §4.1). Zero restores
 // the paper's unbounded configuration.
 func (c *Cache) SetCapacity(bytes int) { c.capacity = bytes }
+
+// Capacity returns the current code-byte budget (0 = unbounded).
+func (c *Cache) Capacity() int { return c.capacity }
+
+// EnableShadow turns on pristine shadow copies for subsequently
+// installed fragments, the baseline for Fragment.IntegrityOK. Costs one
+// extra copy of each fragment's instructions and PEI table.
+func (c *Cache) EnableShadow() { c.shadow = true }
 
 // SetMetrics attaches a metrics registry; the cache emits install,
 // chain, and evict fragment lifecycle events into it. A nil registry
@@ -226,14 +298,20 @@ func (c *Cache) SetProfiler(p *prof.Profiler) { c.prof = p }
 func (c *Cache) Flush() {
 	if c.reg != nil {
 		for _, f := range c.frags {
+			if f == nil {
+				continue
+			}
 			c.reg.Event(metrics.Event{Kind: metrics.EventEvict, Frag: f.ID,
 				VStart: f.VStart, CodeBytes: f.CodeBytes, Detail: "capacity flush"})
 		}
 		c.reg.Counter("tcache.flushes").Inc()
-		c.reg.Counter("tcache.evicted_fragments").Add(uint64(len(c.frags)))
+		c.reg.Counter("tcache.evicted_fragments").Add(uint64(c.Live()))
 	}
 	if c.prof != nil {
 		for _, f := range c.frags {
+			if f == nil {
+				continue
+			}
 			c.prof.Evict(f.ID, f.VStart)
 		}
 	}
@@ -308,10 +386,84 @@ func (c *Cache) Install(res *translate.Result) (*Fragment, error) {
 
 	// Patch pending exits elsewhere that target this fragment.
 	for _, site := range c.pending[f.VStart] {
-		c.patch(c.frags[site.frag], site.idx, f.ID)
+		if g := c.Frag(site.frag); g != nil {
+			c.patch(g, site.idx, f.ID)
+		}
 	}
 	delete(c.pending, f.VStart)
+	if c.shadow {
+		f.snapshotPristine()
+	}
 	return f, nil
+}
+
+// Invalidate removes a single fragment from the cache (the recovery path
+// for corruption detected at runtime): the lookup-table entry is
+// dropped, exits in other fragments that were patched to branch directly
+// into it revert to call-translator exits (and re-queue as pending
+// links, so a retranslation re-chains them), and its own pending links
+// are discarded. The ID slot stays allocated — dangling references from
+// the dual-address RAS resolve to nil and miss — so fragment IDs remain
+// stable. Returns false when id does not name a live fragment.
+func (c *Cache) Invalidate(id int32) bool {
+	f := c.Frag(id)
+	if f == nil {
+		return false
+	}
+	if cur, ok := c.byVPC[f.VStart]; ok && cur == id {
+		delete(c.byVPC, f.VStart)
+	}
+	// Drop pending link sites owned by the dead fragment.
+	for v, sites := range c.pending {
+		keep := sites[:0]
+		for _, s := range sites {
+			if s.frag != id {
+				keep = append(keep, s)
+			}
+		}
+		if len(keep) == 0 {
+			delete(c.pending, v)
+		} else {
+			c.pending[v] = keep
+		}
+	}
+	// Un-patch direct branches into the dead fragment and re-queue them.
+	for _, g := range c.frags {
+		if g == nil || g.ID == id {
+			continue
+		}
+		for i := range g.Insts {
+			inst := &g.Insts[i]
+			if inst.Frag != id {
+				continue
+			}
+			switch inst.Kind {
+			case ildp.KindCondBranch:
+				inst.Kind = ildp.KindCallTransCond
+			case ildp.KindBranch:
+				inst.Kind = ildp.KindCallTrans
+			default:
+				continue
+			}
+			inst.Frag = ildp.NoFrag
+			if g.pristineInsts != nil && i < len(g.pristineInsts) {
+				g.pristineInsts[i] = *inst
+			}
+			c.pending[inst.VAddr] = append(c.pending[inst.VAddr],
+				patchSite{frag: g.ID, idx: i})
+		}
+	}
+	c.frags[id] = nil
+	c.Invalidates++
+	if c.reg != nil {
+		c.reg.Event(metrics.Event{Kind: metrics.EventEvict, Frag: id,
+			VStart: f.VStart, CodeBytes: f.CodeBytes, Detail: "invalidated"})
+		c.reg.Counter("tcache.invalidates").Inc()
+	}
+	if c.prof != nil {
+		c.prof.Evict(id, f.VStart)
+	}
+	return true
 }
 
 // patch converts a call-translator exit into a direct branch to the target
@@ -330,6 +482,11 @@ func (c *Cache) patch(f *Fragment, idx int, target int32) {
 		return
 	}
 	inst.Frag = target
+	if f.pristineInsts != nil && idx < len(f.pristineInsts) {
+		// Patching is the one legitimate post-install mutation; keep the
+		// integrity baseline in lockstep.
+		f.pristineInsts[idx] = *inst
+	}
 	c.Patches++
 	if c.reg != nil {
 		c.reg.Event(metrics.Event{Kind: metrics.EventChain, Frag: f.ID,

@@ -242,7 +242,11 @@ func (t *xlat) decompose() error {
 			if rec.Taken {
 				// Reverse the condition so the hot path falls through;
 				// the side exit targets the fall-through path.
-				op = reverseCond(op)
+				rop, err := reverseCond(op)
+				if err != nil {
+					return err
+				}
+				op = rop
 				exitTarget = rec.PC + alpha.InstBytes
 			}
 			addNode(node{
@@ -345,25 +349,27 @@ func (t *xlat) addrOperand(rec *SBInst, regRef func(alpha.Reg) nsrc) (nsrc, int3
 	return tempSrc(idx), 0
 }
 
-// reverseCond returns the opposite branch condition.
-func reverseCond(op alpha.Op) alpha.Op {
+// reverseCond returns the opposite branch condition, or an ErrUnsupported
+// error when op is not a conditional branch — a malformed superblock then
+// degrades to a recoverable translation failure instead of a panic.
+func reverseCond(op alpha.Op) (alpha.Op, error) {
 	switch op {
 	case alpha.OpBEQ:
-		return alpha.OpBNE
+		return alpha.OpBNE, nil
 	case alpha.OpBNE:
-		return alpha.OpBEQ
+		return alpha.OpBEQ, nil
 	case alpha.OpBLT:
-		return alpha.OpBGE
+		return alpha.OpBGE, nil
 	case alpha.OpBGE:
-		return alpha.OpBLT
+		return alpha.OpBLT, nil
 	case alpha.OpBLE:
-		return alpha.OpBGT
+		return alpha.OpBGT, nil
 	case alpha.OpBGT:
-		return alpha.OpBLE
+		return alpha.OpBLE, nil
 	case alpha.OpBLBC:
-		return alpha.OpBLBS
+		return alpha.OpBLBS, nil
 	case alpha.OpBLBS:
-		return alpha.OpBLBC
+		return alpha.OpBLBC, nil
 	}
-	panic("translate: reverseCond on non-conditional " + op.String())
+	return op, fmt.Errorf("%w: cannot reverse non-conditional %v", ErrUnsupported, op)
 }

@@ -128,7 +128,11 @@ func (s *straightener) run() error {
 			op := inst.Op
 			exitTarget := inst.BranchTarget(rec.PC)
 			if !(last && s.sb.End == EndBackward) && rec.Taken {
-				op = reverseCond(op)
+				rop, err := reverseCond(op)
+				if err != nil {
+					return err
+				}
+				op = rop
 				exitTarget = rec.PC + alpha.InstBytes
 			}
 			s.push(ildp.Inst{Kind: ildp.KindCallTransCond, Op: op,

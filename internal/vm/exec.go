@@ -203,6 +203,10 @@ func (v *VM) execTranslated(frag *tcache.Fragment) (uint64, error) {
 					rec.Taken = true
 					rec.PredHit = true
 					rec.Target = f.IAddr
+					if !v.fragUsable(f) {
+						v.finishRec(&rec, true)
+						return entry.v, nil
+					}
 					v.finishRec(&rec, false)
 					enterFrag(f)
 					continue
@@ -226,6 +230,10 @@ func (v *VM) execTranslated(frag *tcache.Fragment) (uint64, error) {
 				v.Stats.DispatchHits++
 				v.profChain(prof.ChainDispatchHit)
 				rec.Target = f.IAddr
+				if !v.fragUsable(f) {
+					v.finishRec(&rec, true)
+					return target, nil
+				}
 				v.finishRec(&rec, false)
 				enterFrag(f)
 				continue
@@ -268,11 +276,19 @@ func (v *VM) takeBranch(inst *ildp.Inst, rec *trace.Rec) (*tcache.Fragment, uint
 		return nil, exitV, nil
 	case inst.Frag >= 0:
 		f := v.tc.Frag(inst.Frag)
-		if f == nil {
-			return nil, 0, fmt.Errorf("vm: dangling fragment link %d", inst.Frag)
+		if f == nil || f.VStart != inst.VAddr {
+			// Stale link: the target was invalidated (or its ID slot
+			// reused) after this branch was patched. Recover by exiting to
+			// the VM at the architected target, which the patch preserved.
+			v.Stats.StaleLinks++
+			v.noteRecovery("stale link", inst.VAddr)
+			return nil, inst.VAddr, nil
 		}
 		v.profChain(prof.ChainDirect)
 		rec.Target = f.IAddr
+		if !v.fragUsable(f) {
+			return nil, f.VStart, nil
+		}
 		return f, 0, nil
 	default:
 		// Call-translator: exit to the VM at the V-ISA target.
@@ -298,6 +314,10 @@ func (v *VM) runDispatch() (*tcache.Fragment, uint64, error) {
 				v.Stats.DispatchHits++
 				v.profChain(prof.ChainDispatchHit)
 				rec.Target = f.IAddr
+				if !v.fragUsable(f) {
+					v.finishRec(&rec, true)
+					return nil, target, nil
+				}
 				v.finishRec(&rec, false)
 				return f, 0, nil
 			}

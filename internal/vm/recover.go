@@ -1,0 +1,131 @@
+package vm
+
+import (
+	"github.com/ildp/accdbt/internal/faultinject"
+	"github.com/ildp/accdbt/internal/metrics"
+	"github.com/ildp/accdbt/internal/tcache"
+)
+
+// This file is the VM's self-healing layer: the per-entry integrity
+// re-check and fault-injection decision point (fragUsable), the recovery
+// bookkeeping shared by every recovery path (noteRecovery), the
+// retranslate-with-backoff / quarantine policy for failed translations
+// (translateFailed), and the injected cache-capacity shrink. The design
+// invariant throughout is that a recovery never loses architected state:
+// translated code is entered only after it passes the entry check, so
+// every recovery action happens at a V-ISA instruction boundary where
+// falling back to the interpreter is always correct.
+
+// shrinkFloor is the smallest capacity an injected shrink can impose.
+const shrinkFloor = 4 << 10
+
+// fragUsable runs the entry-time fault-injection draw and the paranoid
+// integrity re-check for a fragment about to be entered (from the VM
+// top level or from a chained transfer inside translated code). It
+// returns false when the fragment must not run this time; the caller
+// falls back to interpretation at the fragment's V-start, which
+// guarantees forward progress — the next entry attempt redraws.
+func (v *VM) fragUsable(f *tcache.Fragment) bool {
+	if v.inj != nil {
+		switch k := v.inj.EntryFault(); k {
+		case faultinject.KindBitFlip:
+			// Corrupt the fragment being entered, so detection (below) is
+			// exercised on this very entry and the applied-fault count
+			// stays in lockstep with the reverify-failure count.
+			if v.inj.CorruptFragment(f) {
+				v.inj.Applied(k)
+			}
+		case faultinject.KindEvict:
+			v.inj.Applied(k)
+			v.Stats.ForcedEvicts++
+			v.tc.Flush()
+			v.noteRecovery("forced evict", f.VStart)
+			return false
+		case faultinject.KindSpuriousTrap:
+			v.inj.Applied(k)
+			v.Stats.SpuriousTraps++
+			v.noteRecovery("spurious trap", f.VStart)
+			return false
+		case faultinject.KindShrinkCache:
+			v.inj.Applied(k)
+			v.Stats.CacheShrinks++
+			v.shrinkCache()
+			// Shrinking is pressure, not damage: the entry proceeds and the
+			// next install flushes under the reduced capacity.
+		}
+	}
+	if v.cfg.Paranoid && !f.IntegrityOK() {
+		v.Stats.ReverifyFails++
+		v.tc.Invalidate(f.ID)
+		v.noteRecovery("integrity recheck failed", f.VStart)
+		return false
+	}
+	return true
+}
+
+// noteRecovery charges one recovery episode: the modelled software
+// overhead (RecoveryCostPerEvent Alpha instructions, on top of the
+// per-instruction interpretation cost of the fallback itself), the
+// metrics event, and the profiler's recovery pseudo-frame. It also arms
+// fallback accounting so interpreted instructions are attributed to
+// recovery until translated execution resumes.
+func (v *VM) noteRecovery(detail string, vpc uint64) {
+	v.Stats.RecoveryCost += RecoveryCostPerEvent
+	v.inFallback = true
+	if reg := v.cfg.Metrics; reg != nil {
+		reg.Event(metrics.Event{Kind: metrics.EventRecover, Frag: -1,
+			VStart: vpc, Detail: detail})
+		reg.Counter("vm.recovery.episodes").Inc()
+	}
+	if p := v.cfg.Prof; p != nil {
+		p.EnterRecovery(v.Stats.TransIInsts, v.Stats.TransVInsts)
+	}
+}
+
+// translateFailed handles a failed (or verifier-rejected) translation of
+// the superblock starting at pc. With self-healing enabled the failure
+// becomes a recovery: the PC's failure count feeds the exponential
+// retranslation backoff in noteCandidate, and once it reaches the retry
+// budget the PC is quarantined to interpret-only forever. Without
+// self-healing the error is returned fatal, preserving the strict
+// abort-on-bad-translation semantics the verifier sweep relies on.
+func (v *VM) translateFailed(pc uint64, cause error) error {
+	if !v.cfg.SelfHeal {
+		return cause
+	}
+	v.Stats.TransFailures++
+	v.failures[pc]++
+	v.noteRecovery("translation failed", pc)
+	if v.failures[pc] >= v.cfg.RetryBudget && !v.quarantine[pc] {
+		v.quarantine[pc] = true
+		v.Stats.Quarantines++
+		if reg := v.cfg.Metrics; reg != nil {
+			reg.Event(metrics.Event{Kind: metrics.EventQuarantine, Frag: -1,
+				VStart: pc, Detail: cause.Error()})
+			reg.Counter("vm.recovery.quarantines").Inc()
+		}
+	}
+	return nil
+}
+
+// shrinkCache halves the translation-cache capacity, floored at
+// shrinkFloor. An unbounded cache is first pinned at its current
+// occupancy so the halving bites. Only the capacity changes here; the
+// flush happens at the next install, which always runs between
+// fragments, so no stale code is ever mid-execution.
+func (v *VM) shrinkCache() {
+	c := v.tc.Capacity()
+	if c <= 0 {
+		c = v.tc.CodeBytes()
+	}
+	c /= 2
+	if c < shrinkFloor {
+		c = shrinkFloor
+	}
+	v.tc.SetCapacity(c)
+}
+
+// Injector exposes the attached fault injector (nil when chaos mode is
+// off) so harnesses can reconcile applied-fault counts against the
+// VM's recovery statistics.
+func (v *VM) Injector() *faultinject.Injector { return v.inj }

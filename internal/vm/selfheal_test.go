@@ -1,0 +1,160 @@
+package vm
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/ildp/accdbt/internal/alpha"
+	"github.com/ildp/accdbt/internal/alpha/alphaasm"
+	"github.com/ildp/accdbt/internal/emu"
+	"github.com/ildp/accdbt/internal/ildp"
+	"github.com/ildp/accdbt/internal/mem"
+	"github.com/ildp/accdbt/internal/metrics"
+	"github.com/ildp/accdbt/internal/translate"
+)
+
+// TestSelfHealQuarantine proves the retranslate-with-backoff / quarantine
+// policy converges: with every translation permanently poisoned (a
+// size-accounting corruption the install-time verifier always rejects),
+// a self-healing run must still complete with the reference architected
+// state, never install a fragment, and never attempt any superblock
+// start PC more often than the retry budget allows.
+func TestSelfHealQuarantine(t *testing.T) {
+	ref := refRun(t, torture)
+	reg := metrics.NewRegistry()
+	cfg := DefaultConfig()
+	cfg.HotThreshold = 5
+	cfg.Verify = true
+	cfg.SelfHeal = true
+	cfg.RetryBudget = 3
+	cfg.Metrics = reg
+	v := New(mem.New(), cfg)
+	if err := v.LoadProgram(alphaasm.MustAssemble(torture)); err != nil {
+		t.Fatal(err)
+	}
+	v.testMutateResult = func(res *translate.Result) { res.CodeBytes += 2 }
+	if err := v.Run(50_000_000); err != nil {
+		t.Fatalf("self-healing run aborted: %v", err)
+	}
+	compareState(t, "quarantine", ref, v, resultsAddrs())
+
+	st := &v.Stats
+	if st.Fragments != 0 {
+		t.Errorf("%d poisoned fragments were installed", st.Fragments)
+	}
+	if st.Quarantines == 0 {
+		t.Error("no start PC was quarantined")
+	}
+	if st.TransIInsts != 0 {
+		t.Errorf("%d I-instructions executed with an empty cache", st.TransIInsts)
+	}
+	if st.FallbackInsts == 0 {
+		t.Error("no instructions were attributed to recovery fallback")
+	}
+	if want := int64(st.Recoveries()) * RecoveryCostPerEvent; st.RecoveryCost != want {
+		t.Errorf("recovery cost %d, want %d (%d episodes)",
+			st.RecoveryCost, want, st.Recoveries())
+	}
+
+	// Attempt accounting from the metrics event stream: every translation
+	// emits one EventTranslate before the verifier rejects it, so per-PC
+	// event counts are exactly the retranslation attempts.
+	attempts := map[uint64]int{}
+	for _, e := range reg.Events() {
+		if e.Kind == metrics.EventTranslate {
+			attempts[e.VStart]++
+		}
+	}
+	if len(attempts) == 0 {
+		t.Fatal("no translations were attempted")
+	}
+	var total uint64
+	for pc, n := range attempts {
+		total += uint64(n)
+		if n > cfg.RetryBudget {
+			t.Errorf("pc %#x translated %d times, budget %d", pc, n, cfg.RetryBudget)
+		}
+	}
+	if st.TransFailures != total {
+		t.Errorf("TransFailures = %d, want %d (one per attempt)", st.TransFailures, total)
+	}
+	if want := total - uint64(len(attempts)); st.Retranslations != want {
+		t.Errorf("Retranslations = %d, want %d (attempts beyond each PC's first)",
+			st.Retranslations, want)
+	}
+}
+
+// TestSelfHealGenuineFailureBackoff checks the backoff actually delays
+// retranslation: with the budget at its default, the failure count per
+// PC shifts the hot threshold left, so the second attempt needs twice
+// the profile count of the first. Observable consequence: a poisoned
+// run interprets strictly more instructions than a verify-only run of
+// the same program that installs its fragments.
+func TestSelfHealGenuineFailureBackoff(t *testing.T) {
+	base := DefaultConfig()
+	base.HotThreshold = 5
+	base.Verify = true
+	clean := vmRun(t, torture, base)
+
+	cfg := base
+	cfg.SelfHeal = true
+	cfg.Metrics = metrics.NewRegistry()
+	v := New(mem.New(), cfg)
+	if err := v.LoadProgram(alphaasm.MustAssemble(torture)); err != nil {
+		t.Fatal(err)
+	}
+	v.testMutateResult = func(res *translate.Result) { res.CodeBytes += 2 }
+	if err := v.Run(50_000_000); err != nil {
+		t.Fatalf("self-healing run aborted: %v", err)
+	}
+	if v.Stats.InterpInsts <= clean.Stats.InterpInsts {
+		t.Errorf("poisoned run interpreted %d insts, clean run %d — quarantine never bit",
+			v.Stats.InterpInsts, clean.Stats.InterpInsts)
+	}
+	if v.Stats.VMOverhead() <= clean.Stats.VMOverhead() {
+		t.Errorf("poisoned overhead %d not above clean overhead %d",
+			v.Stats.VMOverhead(), clean.Stats.VMOverhead())
+	}
+}
+
+// TestSemanticsPanicSurfacedAtRun proves the emulator core's typed
+// out-of-domain panics are recovered at the VM boundary: corrupting an
+// installed ALU instruction's opcode into a non-ALU op (with the static
+// verifier off, so it installs) must surface as an *emu.SemanticsError
+// from Run, not a raw panic.
+func TestSemanticsPanicSurfacedAtRun(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.HotThreshold = 5
+	v := New(mem.New(), cfg)
+	if err := v.LoadProgram(alphaasm.MustAssemble(torture)); err != nil {
+		t.Fatal(err)
+	}
+	mutated := false
+	v.testMutateResult = func(res *translate.Result) {
+		if mutated {
+			return
+		}
+		for i := range res.Insts {
+			inst := &res.Insts[i]
+			if inst.Kind == ildp.KindALU {
+				inst.Op = alpha.OpCallPAL
+				mutated = true
+				return
+			}
+		}
+	}
+	err := v.Run(50_000_000)
+	if !mutated {
+		t.Skip("torture program produced no mutable ALU instruction")
+	}
+	if err == nil {
+		t.Fatal("out-of-domain op executed without error")
+	}
+	var se *emu.SemanticsError
+	if !errors.As(err, &se) {
+		t.Fatalf("error %v (%T) is not an *emu.SemanticsError", err, err)
+	}
+	if se.Func != "EvalOp" {
+		t.Errorf("SemanticsError.Func = %q, want EvalOp", se.Func)
+	}
+}

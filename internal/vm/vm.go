@@ -16,6 +16,7 @@ import (
 	"github.com/ildp/accdbt/internal/alpha"
 	"github.com/ildp/accdbt/internal/alphaprog"
 	"github.com/ildp/accdbt/internal/emu"
+	"github.com/ildp/accdbt/internal/faultinject"
 	"github.com/ildp/accdbt/internal/ildp"
 	"github.com/ildp/accdbt/internal/iverify"
 	"github.com/ildp/accdbt/internal/mem"
@@ -36,6 +37,17 @@ const (
 	// instructions per interpreted instruction (§4.1: "each interpretation
 	// takes about 20 instructions").
 	InterpCostPerInst = 20
+
+	// DefaultRetryBudget bounds retranslation attempts per superblock
+	// start PC before the PC is quarantined to interpret-only.
+	DefaultRetryBudget = 3
+
+	// RecoveryCostPerEvent is the modelled software cost of one recovery
+	// episode in Alpha instructions — detection, invalidation, and
+	// re-entering the interpreter, sized against the same §4.1 scale as
+	// the 20-instruction interpretation cost. It is charged on top of the
+	// per-instruction cost of the fallback interpretation itself.
+	RecoveryCostPerEvent = 50
 )
 
 // Config controls the VM.
@@ -65,6 +77,30 @@ type Config struct {
 	// of being run. Straightened translations are exempt (they carry no
 	// accumulator invariants) but still counted as skipped.
 	Verify bool
+
+	// Paranoid re-checks every fragment against an install-time pristine
+	// copy on each entry (top-level and chained). A failed re-check
+	// invalidates the fragment and falls back to interpretation — the
+	// runtime complement to the static install-time verifier.
+	Paranoid bool
+
+	// SelfHeal converts translation and verification failures into
+	// recoveries (retranslate with exponential backoff, then quarantine
+	// the start PC to interpret-only) instead of aborting the run. Off by
+	// default so genuine translator bugs stay loud.
+	SelfHeal bool
+
+	// RetryBudget bounds retranslation attempts per superblock start PC
+	// before quarantine (default DefaultRetryBudget); only meaningful
+	// with SelfHeal.
+	RetryBudget int
+
+	// Faults, when non-nil, attaches a deterministic seed-driven fault
+	// injector (chaos mode). Injection only decides and corrupts; pair it
+	// with Paranoid (bit-flip detection), Verify (poison rejection), and
+	// SelfHeal (failure recovery) for full self-healing — the chaos
+	// harness forces all three.
+	Faults *faultinject.Config
 
 	HotThreshold  int
 	MaxSuperblock int
@@ -140,6 +176,27 @@ type Stats struct {
 	StaticChain        int64
 	Spills             int64
 	UsageStatic        translate.UsageCounts
+
+	// Recovery statistics (DESIGN.md §10). All zero unless fault
+	// injection or self-healing is active.
+	ReverifyFails  uint64 // paranoid entry re-checks that failed
+	SpuriousTraps  uint64 // spurious traps recovered at fragment entries
+	ForcedEvicts   uint64 // injected full-cache flushes
+	CacheShrinks   uint64 // injected capacity shrinks (pressure, not damage)
+	TransFailures  uint64 // failed or verifier-rejected translations recovered
+	StaleLinks     uint64 // dangling fragment links recovered at runtime
+	Quarantines    uint64 // start PCs pinned to interpret-only
+	Retranslations uint64 // translation attempts retried after a failure
+	FallbackInsts  uint64 // instructions interpreted in recovery fallback
+	RecoveryCost   int64  // modelled recovery overhead in Alpha instructions
+}
+
+// Recoveries returns the total recovery episodes: every event that
+// abandoned translated execution (or a translation) and fell back to
+// the interpreter. Cache shrinks are not counted — they apply pressure
+// without abandoning anything.
+func (s *Stats) Recoveries() uint64 {
+	return s.ReverifyFails + s.SpuriousTraps + s.ForcedEvicts + s.TransFailures + s.StaleLinks
 }
 
 // TotalVInsts returns all V-ISA instructions architecturally retired.
@@ -150,8 +207,8 @@ func (s *Stats) TotalVInsts() uint64 { return s.InterpInsts + s.TransVInsts }
 func (s *Stats) InterpCost() int64 { return int64(s.InterpInsts) * InterpCostPerInst }
 
 // VMOverhead returns the total modelled VM software overhead —
-// interpretation plus translation — in Alpha instructions.
-func (s *Stats) VMOverhead() int64 { return s.InterpCost() + s.TranslateCost }
+// interpretation plus translation plus recovery — in Alpha instructions.
+func (s *Stats) VMOverhead() int64 { return s.InterpCost() + s.TranslateCost + s.RecoveryCost }
 
 // Publish copies every aggregate statistic into the registry under the
 // "vm." namespace (see DESIGN.md §8 for the metric-to-paper mapping).
@@ -197,6 +254,22 @@ func (s *Stats) Publish(reg *metrics.Registry) {
 			u("vm.usage."+usageSlugs[uc], n)
 		}
 	}
+	// Recovery counters appear only on runs that actually recovered, so
+	// fault-free registries (and the reports generated from them) are
+	// byte-identical with and without this build.
+	if s.Recoveries() != 0 || s.CacheShrinks != 0 || s.Quarantines != 0 {
+		u("vm.recovery.total", s.Recoveries())
+		u("vm.recovery.reverify_fails", s.ReverifyFails)
+		u("vm.recovery.spurious_traps", s.SpuriousTraps)
+		u("vm.recovery.forced_evicts", s.ForcedEvicts)
+		u("vm.recovery.cache_shrinks", s.CacheShrinks)
+		u("vm.recovery.trans_failures", s.TransFailures)
+		u("vm.recovery.stale_links", s.StaleLinks)
+		u("vm.recovery.quarantined_pcs", s.Quarantines)
+		u("vm.recovery.retranslations", s.Retranslations)
+		u("vm.recovery.fallback_insts", s.FallbackInsts)
+		i("vm.recovery.cost", s.RecoveryCost)
+	}
 }
 
 // ErrBudget is returned by Run when the V-instruction budget is exhausted.
@@ -218,6 +291,15 @@ type VM struct {
 	recording bool
 	sb        translate.Superblock
 	inTrace   map[uint64]bool
+
+	// Self-healing state: the fault injector (nil when chaos mode is
+	// off), per-start-PC translation-failure counts feeding the backoff,
+	// the interpret-only quarantine set, and whether the VM is currently
+	// interpreting as recovery fallback.
+	inj        *faultinject.Injector
+	failures   map[uint64]int
+	quarantine map[uint64]bool
+	inFallback bool
 
 	// testMutateResult, when set, corrupts each translation before the
 	// verifier sees it — the test hook proving paranoid mode rejects bad
@@ -241,6 +323,9 @@ func New(m *mem.Memory, cfg Config) *VM {
 	if cfg.NumAcc <= 0 {
 		cfg.NumAcc = ildp.DefaultAccumulators
 	}
+	if cfg.RetryBudget <= 0 {
+		cfg.RetryBudget = DefaultRetryBudget
+	}
 	form := cfg.Form
 	tc := tcache.New(form)
 	if cfg.TCacheBytes > 0 {
@@ -248,14 +333,23 @@ func New(m *mem.Memory, cfg Config) *VM {
 	}
 	tc.SetMetrics(cfg.Metrics)
 	tc.SetProfiler(cfg.Prof)
-	return &VM{
-		cfg:      cfg,
-		cpu:      emu.New(m),
-		mem:      m,
-		tc:       tc,
-		counters: map[uint64]int{},
-		ras:      newDualRAS(cfg.RASSize),
+	if cfg.Paranoid {
+		tc.EnableShadow()
 	}
+	v := &VM{
+		cfg:        cfg,
+		cpu:        emu.New(m),
+		mem:        m,
+		tc:         tc,
+		counters:   map[uint64]int{},
+		failures:   map[uint64]int{},
+		quarantine: map[uint64]bool{},
+		ras:        newDualRAS(cfg.RASSize),
+	}
+	if cfg.Faults != nil {
+		v.inj = faultinject.New(*cfg.Faults)
+	}
+	return v
 }
 
 // CPU exposes the architected state (for loading programs and inspecting
@@ -269,14 +363,27 @@ func (v *VM) TCache() *tcache.Cache { return v.tc }
 func (v *VM) LoadProgram(p *alphaprog.Program) error { return v.cpu.LoadProgram(p) }
 
 // Run executes until the program halts, a trap propagates, or maxVInsts
-// V-ISA instructions have retired (0 = unlimited).
-func (v *VM) Run(maxVInsts int64) error {
+// V-ISA instructions have retired (0 = unlimited). Out-of-domain
+// semantic panics from the emulator core (*emu.SemanticsError) are
+// recovered here and surfaced as ordinary errors tagged with the
+// current V-PC; any other panic propagates.
+func (v *VM) Run(maxVInsts int64) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			se, ok := r.(*emu.SemanticsError)
+			if !ok {
+				panic(r)
+			}
+			err = fmt.Errorf("vm: at V-PC %#x: %w", v.cpu.PC, se)
+		}
+	}()
 	for !v.cpu.Halted {
 		if maxVInsts > 0 && int64(v.Stats.TotalVInsts()) >= maxVInsts {
 			return ErrBudget
 		}
 		if !v.recording {
-			if frag := v.tc.Lookup(v.cpu.PC); frag != nil {
+			if frag := v.tc.Lookup(v.cpu.PC); frag != nil && v.fragUsable(frag) {
+				v.inFallback = false
 				exitPC, err := v.execTranslated(frag)
 				if err != nil {
 					return err
@@ -299,13 +406,25 @@ func (v *VM) Run(maxVInsts int64) error {
 
 // noteCandidate bumps the §3.1 trace-start counter for pc (targets of
 // indirect jumps, targets of backward taken branches, exit targets of
-// existing fragments) and begins recording when it crosses the threshold.
+// existing fragments) and begins recording when it crosses the
+// threshold. Quarantined PCs never re-enter translation; PCs whose
+// translations have failed see an exponentially backed-off threshold,
+// so a transiently-failing superblock retries cheaply while a
+// persistently-failing one converges to interpret-only within the
+// retry budget.
 func (v *VM) noteCandidate(pc uint64) {
-	if v.recording || v.tc.Lookup(pc) != nil {
+	if v.recording || v.tc.Lookup(pc) != nil || v.quarantine[pc] {
 		return
 	}
 	v.counters[pc]++
-	if v.counters[pc] >= v.cfg.HotThreshold {
+	threshold := v.cfg.HotThreshold
+	if n := v.failures[pc]; n > 0 {
+		if n > 16 {
+			n = 16
+		}
+		threshold <<= n
+	}
+	if v.counters[pc] >= threshold {
 		delete(v.counters, pc)
 		v.recording = true
 		v.sb = translate.Superblock{StartPC: pc}
@@ -349,6 +468,9 @@ func (v *VM) interpStep() error {
 		return err
 	}
 	v.Stats.InterpInsts++
+	if v.inFallback {
+		v.Stats.FallbackInsts++
+	}
 	next := v.cpu.PC
 
 	if v.cfg.InterpSink != nil {
@@ -419,6 +541,16 @@ func (v *VM) finishRecording(end translate.EndKind, nextPC uint64) error {
 	sb.NextPC = nextPC
 	v.sb = translate.Superblock{}
 
+	if v.failures[sb.StartPC] > 0 {
+		v.Stats.Retranslations++
+	}
+	injectKind := v.inj.TranslateFault()
+	if injectKind == faultinject.KindFailTranslate {
+		seq := v.inj.Applied(injectKind)
+		return v.translateFailed(sb.StartPC,
+			&faultinject.ErrInjected{Kind: injectKind, Seq: seq})
+	}
+
 	var res *translate.Result
 	var err error
 	if v.cfg.Straighten {
@@ -433,7 +565,19 @@ func (v *VM) finishRecording(end translate.EndKind, nextPC uint64) error {
 		if errors.Is(err, translate.ErrEmptySuperblock) {
 			return nil // nothing worth translating (all NOPs)
 		}
-		return fmt.Errorf("vm: translating superblock at %#x: %w", sb.StartPC, err)
+		werr := fmt.Errorf("vm: translating superblock at %#x: %w", sb.StartPC, err)
+		if v.cfg.SelfHeal {
+			return v.translateFailed(sb.StartPC, werr)
+		}
+		return werr
+	}
+	if injectKind == faultinject.KindPoisonTranslate && v.cfg.Verify {
+		// Poison is only applied where the install-time verifier will
+		// provably catch it (accumulator fragments under Verify); an
+		// unapplied decision is not counted as an injected fault.
+		if v.inj.CorruptResult(res) {
+			v.inj.Applied(injectKind)
+		}
 	}
 	if reg := v.cfg.Metrics; reg != nil {
 		reg.Event(metrics.Event{Kind: metrics.EventTranslate, Frag: -1,
@@ -456,7 +600,11 @@ func (v *VM) finishRecording(end translate.EndKind, nextPC uint64) error {
 		v.cfg.Metrics.Event(metrics.Event{Kind: metrics.EventVerify, Frag: -1,
 			VStart: res.VStart, OK: rep.OK(), Skipped: rep.Skipped})
 		if !rep.OK() {
-			return fmt.Errorf("vm: fragment verification failed:\n%s", rep)
+			verr := fmt.Errorf("vm: fragment verification failed:\n%s", rep)
+			if v.cfg.SelfHeal {
+				return v.translateFailed(sb.StartPC, verr)
+			}
+			return verr
 		}
 		if !rep.Skipped {
 			v.Stats.FragsVerified++
@@ -465,6 +613,7 @@ func (v *VM) finishRecording(end translate.EndKind, nextPC uint64) error {
 	if _, err := v.tc.Install(res); err != nil {
 		return err
 	}
+	delete(v.failures, sb.StartPC)
 	s := &v.Stats
 	s.Fragments++
 	s.SrcInstsTranslated += int64(res.SrcCount)
