@@ -1,6 +1,6 @@
 # Convenience targets; ci/check.sh is the canonical gate.
 
-.PHONY: build test check lint-example experiments profile chaos
+.PHONY: build test check lint-example experiments profile chaos killresume
 
 build:
 	go build ./...
@@ -32,3 +32,10 @@ profile:
 # interpreter. Exit 0 means every fault was recovered transparently.
 chaos:
 	go run ./cmd/ildpchaos -seeds 50
+
+# Sweep the kill-and-resume harness: 50 seeded runs across all four
+# machines, each preempted at seed-chosen points, checkpointed through
+# the full encode/decode path, and resumed in a fresh VM. Exit 0 means
+# every resumed run finished bit-identical to the uninterrupted oracle.
+killresume:
+	go run ./cmd/ildpchaos -kill -seeds 50

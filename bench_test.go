@@ -8,6 +8,7 @@ package accdbt_test
 // visible straight from the bench output.
 
 import (
+	"errors"
 	"testing"
 
 	"github.com/ildp/accdbt"
@@ -194,7 +195,7 @@ func BenchmarkTranslator(b *testing.B) {
 	if err := v.LoadProgram(spec.MustProgram()); err != nil {
 		b.Fatal(err)
 	}
-	if err := v.Run(200_000); err != nil && err != vm.ErrBudget {
+	if err := v.Run(200_000); err != nil && !errors.Is(err, vm.ErrBudget) {
 		b.Fatal(err)
 	}
 	// Re-translate the hottest fragment's source repeatedly via a direct

@@ -40,6 +40,50 @@ echo "== chaos smoke (short soak under the race detector)"
 go test -race -short -run 'TestChaos|TestSelfHeal' ./internal/experiments/ ./internal/vm/
 go run ./cmd/ildpchaos -seeds 4 -seed-base 1001 -machines ildp-modified
 
+echo "== kill-and-resume smoke (short sweep under the race detector)"
+# Fixed-seed kill-and-resume runs: preempt, checkpoint, restore into a
+# fresh VM, and finish bit-identical to the uninterrupted oracle. The
+# full 50-seed sweep is `make killresume`.
+go test -race -short -run 'TestKillResume|TestStopHook|TestBudgetIs|TestResumeFrom|TestWatchdog' \
+    ./internal/experiments/ ./internal/vm/
+go run ./cmd/ildpchaos -kill -seeds 4 -seed-base 5001 -machines ildp-modified
+
+echo "== checkpoint decoder fuzz (5s)"
+# The fuzz invariant: arbitrary bytes either decode to a state whose
+# re-encoding is byte-identical, or fail with a typed error — never a
+# panic or a half-restored state.
+go test -run='^$' -fuzz=FuzzCheckpointDecode -fuzztime=5s ./internal/checkpoint/
+
+echo "== ildpvm checkpoint/resume round trip"
+# A budget-preempted run (exit status 3) checkpoints its state; the
+# resumed run must report the same final exit status and console as an
+# uninterrupted run of the same workload.
+ckpt_dir=$(mktemp -d)
+go build -o "$ckpt_dir/ildpvm" ./cmd/ildpvm
+rc=0
+"$ckpt_dir/ildpvm" -workload gzip -max 100000 \
+    -checkpoint "$ckpt_dir/state.ckpt" > "$ckpt_dir/seg1.txt" || rc=$?
+[ "$rc" -eq 3 ] || {
+    echo "preempted ildpvm run exited $rc, want the distinct status 3" >&2
+    exit 1
+}
+grep -q "^preempted: *budget at V-PC" "$ckpt_dir/seg1.txt" || {
+    echo "preempted run did not report the budget preemption:" >&2
+    cat "$ckpt_dir/seg1.txt" >&2
+    exit 1
+}
+"$ckpt_dir/ildpvm" -resume "$ckpt_dir/state.ckpt" > "$ckpt_dir/seg2.txt"
+"$ckpt_dir/ildpvm" -workload gzip > "$ckpt_dir/full.txt"
+resumed=$(grep '^exit status' "$ckpt_dir/seg2.txt")
+full=$(grep '^exit status' "$ckpt_dir/full.txt")
+if [ "$resumed" != "$full" ]; then
+    echo "resumed final state differs from uninterrupted run:" >&2
+    echo "  resumed: $resumed" >&2
+    echo "  full:    $full" >&2
+    exit 1
+fi
+rm -rf "$ckpt_dir"
+
 echo "== docs gate (ildpreport -check)"
 go run ./cmd/ildpreport -check
 

@@ -4,10 +4,17 @@
 // fault injection, then compares the final architected state
 // bit-for-bit. Any divergence or unrecovered fault fails the sweep.
 //
+// With -kill the sweep runs the kill-and-resume harness instead: each
+// run is preempted at seed-chosen points, checkpointed through the full
+// encode/decode path, and resumed in a fresh VM (cold translation
+// cache); the final state must still be bit-identical to the
+// uninterrupted oracle.
+//
 // Usage:
 //
 //	ildpchaos -seeds 50 -workload gzip -machines all -kinds all
 //	ildpchaos -seeds 1 -seed-base 424242 -machines ildp-modified -kinds bitflip -v
+//	ildpchaos -kill -seeds 50 -kills 3
 package main
 
 import (
@@ -77,6 +84,8 @@ func main() {
 	maxFaults := flag.Int("max-faults", 0, "stop injecting after N applied faults (0 = unlimited)")
 	maxV := flag.Int64("max", 50_000_000, "V-instruction budget per run (0 = unlimited)")
 	verbose := flag.Bool("v", false, "print one line per run instead of only failures")
+	kill := flag.Bool("kill", false, "run the kill-and-resume harness instead of fault injection")
+	kills := flag.Int("kills", 3, "maximum preemptions per run (with -kill; actual count is seed-chosen)")
 	flag.Parse()
 
 	machines, err := parseMachines(*machinesFlag)
@@ -90,6 +99,11 @@ func main() {
 	wl, err := workload.ByName(*wlName, *scale)
 	if err != nil {
 		fatal(err)
+	}
+
+	if *kill {
+		killResumeSweep(wl, machines, *seeds, *seedBase, *kills, *maxV, *verbose)
+		return
 	}
 
 	var runs, failures int
@@ -130,6 +144,47 @@ func main() {
 
 	fmt.Printf("chaos: %d/%d runs green on %s; %d faults applied, %d recoveries, %d quarantines (%s)\n",
 		runs-failures, runs, wl.Name, faults.Total(), recoveries, quarantines, faults)
+	if failures > 0 {
+		os.Exit(1)
+	}
+}
+
+// killResumeSweep drives RunKillResume over the seed range, cycling
+// machines exactly like the fault sweep. Any comparison error, state
+// divergence, or accounting mismatch fails the sweep.
+func killResumeSweep(wl *workload.Spec, machines []experiments.Machine,
+	seeds int, seedBase uint64, kills int, maxV int64, verbose bool) {
+	var runs, failures, totalKills int
+	lastCkpt := 0
+	for s := 0; s < seeds; s++ {
+		seed := seedBase + uint64(s)
+		m := machines[s%len(machines)]
+		out, err := experiments.RunKillResume(experiments.KillResumeSpec{
+			Workload: wl, Machine: m, Seed: seed, Kills: kills, MaxV: maxV,
+		})
+		runs++
+		switch {
+		case err != nil:
+			failures++
+			fmt.Fprintf(os.Stderr, "FAIL seed %d on %v: %v\n", seed, m, err)
+			continue
+		case out.Mismatch != "":
+			failures++
+			fmt.Fprintf(os.Stderr, "FAIL seed %d on %v: state diverged after %d kills at %v: %s\n",
+				seed, m, out.Kills, out.KillTargets, out.Mismatch)
+			continue
+		}
+		totalKills += out.Kills
+		if out.CkptBytes > 0 {
+			lastCkpt = out.CkptBytes
+		}
+		if verbose {
+			fmt.Printf("ok   seed %d on %-13v %d kills at %v, %d segments, ckpt %d bytes\n",
+				seed, m, out.Kills, out.KillTargets, out.Segments, out.CkptBytes)
+		}
+	}
+	fmt.Printf("kill-resume: %d/%d runs green on %s; %d kills taken, last checkpoint %d bytes\n",
+		runs-failures, runs, wl.Name, totalKills, lastCkpt)
 	if failures > 0 {
 		os.Exit(1)
 	}

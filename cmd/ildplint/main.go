@@ -18,6 +18,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -96,7 +97,7 @@ func main() {
 	if err := v.LoadProgram(prog); err != nil {
 		fatal(err)
 	}
-	if err := v.Run(*maxV); err != nil && err != vm.ErrBudget {
+	if err := v.Run(*maxV); err != nil && !errors.Is(err, vm.ErrBudget) {
 		fatal(err)
 	}
 

@@ -4,11 +4,18 @@
 // optionally with a disassembly of the hottest translated fragments and a
 // timing-model IPC estimate.
 //
+// A run can be preempted — by a wall-clock -deadline or the -max
+// V-instruction budget — at a precise V-instruction boundary (exit
+// status 3), checkpointed to a file with -checkpoint, and later
+// continued bit-identically with -resume.
+//
 // Usage:
 //
 //	ildpvm -workload gzip -form modified -chain sw_pred.ras
 //	ildpvm -src prog.s -threshold 20 -dump 3
 //	ildpvm -img prog.img -timing
+//	ildpvm -workload gzip -max 100000 -checkpoint state.ckpt
+//	ildpvm -resume state.ckpt
 package main
 
 import (
@@ -19,9 +26,12 @@ import (
 	"os"
 	"sort"
 	"strconv"
+	"sync/atomic"
+	"time"
 
 	"github.com/ildp/accdbt/internal/alpha/alphaasm"
 	"github.com/ildp/accdbt/internal/alphaprog"
+	"github.com/ildp/accdbt/internal/checkpoint"
 	"github.com/ildp/accdbt/internal/emu"
 	"github.com/ildp/accdbt/internal/faultinject"
 	"github.com/ildp/accdbt/internal/ildp"
@@ -54,6 +64,10 @@ func main() {
 	pes := flag.Int("pes", 8, "ILDP processing elements (with -timing)")
 	commLat := flag.Int64("comm", 0, "ILDP global wire latency in cycles (with -timing)")
 	chaos := flag.String("chaos", "", "enable deterministic fault injection with this decimal seed (forces verify + paranoid + self-heal)")
+	deadline := flag.Duration("deadline", 0, "wall-clock deadline; on expiry the run preempts at a precise V-instruction boundary (exit status 3)")
+	ckptFile := flag.String("checkpoint", "", "write a checkpoint of the final architected state to this file (pairs with -deadline or -max)")
+	resumeFile := flag.String("resume", "", "restore architected state from this checkpoint file and continue (replaces -workload/-src/-img)")
+	watchdog := flag.Int64("watchdog", 0, "livelock watchdog window in work units (0 = off)")
 	flag.Parse()
 
 	if *list {
@@ -64,12 +78,34 @@ func main() {
 		return
 	}
 
-	prog, name := loadProgram(*wl, *srcFile, *imgFile, *scale)
+	var prog *alphaprog.Program
+	var name string
+	var resumeState *checkpoint.State
+	if *resumeFile != "" {
+		data, err := os.ReadFile(*resumeFile)
+		if err != nil {
+			fatal(err)
+		}
+		resumeState, err = checkpoint.Decode(data)
+		if err != nil {
+			fatal(err)
+		}
+		name = *resumeFile
+	} else {
+		prog, name = loadProgram(*wl, *srcFile, *imgFile, *scale)
+	}
 
 	cfg := vm.DefaultConfig()
 	cfg.HotThreshold = *threshold
 	cfg.NumAcc = *numAcc
 	cfg.FuseMemOps = *fuse
+	cfg.WatchdogWindow = *watchdog
+	if *deadline > 0 {
+		var expired atomic.Bool
+		timer := time.AfterFunc(*deadline, func() { expired.Store(true) })
+		defer timer.Stop()
+		cfg.Stop = expired.Load
+	}
 	switch *chain {
 	case "no_pred":
 		cfg.Chain = translate.NoPred
@@ -138,10 +174,13 @@ func main() {
 	}
 
 	v := vm.New(mem.New(), cfg)
-	if err := v.LoadProgram(prog); err != nil {
+	if resumeState != nil {
+		v.Restore(resumeState)
+	} else if err := v.LoadProgram(prog); err != nil {
 		fatal(err)
 	}
-	if err := v.Run(*maxV); err != nil && err != vm.ErrBudget {
+	var pe *vm.PreemptError
+	if err := v.Run(*maxV); err != nil && !errors.As(err, &pe) {
 		var tr *emu.Trap
 		if errors.As(err, &tr) {
 			fmt.Fprintf(os.Stderr, "ildpvm: trap at V-PC %#x: %v\n", tr.PC, tr.Cause)
@@ -151,6 +190,14 @@ func main() {
 	}
 
 	report(name, v, cfg)
+	if pe != nil {
+		cause := "deadline"
+		if errors.Is(pe, vm.ErrBudget) {
+			cause = "budget"
+		}
+		fmt.Printf("preempted:          %s at V-PC %#x after %d V-insts\n",
+			cause, pe.PC, v.Stats.TotalVInsts())
+	}
 	if inj := v.Injector(); inj != nil {
 		s := &v.Stats
 		fmt.Printf("chaos:              %d faults applied over %d decisions (%s)\n",
@@ -187,6 +234,16 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("metrics:\n%s\n", out)
+	}
+	if *ckptFile != "" {
+		data := checkpoint.Encode(v.Checkpoint())
+		if err := os.WriteFile(*ckptFile, data, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("checkpoint:         %d bytes -> %s\n", len(data), *ckptFile)
+	}
+	if pe != nil {
+		os.Exit(3)
 	}
 }
 

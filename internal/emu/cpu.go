@@ -321,3 +321,12 @@ func (c *CPU) execPAL(inst alpha.Inst, pc uint64) error {
 
 // ConsoleString returns the console output accumulated so far.
 func (c *CPU) ConsoleString() string { return string(c.Console) }
+
+// LockState returns the LDx_L/STx_C lock flag and locked address. It is
+// architected state: a checkpoint taken between an LDx_L and its STx_C
+// must preserve it for the conditional store to resolve identically.
+func (c *CPU) LockState() (flag bool, addr uint64) { return c.lockFlag, c.lockAddr }
+
+// SetLockState restores the lock flag and locked address (checkpoint
+// restore).
+func (c *CPU) SetLockState(flag bool, addr uint64) { c.lockFlag, c.lockAddr = flag, addr }

@@ -2,12 +2,10 @@ package experiments
 
 import (
 	"fmt"
-	"math"
 
 	"github.com/ildp/accdbt/internal/alpha"
 	"github.com/ildp/accdbt/internal/emu"
 	"github.com/ildp/accdbt/internal/faultinject"
-	"github.com/ildp/accdbt/internal/ildp"
 	"github.com/ildp/accdbt/internal/mem"
 	"github.com/ildp/accdbt/internal/metrics"
 	"github.com/ildp/accdbt/internal/prof"
@@ -99,48 +97,9 @@ func RunChaos(spec ChaosSpec) (*ChaosOutcome, error) {
 		MaxFaults:     spec.MaxFaults,
 	}
 
-	var ooo *uarch.OoO
-	var ildpM *uarch.ILDP
-	switch spec.Machine {
-	case Original:
-		// No DBT, so no fragments to fault: the schedule never fires and
-		// the run degenerates to a sanity check of the oracle itself.
-		cfg.HotThreshold = math.MaxInt32
-		if spec.Timing {
-			ooo = uarch.NewOoO(uarch.DefaultOoO())
-			cfg.InterpSink = ooo
-		}
-	case Straightened:
-		cfg.Straighten = true
-		if spec.Timing {
-			mc := uarch.DefaultOoO()
-			mc.UseHWRAS = false
-			mc.DualRASTrace = true
-			ooo = uarch.NewOoO(mc)
-			cfg.Sink = ooo
-		}
-	case ILDPBasic, ILDPModified:
-		cfg.Form = ildp.Basic
-		if spec.Machine == ILDPModified {
-			cfg.Form = ildp.Modified
-		}
-		if spec.Timing {
-			mc := uarch.DefaultILDP()
-			mc.DualRASTrace = true
-			mc.CacheOpts.Replicas = mc.PEs
-			ildpM = uarch.NewILDP(mc)
-			cfg.Sink = ildpM
-		}
-	default:
-		return nil, fmt.Errorf("chaos: unknown machine %v", spec.Machine)
-	}
-	if spec.Prof != nil {
-		if ooo != nil {
-			ooo.SetProfiler(spec.Prof)
-		}
-		if ildpM != nil {
-			ildpM.SetProfiler(spec.Prof)
-		}
+	ooo, ildpM, err := attachMachine(&cfg, spec.Machine, spec.Timing, spec.Prof)
+	if err != nil {
+		return nil, err
 	}
 
 	v := vm.New(mem.New(), cfg)

@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestKillResumeSweep is the acceptance sweep: many seeds cycling
+// through all four machines, each run killed 1-3 times at seed-chosen
+// points, checkpointed, and resumed into a fresh VM. Every run must
+// finish bit-identical to the uninterrupted pure-interpreter oracle
+// with the cumulative Stats reconciling across segments.
+func TestKillResumeSweep(t *testing.T) {
+	wl := chaosWorkload(t)
+	machines := []Machine{Original, Straightened, ILDPBasic, ILDPModified}
+	seeds := 56
+	if testing.Short() {
+		seeds = 8
+	}
+	kills := 0
+	for s := 0; s < seeds; s++ {
+		seed := uint64(5000 + s)
+		m := machines[s%len(machines)]
+		t.Run(fmt.Sprintf("seed%d-%v", seed, m), func(t *testing.T) {
+			out, err := RunKillResume(KillResumeSpec{
+				Workload: wl, Machine: m, Seed: seed, Kills: 3,
+				MaxV: 20_000_000,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if out.Mismatch != "" {
+				t.Fatalf("seed %d on %v (%d kills at %v): %s",
+					seed, m, out.Kills, out.KillTargets, out.Mismatch)
+			}
+			if out.Kills > 0 && out.CkptBytes == 0 {
+				t.Error("killed run recorded no checkpoint size")
+			}
+			if out.Segments != out.Kills+1 {
+				t.Errorf("Segments = %d, want Kills+1 = %d", out.Segments, out.Kills+1)
+			}
+			kills += out.Kills
+		})
+	}
+	if kills == 0 {
+		t.Error("sweep never killed a run; the schedule is miscalibrated")
+	}
+}
+
+// TestKillResumeTimed attaches the timing models: each segment gets a
+// fresh profiler and machine model, and RunKillResume itself checks
+// cycle conservation — with the preempt pseudo-frame in the attribution
+// — segment by segment. A conservation break surfaces as an error.
+func TestKillResumeTimed(t *testing.T) {
+	wl := chaosWorkload(t)
+	for _, m := range []Machine{Straightened, ILDPBasic, ILDPModified} {
+		t.Run(m.String(), func(t *testing.T) {
+			sawKill := false
+			for s := 0; s < 3; s++ {
+				out, err := RunKillResume(KillResumeSpec{
+					Workload: wl, Machine: m, Seed: uint64(7100 + s), Kills: 2,
+					MaxV: 20_000_000, Timing: true,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if out.Mismatch != "" {
+					t.Fatalf("seed %d: %s", 7100+s, out.Mismatch)
+				}
+				if out.Kills > 0 {
+					sawKill = true
+				}
+			}
+			if !sawKill {
+				t.Errorf("no timed run on %v was ever killed", m)
+			}
+		})
+	}
+}

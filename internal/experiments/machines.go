@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/ildp/accdbt/internal/ildp"
+	"github.com/ildp/accdbt/internal/prof"
+	"github.com/ildp/accdbt/internal/uarch"
+	"github.com/ildp/accdbt/internal/vm"
+)
+
+// attachMachine configures cfg for one of the paper's four machines and,
+// when timing is requested, builds and attaches the matching timing
+// model (and profiler). It returns whichever model was attached; at most
+// one of the two results is non-nil. Shared by the chaos and
+// kill-and-resume harnesses so every differential run models machines
+// identically.
+func attachMachine(cfg *vm.Config, m Machine, timing bool, p *prof.Profiler) (*uarch.OoO, *uarch.ILDP, error) {
+	var ooo *uarch.OoO
+	var ildpM *uarch.ILDP
+	switch m {
+	case Original:
+		// No DBT: the VM never translates, so the run is pure
+		// interpretation timed through the interpreter sink.
+		cfg.HotThreshold = math.MaxInt32
+		if timing {
+			ooo = uarch.NewOoO(uarch.DefaultOoO())
+			cfg.InterpSink = ooo
+		}
+	case Straightened:
+		cfg.Straighten = true
+		if timing {
+			mc := uarch.DefaultOoO()
+			mc.UseHWRAS = false
+			mc.DualRASTrace = true
+			ooo = uarch.NewOoO(mc)
+			cfg.Sink = ooo
+		}
+	case ILDPBasic, ILDPModified:
+		cfg.Form = ildp.Basic
+		if m == ILDPModified {
+			cfg.Form = ildp.Modified
+		}
+		if timing {
+			mc := uarch.DefaultILDP()
+			mc.DualRASTrace = true
+			mc.CacheOpts.Replicas = mc.PEs
+			ildpM = uarch.NewILDP(mc)
+			cfg.Sink = ildpM
+		}
+	default:
+		return nil, nil, fmt.Errorf("experiments: unknown machine %v", m)
+	}
+	if p != nil {
+		if ooo != nil {
+			ooo.SetProfiler(p)
+		}
+		if ildpM != nil {
+			ildpM.SetProfiler(p)
+		}
+	}
+	return ooo, ildpM, nil
+}

@@ -1,6 +1,7 @@
 package iverify_test
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 	"sync"
@@ -223,7 +224,7 @@ func buildCorpus() ([]entry, error) {
 					if err := v.LoadProgram(alphaasm.MustAssemble(p.src)); err != nil {
 						return nil, fmt.Errorf("%s: %v", p.name, err)
 					}
-					if err := v.Run(10_000_000); err != nil && err != vm.ErrBudget {
+					if err := v.Run(10_000_000); err != nil && !errors.Is(err, vm.ErrBudget) {
 						return nil, fmt.Errorf("%s/%v/%v: %v", p.name, form, chain, err)
 					}
 					if v.TCache().Len() == 0 {
@@ -252,7 +253,7 @@ func buildCorpus() ([]entry, error) {
 				if err := v.LoadProgram(prog); err != nil {
 					return nil, fmt.Errorf("%s: %v", name, err)
 				}
-				if err := v.Run(300_000); err != nil && err != vm.ErrBudget {
+				if err := v.Run(300_000); err != nil && !errors.Is(err, vm.ErrBudget) {
 					return nil, fmt.Errorf("%s/%v/%v: %v", name, form, chain, err)
 				}
 				harvest(name, v, cfg)
@@ -385,7 +386,7 @@ func TestVerifySkipsStraightened(t *testing.T) {
 	if err := v.LoadProgram(alphaasm.MustAssemble(spillProg)); err != nil {
 		t.Fatal(err)
 	}
-	if err := v.Run(10_000_000); err != nil && err != vm.ErrBudget {
+	if err := v.Run(10_000_000); err != nil && !errors.Is(err, vm.ErrBudget) {
 		t.Fatal(err)
 	}
 	tc := v.TCache()

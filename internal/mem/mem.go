@@ -126,6 +126,29 @@ func Equal(a, b *Memory) (bool, uint64) {
 	return true, 0
 }
 
+// Snapshot returns a deep copy of every mapped page, keyed by page
+// number. Together with Strict it is the memory's complete state:
+// LoadSnapshot on a fresh Memory reproduces the contents bit for bit.
+func (m *Memory) Snapshot() map[uint64][PageSize]byte {
+	out := make(map[uint64][PageSize]byte, len(m.pages))
+	for pn, p := range m.pages {
+		out[pn] = *p
+	}
+	return out
+}
+
+// LoadSnapshot replaces the memory's contents with the snapshot: every
+// page in the snapshot becomes mapped with the given bytes, and every
+// previously mapped page not in the snapshot is unmapped. The snapshot
+// is copied, so later writes to the memory do not alias it.
+func (m *Memory) LoadSnapshot(pages map[uint64][PageSize]byte) {
+	m.pages = make(map[uint64]*[PageSize]byte, len(pages))
+	for pn, data := range pages {
+		p := data
+		m.pages[pn] = &p
+	}
+}
+
 // Read8s copies n bytes starting at addr into a fresh slice.
 func (m *Memory) Read8s(addr uint64, n int) ([]byte, error) {
 	out := make([]byte, n)

@@ -170,3 +170,52 @@ func TestEndiannessProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestSnapshotRoundTrip proves Snapshot/LoadSnapshot carry the complete
+// memory state: every mapped page (including all-zero ones, whose
+// mapped-ness is architected in Strict mode) survives the round trip,
+// and the snapshot is a deep copy — mutating the source afterwards must
+// not leak into a memory restored from it.
+func TestSnapshotRoundTrip(t *testing.T) {
+	src := New()
+	src.Strict = true
+	src.Map(0x1000, 64) // mapped but all-zero
+	src.Map(0x4000, PageSize)
+	src.Map(2*PageSize, PageSize)
+	if err := src.Write64(0x4008, 0xDEADBEEFCAFEF00D); err != nil {
+		t.Fatal(err)
+	}
+	if err := src.Write8(3*PageSize-1, 0x7F); err != nil { // last byte of a page
+		t.Fatal(err)
+	}
+	snap := src.Snapshot()
+
+	dst := New()
+	dst.Strict = true
+	dst.LoadSnapshot(snap)
+	if ok, addr := Equal(src, dst); !ok {
+		t.Fatalf("restored memory differs at %#x", addr)
+	}
+	if !dst.Mapped(0x1000) {
+		t.Error("all-zero mapped page lost by the round trip")
+	}
+	if _, err := dst.Read8(0x100000); !errors.As(err, new(*AccessFault)) {
+		t.Errorf("unmapped read after restore: err = %v, want *AccessFault", err)
+	}
+
+	// Deep-copy both directions: writes to the source after Snapshot and
+	// to the destination after LoadSnapshot must not alias.
+	if err := src.Write64(0x4008, 1); err != nil {
+		t.Fatal(err)
+	}
+	v, err := dst.Read64(0x4008)
+	if err != nil || v != 0xDEADBEEFCAFEF00D {
+		t.Errorf("snapshot aliases source pages: read %#x, %v", v, err)
+	}
+	if err := dst.Write8(0x1000, 9); err != nil {
+		t.Fatal(err)
+	}
+	if b, _ := src.Read8(0x1000); b != 0 {
+		t.Error("LoadSnapshot aliases the snapshot map's pages")
+	}
+}

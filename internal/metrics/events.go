@@ -26,10 +26,16 @@ const (
 	EventFault
 	EventRecover
 	EventQuarantine
+	// EventPreempt marks a run stopped at a V-instruction boundary by a
+	// deadline/stop request or budget exhaustion (VStart carries the
+	// precise V-PC), and EventResume a checkpoint restored into the VM
+	// with a cold translation cache.
+	EventPreempt
+	EventResume
 )
 
 var eventKindNames = [...]string{"translate", "verify", "install", "chain", "evict",
-	"fault", "recover", "quarantine"}
+	"fault", "recover", "quarantine", "preempt", "resume"}
 
 // String returns the lower-case kind name.
 func (k EventKind) String() string {

@@ -210,6 +210,65 @@ func TestHistogramQuantile(t *testing.T) {
 	}
 }
 
+// TestHistogramQuantileEdgeCases pins the boundary behaviour the sweep
+// above cannot: out-of-range q clamps to min/max, a distribution
+// confined to a single bucket interpolates strictly inside [min, max],
+// and negative observations keep the same guarantees.
+func TestHistogramQuantileEdgeCases(t *testing.T) {
+	// Out-of-range q on an empty histogram is still 0.
+	empty := NewHistogram()
+	for _, q := range []float64{-1, 0, 1, 2} {
+		if got := empty.Quantile(q); got != 0 {
+			t.Errorf("empty Quantile(%v) = %v, want 0", q, got)
+		}
+	}
+
+	// All observations inside one 1-2-5 bucket (the (100, 200] bucket):
+	// every quantile must stay within the observed [min, max], clamp to
+	// min below q=0 and to max above q=1, and remain monotone.
+	single := NewHistogram()
+	for i := 0; i < 50; i++ {
+		single.Observe(150 + float64(i%7))
+	}
+	if got := single.Quantile(-0.5); got != 150 {
+		t.Errorf("Quantile(-0.5) = %v, want min 150", got)
+	}
+	if got := single.Quantile(0); got != 150 {
+		t.Errorf("Quantile(0) = %v, want min 150", got)
+	}
+	if got := single.Quantile(1); got != 156 {
+		t.Errorf("Quantile(1) = %v, want max 156", got)
+	}
+	if got := single.Quantile(1.5); got != 156 {
+		t.Errorf("Quantile(1.5) = %v, want max 156", got)
+	}
+	prev := single.Quantile(0)
+	for q := 0.1; q < 1.0; q += 0.1 {
+		v := single.Quantile(q)
+		if v < 150 || v > 156 {
+			t.Errorf("single-bucket Quantile(%v) = %v, outside [150, 156]", q, v)
+		}
+		if v < prev {
+			t.Errorf("single-bucket Quantile not monotone at q=%v: %v < %v", q, v, prev)
+		}
+		prev = v
+	}
+
+	// Negative observations: min/max clamping must hold below zero too.
+	neg := NewHistogram()
+	neg.Observe(-10)
+	neg.Observe(-5)
+	if got := neg.Quantile(0); got != -10 {
+		t.Errorf("negative Quantile(0) = %v, want -10", got)
+	}
+	if got := neg.Quantile(1); got != -5 {
+		t.Errorf("negative Quantile(1) = %v, want -5", got)
+	}
+	if mid := neg.Quantile(0.5); mid < -10 || mid > -5 {
+		t.Errorf("negative Quantile(0.5) = %v, outside [-10, -5]", mid)
+	}
+}
+
 func TestSnapshotJSONDeterministic(t *testing.T) {
 	build := func() *Registry {
 		r := NewRegistry()

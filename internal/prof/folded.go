@@ -50,6 +50,7 @@ func (pr *Profile) WriteFolded(w io.Writer) error {
 		add("dispatch", pr.DispatchCycles)
 		add("vm", pr.VMCycles)
 		add("recovery", pr.RecoveryCycles)
+		add("preempt", pr.PreemptCycles)
 	}
 
 	sort.Slice(lines, func(i, j int) bool { return lines[i].stack < lines[j].stack })

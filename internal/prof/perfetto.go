@@ -53,6 +53,8 @@ func frameName(frag int32, vstart uint64) string {
 		return "vm"
 	case FrameRecovery:
 		return "recovery"
+	case FramePreempt:
+		return "preempt"
 	}
 	return fmt.Sprintf("frag %d @%#x", frag, vstart)
 }

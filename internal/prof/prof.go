@@ -82,11 +82,14 @@ const (
 	// detected fault at a fragment entry sent control to the recovery
 	// pseudo-frame instead of the next fragment.
 	ExitRecover
+	// ExitPreempt was cut short by a preemption: a deadline/stop request
+	// or budget exhaustion stopped the run at a V-instruction boundary.
+	ExitPreempt
 
-	numExitKinds = int(ExitRecover) + 1
+	numExitKinds = int(ExitPreempt) + 1
 )
 
-var exitKindNames = [numExitKinds]string{"chain", "dispatch", "vm", "trap", "recover"}
+var exitKindNames = [numExitKinds]string{"chain", "dispatch", "vm", "trap", "recover", "preempt"}
 
 // String returns the lower-case exit-kind name.
 func (k ExitKind) String() string {
@@ -111,6 +114,11 @@ const (
 	// this frame usually carries entries but few cycles; it exists so the
 	// cycle-conservation invariant holds across recoveries.
 	KeyRecovery uint64 = 3
+	// KeyPreempt aggregates preemption boundaries: a deadline/stop
+	// request or budget exhaustion stopping the run. Like recovery it
+	// usually carries entries but few cycles — it exists so cycle
+	// conservation holds across preempted (and later resumed) runs.
+	KeyPreempt uint64 = 4
 )
 
 // numAccSlots is 8 accumulators plus one slot for acc-less instructions.
@@ -191,6 +199,7 @@ const (
 	FrameDispatch int32 = -1
 	FrameVM       int32 = -2
 	FrameRecovery int32 = -3
+	FramePreempt  int32 = -4
 )
 
 // Config sizes the profiler.
@@ -345,6 +354,8 @@ func (p *Profiler) closeFrame(reason ExitKind, iTotal, vTotal uint64) {
 			frag = FrameVM
 		} else if f.VStart == KeyRecovery {
 			frag = FrameRecovery
+		} else if f.VStart == KeyPreempt {
+			frag = FramePreempt
 		}
 		for pe, n := range p.peSince {
 			if n != 0 {
@@ -440,6 +451,42 @@ func (p *Profiler) EnterRecovery(iTotal, vTotal uint64) {
 	if p.armed {
 		p.push(Event{Kind: EvEnter, TS: p.clock, Frag: FrameRecovery, VStart: KeyRecovery,
 			Arg: entryChain, PE: -1})
+	}
+}
+
+// Preempt begins an activation of the preempt pseudo-frame: the current
+// frame (fragment, dispatch, or recovery) closes with an ExitPreempt
+// reason, and any cycles retired between the stop decision and Finish
+// are attributed to preemption, keeping the conservation invariant
+// intact. Finish closes the frame with ExitPreempt rather than
+// ExitTrap, so a preempted run is distinguishable from a crashed one.
+func (p *Profiler) Preempt(iTotal, vTotal uint64) {
+	if p == nil {
+		return
+	}
+	entryChain := p.pendingChain
+	p.pendingChain = -1
+	p.closeFrame(ExitPreempt, iTotal, vTotal)
+	p.pendingExit = ExitChain
+	p.open(KeyPreempt, FramePreempt, KeyPreempt, iTotal, vTotal)
+	if p.armed {
+		p.push(Event{Kind: EvEnter, TS: p.clock, Frag: FramePreempt, VStart: KeyPreempt,
+			Arg: entryChain, PE: -1})
+	}
+}
+
+// Resume closes a dangling preempt frame after a checkpoint restore, so
+// a profiler that outlives the preemption (same-VM resume) re-opens
+// cleanly at the next fragment entry. A no-op unless the preempt frame
+// is the open frame.
+func (p *Profiler) Resume(iTotal, vTotal uint64) {
+	if p == nil {
+		return
+	}
+	if p.cur != nil && p.cur.VStart == KeyPreempt {
+		p.pendingChain = -1
+		p.closeFrame(ExitPreempt, iTotal, vTotal)
+		p.pendingExit = ExitChain
 	}
 }
 
@@ -553,7 +600,11 @@ func (p *Profiler) Finish() {
 	}
 	p.finished = true
 	if p.cur != nil {
-		p.closeFrame(ExitTrap, p.iBase, p.vBase)
+		reason := ExitTrap
+		if p.cur.VStart == KeyPreempt {
+			reason = ExitPreempt
+		}
+		p.closeFrame(reason, p.iBase, p.vBase)
 	}
 }
 

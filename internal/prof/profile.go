@@ -31,6 +31,12 @@ type Profile struct {
 	RecoveryCycles  int64
 	RecoveryEntries uint64
 
+	// PreemptCycles / PreemptEntries are the preempt pseudo-frame
+	// totals: one entry per deadline/stop/budget preemption. Zero on
+	// undisturbed runs.
+	PreemptCycles  int64
+	PreemptEntries uint64
+
 	// TotalCycles is the sum of every frame's cycles. With a timing
 	// model attached it equals the model's reported total exactly.
 	TotalCycles int64
@@ -61,6 +67,9 @@ func (p *Profiler) Profile() *Profile {
 		case KeyRecovery:
 			out.RecoveryCycles = f.Cycles
 			out.RecoveryEntries = f.Entries
+		case KeyPreempt:
+			out.PreemptCycles = f.Cycles
+			out.PreemptEntries = f.Entries
 		default:
 			out.Frags = append(out.Frags, *f)
 		}
@@ -138,6 +147,10 @@ func (pr *Profile) WriteHotTable(w io.Writer, topN int) error {
 	if err == nil && pr.RecoveryEntries > 0 {
 		_, err = fmt.Fprintf(w, "recovery: %d episodes (%d cycles attributed)\n",
 			pr.RecoveryEntries, pr.RecoveryCycles)
+	}
+	if err == nil && pr.PreemptEntries > 0 {
+		_, err = fmt.Fprintf(w, "preempt: %d boundaries (%d cycles attributed)\n",
+			pr.PreemptEntries, pr.PreemptCycles)
 	}
 	return err
 }

@@ -324,6 +324,24 @@ func (c *Cache) Flush() {
 	c.Flushes++
 }
 
+// Reset returns the cache to its post-New state: no fragments, no
+// pending links, lifecycle counters zeroed, and the next I-address
+// recomputed exactly as construction laid it out. Unlike Flush it emits
+// no evict events and counts no flush — it is the cold start of a
+// checkpoint restore, where translation state was never architected and
+// is simply rebuilt, not evicted.
+func (c *Cache) Reset() {
+	c.frags = nil
+	c.byVPC = map[uint64]int32{}
+	c.pending = map[uint64][]patchSite{}
+	last := len(c.dispatch) - 1
+	c.next = c.dispAddr[last] + uint64(c.dispatch[last].EncodedSize(c.form))
+	c.next = (c.next + 63) &^ 63
+	c.Patches = 0
+	c.Invalidates = 0
+	c.Flushes = 0
+}
+
 // Install places a translation into the cache: it assigns I-addresses,
 // links the new fragment's exits against already-translated targets, and
 // patches other fragments' pending exits that were waiting for this

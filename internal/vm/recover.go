@@ -1,6 +1,8 @@
 package vm
 
 import (
+	"fmt"
+
 	"github.com/ildp/accdbt/internal/faultinject"
 	"github.com/ildp/accdbt/internal/metrics"
 	"github.com/ildp/accdbt/internal/tcache"
@@ -26,6 +28,37 @@ const shrinkFloor = 4 << 10
 // falls back to interpretation at the fragment's V-start, which
 // guarantees forward progress — the next entry attempt redraws.
 func (v *VM) fragUsable(f *tcache.Fragment) bool {
+	// Preemption poll: a chained hot loop can stay inside translated code
+	// indefinitely, so the stop hook must also be visible at chained and
+	// dispatched entries, not just at the Run loop top. Refusing the
+	// entry exits to the VM at this fragment's V-start — a precise
+	// V-instruction boundary — where the loop-top check converts the
+	// request into a *PreemptError.
+	if stop := v.cfg.Stop; stop != nil && stop() {
+		return false
+	}
+	// Livelock watchdog: translated code retiring no V-instructions
+	// (e.g. a corrupted fragment chained into a cycle of pure overhead)
+	// never returns to the interpreter on its own. Every fragment entry
+	// checks whether retirement advanced since the last observation; if
+	// the VM has burned a full window of work without retiring anything,
+	// the fragment being entered is quarantined and invalidated through
+	// the recovery path, and the refused entry falls back to the
+	// interpreter, which always makes progress.
+	if w := v.cfg.WatchdogWindow; w > 0 {
+		retired := v.Stats.TotalVInsts()
+		work := v.Stats.TransIInsts + v.Stats.InterpInsts
+		if retired != v.wdRetired {
+			v.wdRetired, v.wdWork = retired, work
+		} else if int64(work-v.wdWork) >= w {
+			v.wdWork = work
+			v.Stats.WatchdogTrips++
+			v.quarantinePC(f.VStart, fmt.Errorf("vm: watchdog: no V-instruction retired in %d work units", w))
+			v.tc.Invalidate(f.ID)
+			v.noteRecovery("watchdog livelock", f.VStart)
+			return false
+		}
+	}
 	if v.inj != nil {
 		switch k := v.inj.EntryFault(); k {
 		case faultinject.KindBitFlip:
@@ -96,16 +129,43 @@ func (v *VM) translateFailed(pc uint64, cause error) error {
 	v.Stats.TransFailures++
 	v.failures[pc]++
 	v.noteRecovery("translation failed", pc)
-	if v.failures[pc] >= v.cfg.RetryBudget && !v.quarantine[pc] {
-		v.quarantine[pc] = true
-		v.Stats.Quarantines++
-		if reg := v.cfg.Metrics; reg != nil {
-			reg.Event(metrics.Event{Kind: metrics.EventQuarantine, Frag: -1,
-				VStart: pc, Detail: cause.Error()})
-			reg.Counter("vm.recovery.quarantines").Inc()
-		}
+	if v.failures[pc] >= v.cfg.RetryBudget {
+		v.quarantinePC(pc, cause)
 	}
 	return nil
+}
+
+// quarantinePC pins pc to interpret-only forever: it is never again
+// proposed as a superblock start. Shared by the retry-budget path and
+// the livelock watchdog. Idempotent per PC.
+func (v *VM) quarantinePC(pc uint64, cause error) {
+	if v.quarantine[pc] {
+		return
+	}
+	v.quarantine[pc] = true
+	v.Stats.Quarantines++
+	if reg := v.cfg.Metrics; reg != nil {
+		reg.Event(metrics.Event{Kind: metrics.EventQuarantine, Frag: -1,
+			VStart: pc, Detail: cause.Error()})
+		reg.Counter("vm.recovery.quarantines").Inc()
+	}
+}
+
+// preempt stops the run at the current (precise) V-PC: accounting, the
+// metrics event, and the profiler's preempt pseudo-frame, then the
+// typed error the caller returns. cause is ErrPreempted (stop hook) or
+// ErrBudget.
+func (v *VM) preempt(cause error) error {
+	v.Stats.Preemptions++
+	if reg := v.cfg.Metrics; reg != nil {
+		reg.Event(metrics.Event{Kind: metrics.EventPreempt, Frag: -1,
+			VStart: v.cpu.PC, Detail: cause.Error()})
+		reg.Counter("vm.preempt.events").Inc()
+	}
+	if p := v.cfg.Prof; p != nil {
+		p.Preempt(v.Stats.TransIInsts, v.Stats.TransVInsts)
+	}
+	return &PreemptError{PC: v.cpu.PC, Cause: cause}
 }
 
 // shrinkCache halves the translation-cache capacity, floored at

@@ -1,6 +1,7 @@
 package vm
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 	"testing"
@@ -80,7 +81,7 @@ func TestVerifySweepAllWorkloads(t *testing.T) {
 						if err := v.LoadProgram(prog); err != nil {
 							t.Fatal(err)
 						}
-						if err := v.Run(150_000); err != nil && err != ErrBudget {
+						if err := v.Run(150_000); err != nil && !errors.Is(err, ErrBudget) {
 							t.Fatalf("run aborted: %v", err)
 						}
 						if v.Stats.Fragments == 0 {

@@ -102,6 +102,25 @@ type Config struct {
 	// harness forces all three.
 	Faults *faultinject.Config
 
+	// Stop, when non-nil, is the preemption hook (a context-style
+	// cancellation test). It is polled only at V-instruction boundaries
+	// — the top of the interpret/execute loop and every fragment entry,
+	// including chained and dispatched entries inside translated code —
+	// never mid-instruction, so architected state is always precise when
+	// it fires. When it returns true, Run stops with a *PreemptError
+	// carrying the exact V-PC; the run can be checkpointed and resumed
+	// bit-identically (DESIGN.md §11).
+	Stop func() bool
+
+	// WatchdogWindow, when > 0, arms the livelock watchdog: if the
+	// retired V-instruction count stops advancing while the VM executes
+	// this many instructions of work (translated I-instructions plus
+	// interpreted instructions), the fragment being entered is presumed
+	// livelocked — its start PC is quarantined to interpret-only and the
+	// fragment invalidated through the recovery path, which guarantees
+	// forward progress (the interpreter always retires).
+	WatchdogWindow int64
+
 	HotThreshold  int
 	MaxSuperblock int
 	RASSize       int
@@ -189,6 +208,10 @@ type Stats struct {
 	Retranslations uint64 // translation attempts retried after a failure
 	FallbackInsts  uint64 // instructions interpreted in recovery fallback
 	RecoveryCost   int64  // modelled recovery overhead in Alpha instructions
+
+	// Preemption statistics (DESIGN.md §11). Zero on undisturbed runs.
+	Preemptions   uint64 // stop-hook or budget preemptions taken
+	WatchdogTrips uint64 // livelock watchdog quarantines
 }
 
 // Recoveries returns the total recovery episodes: every event that
@@ -196,7 +219,8 @@ type Stats struct {
 // the interpreter. Cache shrinks are not counted — they apply pressure
 // without abandoning anything.
 func (s *Stats) Recoveries() uint64 {
-	return s.ReverifyFails + s.SpuriousTraps + s.ForcedEvicts + s.TransFailures + s.StaleLinks
+	return s.ReverifyFails + s.SpuriousTraps + s.ForcedEvicts + s.TransFailures +
+		s.StaleLinks + s.WatchdogTrips
 }
 
 // TotalVInsts returns all V-ISA instructions architecturally retired.
@@ -270,10 +294,42 @@ func (s *Stats) Publish(reg *metrics.Registry) {
 		u("vm.recovery.fallback_insts", s.FallbackInsts)
 		i("vm.recovery.cost", s.RecoveryCost)
 	}
+	// Preemption counters likewise appear only on runs that were actually
+	// preempted or watchdog-tripped, so undisturbed registries stay
+	// byte-identical with and without this build.
+	if s.Preemptions != 0 || s.WatchdogTrips != 0 {
+		u("vm.preempt.preemptions", s.Preemptions)
+		u("vm.preempt.watchdog_trips", s.WatchdogTrips)
+	}
 }
 
 // ErrBudget is returned by Run when the V-instruction budget is exhausted.
 var ErrBudget = errors.New("vm: instruction budget exhausted")
+
+// ErrPreempted matches (via errors.Is) every *PreemptError: any run
+// stopped at a V-instruction boundary by the Stop hook or the budget.
+var ErrPreempted = errors.New("vm: preempted")
+
+// PreemptError is returned by Run when execution is interrupted at a
+// V-instruction boundary: the Stop hook fired, or the V-instruction
+// budget ran out. PC is the precise architected V-PC at the boundary —
+// the exact point a checkpoint taken now resumes from. It matches
+// ErrPreempted always, and additionally ErrBudget when the budget was
+// the cause, so budget exhaustion is now just a preemption.
+type PreemptError struct {
+	PC    uint64
+	Cause error // ErrPreempted (stop hook) or ErrBudget
+}
+
+func (e *PreemptError) Error() string {
+	return fmt.Sprintf("%v at V-PC %#x", e.Cause, e.PC)
+}
+
+// Unwrap exposes the cause (errors.Is(err, ErrBudget) for budget trips).
+func (e *PreemptError) Unwrap() error { return e.Cause }
+
+// Is reports every preemption as ErrPreempted regardless of cause.
+func (e *PreemptError) Is(target error) bool { return target == ErrPreempted }
 
 // VM is a co-designed virtual machine instance.
 type VM struct {
@@ -300,6 +356,12 @@ type VM struct {
 	failures   map[uint64]int
 	quarantine map[uint64]bool
 	inFallback bool
+
+	// Livelock-watchdog state: the retired V-instruction count and work
+	// total (translated I-insts + interpreted insts) at the last time
+	// retirement was observed to advance.
+	wdRetired uint64
+	wdWork    uint64
 
 	// testMutateResult, when set, corrupts each translation before the
 	// verifier sees it — the test hook proving paranoid mode rejects bad
@@ -379,7 +441,10 @@ func (v *VM) Run(maxVInsts int64) (err error) {
 	}()
 	for !v.cpu.Halted {
 		if maxVInsts > 0 && int64(v.Stats.TotalVInsts()) >= maxVInsts {
-			return ErrBudget
+			return v.preempt(ErrBudget)
+		}
+		if stop := v.cfg.Stop; stop != nil && stop() {
+			return v.preempt(ErrPreempted)
 		}
 		if !v.recording {
 			if frag := v.tc.Lookup(v.cpu.PC); frag != nil && v.fragUsable(frag) {
