@@ -1,6 +1,6 @@
 # Convenience targets; ci/check.sh is the canonical gate.
 
-.PHONY: build test check lint-example experiments profile chaos killresume
+.PHONY: build test check lint-example semcheck experiments profile chaos killresume
 
 build:
 	go build ./...
@@ -14,6 +14,13 @@ check:
 # Demonstrate the fragment linter on a workload (exit 0 = all invariants hold).
 lint-example:
 	go run ./cmd/ildplint -workload gzip -form basic -chain sw_pred.ras
+
+# Prove every fragment the 12 workloads translate (all three machine
+# forms) equivalent to its source superblock, then run the repository's
+# own Go linters over the tree.
+semcheck:
+	go test -run 'TestWorkloadsProveAll|TestSemanticMutationsRejected' ./internal/semcheck/
+	go run ./cmd/ildpanalyze ./internal/... ./cmd/...
 
 # Regenerate the committed experiment report, EXPERIMENTS.md's generated
 # block, and the BENCH_experiments.json trajectory (~12s of simulation).

@@ -20,6 +20,12 @@ if [ -n "$unformatted" ]; then
     exit 1
 fi
 
+echo "== ildpanalyze (project linters)"
+# The repository's own analyzers (internal/lint): sentinel errors flow
+# through errors.Is / errors.As, and nil-safe metrics/prof hooks are
+# called directly rather than behind redundant nil guards.
+go run ./cmd/ildpanalyze ./internal/... ./cmd/...
+
 echo "== go vet"
 go vet ./...
 
@@ -53,6 +59,19 @@ echo "== checkpoint decoder fuzz (5s)"
 # re-encoding is byte-identical, or fail with a typed error — never a
 # panic or a half-restored state.
 go test -run='^$' -fuzz=FuzzCheckpointDecode -fuzztime=5s ./internal/checkpoint/
+
+echo "== semcheck fuzz (5s)"
+# Arbitrary decodable superblocks through the real translator
+# (straightening included) must all prove semantically equivalent.
+go test -run='^$' -fuzz=FuzzSemCheck -fuzztime=5s ./internal/semcheck/
+
+echo "== ildplint -sem smoke (reconstruct + prove installed fragments)"
+sem_out=$(go run ./cmd/ildplint -workload gzip -form modified -sem)
+echo "$sem_out" | grep -q " fragments proved, 0 with counterexamples" || {
+    echo "ildplint -sem did not prove the gzip cache clean:" >&2
+    echo "$sem_out" >&2
+    exit 1
+}
 
 echo "== ildpvm checkpoint/resume round trip"
 # A budget-preempted run (exit status 3) checkpoints its state; the

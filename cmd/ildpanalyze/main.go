@@ -1,0 +1,117 @@
+// Command ildpanalyze runs the repository's project-specific static
+// analyses (internal/lint) over Go source trees: sentinel errors must
+// flow through errors.Is / errors.As, and nil-safe metrics/profiling
+// hooks must not hide behind redundant nil guards.
+//
+// Usage:
+//
+//	ildpanalyze ./internal/... ./cmd/...
+//	ildpanalyze -tests ./internal/vm
+//
+// A `...` suffix walks the directory recursively. The exit status is 0
+// when the tree is clean, 1 when any diagnostic fires, 2 on usage or
+// parse errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"github.com/ildp/accdbt/internal/lint"
+)
+
+func main() {
+	tests := flag.Bool("tests", false, "also analyze _test.go files")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: ildpanalyze [-tests] ./dir/... [dir2 ...]")
+		os.Exit(2)
+	}
+
+	var dirs []string
+	for _, arg := range flag.Args() {
+		if rest, ok := strings.CutSuffix(arg, "/..."); ok {
+			err := filepath.WalkDir(rest, func(path string, d fs.DirEntry, err error) error {
+				if err != nil {
+					return err
+				}
+				if d.IsDir() && !strings.HasPrefix(d.Name(), ".") {
+					dirs = append(dirs, path)
+				}
+				return nil
+			})
+			if err != nil {
+				fatal(err)
+			}
+		} else {
+			dirs = append(dirs, arg)
+		}
+	}
+	sort.Strings(dirs)
+
+	fset := token.NewFileSet()
+	findings := 0
+	for _, dir := range dirs {
+		files, err := parseDir(fset, dir, *tests)
+		if err != nil {
+			fatal(err)
+		}
+		if len(files) == 0 {
+			continue
+		}
+		for _, a := range lint.Analyzers() {
+			pass := &lint.Pass{
+				Analyzer: a, Fset: fset, Files: files,
+				Report: func(d lint.Diagnostic) {
+					findings++
+					fmt.Printf("%s: %s [%s]\n", fset.Position(d.Pos), d.Message, a.Name)
+				},
+			}
+			if err := a.Run(pass); err != nil {
+				fatal(fmt.Errorf("%s: %s: %w", dir, a.Name, err))
+			}
+		}
+	}
+	if findings > 0 {
+		fmt.Printf("ildpanalyze: %d finding(s)\n", findings)
+		os.Exit(1)
+	}
+}
+
+// parseDir parses the directory's Go files (one flat directory, no
+// recursion — the caller expands `...`).
+func parseDir(fset *token.FileSet, dir string, tests bool) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") {
+			continue
+		}
+		if !tests && strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ildpanalyze:", err)
+	os.Exit(2)
+}

@@ -6,12 +6,19 @@
 // dataflow, precise-state completeness, and chaining well-formedness —
 // with fragment links resolved against the cache.
 //
+// With -sem, every fragment is additionally proved semantically: its
+// source superblock is reconstructed from guest memory and the symbolic
+// equivalence prover (DESIGN.md §12) shows the fragment computes the
+// superblock's semantics at every exit — final registers, memory
+// effects, and next V-PC — printing typed counterexamples otherwise.
+//
 // The exit status is 0 when every fragment verifies, 1 when any fragment
 // has violations, and 2 on usage errors.
 //
 // Usage:
 //
 //	ildplint -workload gzip -form basic -chain sw_pred.ras
+//	ildplint -workload gzip -sem                      (prove semantics too)
 //	ildplint -src prog.s -acc 8 -v
 //	ildplint -workload mcf -corrupt drop-state-copy   (demonstrates a failure)
 //	ildplint -rules                                   (print the rule table)
@@ -23,11 +30,13 @@ import (
 	"fmt"
 	"os"
 
+	"github.com/ildp/accdbt/internal/alpha"
 	"github.com/ildp/accdbt/internal/alpha/alphaasm"
 	"github.com/ildp/accdbt/internal/alphaprog"
 	"github.com/ildp/accdbt/internal/ildp"
 	"github.com/ildp/accdbt/internal/iverify"
 	"github.com/ildp/accdbt/internal/mem"
+	"github.com/ildp/accdbt/internal/semcheck"
 	"github.com/ildp/accdbt/internal/translate"
 	"github.com/ildp/accdbt/internal/vm"
 	"github.com/ildp/accdbt/internal/workload"
@@ -46,6 +55,7 @@ func main() {
 	numAcc := flag.Int("acc", 4, "logical accumulators")
 	maxV := flag.Int64("max", 5_000_000, "V-instruction budget (0 = unlimited)")
 	corrupt := flag.String("corrupt", "", "apply a named mutation before checking (see -rules)")
+	sem := flag.Bool("sem", false, "also prove each fragment semantically equivalent to its reconstructed source")
 	verbose := flag.Bool("v", false, "print a line per fragment, not just failures")
 	flag.Parse()
 
@@ -129,7 +139,16 @@ func main() {
 		}
 	}
 
-	checked, violations, dirty, corrupted := 0, 0, 0, 0
+	// The prover reconstructs each fragment's source superblock by
+	// decoding guest memory, so it reads through the CPU the fragments
+	// were translated from.
+	cpu := v.CPU()
+	readWord := func(addr uint64) (alpha.Word, error) {
+		w, err := cpu.Mem.Read32(addr)
+		return alpha.Word(w), err
+	}
+
+	checked, violations, dirty, corrupted, proved, disproved := 0, 0, 0, 0, 0, 0
 	for id := int32(0); int(id) < tc.Len(); id++ {
 		code := iverify.FromFragment(tc.Frag(id))
 		ccfg := vcfg
@@ -153,6 +172,29 @@ func main() {
 		} else if *verbose {
 			fmt.Printf("%s: fragment %d: %s\n", name, id, rep)
 		}
+
+		if *sem {
+			scode := &semcheck.Code{VStart: code.VStart, Insts: code.Insts,
+				PEI: code.PEI, PEIRecover: code.PEIRecover,
+				Straightened: code.Straightened}
+			sb, err := semcheck.Reconstruct(readWord, scode)
+			if err != nil {
+				disproved++
+				fmt.Printf("%s: fragment %d: %v\n", name, id, err)
+				continue
+			}
+			srep := semcheck.Prove(sb, scode)
+			if !srep.OK() {
+				disproved++
+				fmt.Printf("%s: fragment %d: proof failed:\n%s\n", name, id, srep)
+			} else {
+				proved++
+				if *verbose {
+					fmt.Printf("%s: fragment %d: proved (%d exits, %d finals)\n",
+						name, id, srep.Exits, srep.Finals)
+				}
+			}
+		}
 	}
 
 	if mutation != nil && corrupted == 0 {
@@ -161,7 +203,11 @@ func main() {
 	}
 	fmt.Printf("%s: %d fragments checked, %d with violations (%d total violations)\n",
 		name, checked, dirty, violations)
-	if dirty > 0 {
+	if *sem {
+		fmt.Printf("%s: %d fragments proved, %d with counterexamples\n",
+			name, proved, disproved)
+	}
+	if dirty > 0 || disproved > 0 {
 		os.Exit(1)
 	}
 }

@@ -512,3 +512,224 @@ func mutFragLink(c *Code, cfg Config) bool {
 		return true
 	})
 }
+
+// SemanticMutation is a fragment corruption every structural rule
+// accepts: the mutated fragment still satisfies all encoding, dataflow,
+// precise-state, and chaining invariants, yet computes something other
+// than its source superblock — exactly the class of translator bug only
+// the symbolic equivalence prover (internal/semcheck) can catch. Apply
+// is self-verifying against the structural rules: it commits the first
+// candidate site whose corrupted fragment the verifier still fully
+// accepts, and returns false when the fragment offers no such site.
+type SemanticMutation struct {
+	Name  string
+	Apply func(c *Code, cfg Config) bool
+}
+
+// SemanticMutations returns the structurally-invisible corruptions.
+func SemanticMutations() []SemanticMutation {
+	return []SemanticMutation{
+		{Name: "swap-alu-operands", Apply: mutSwapOperands},
+		{Name: "off-by-one-literal", Apply: mutLiteral},
+		{Name: "skew-mem-displacement", Apply: mutDisplacement},
+		{Name: "wrong-strand-source", Apply: mutStrandSource},
+	}
+}
+
+// semSearch is search's semantic twin: the committed site must leave the
+// fragment fully acceptable to every structural rule.
+func semSearch(c *Code, cfg Config, n int, mutate func(d *Code, site int) bool) bool {
+	for site := 0; site < n; site++ {
+		d := c.clone()
+		if !mutate(d, site) {
+			continue
+		}
+		if Check(d, cfg).OK() {
+			*c = *d
+			return true
+		}
+	}
+	return false
+}
+
+// valueObservable reports whether a value produced at instruction i
+// provably reaches a compared observation point: either the architected
+// destination register is never written again (so the final register
+// state carries it), or the written accumulator is copied to such a
+// register before being overwritten. Conservative — it only admits
+// sites where a semantic change is guaranteed visible at some exit.
+func valueObservable(c *Code, i int) bool {
+	inst := &c.Insts[i]
+	if archDestLivesOut(c, i+1, inst.Dest) {
+		return true
+	}
+	if !inst.WritesAcc {
+		return false
+	}
+	a := inst.Acc
+	for j := i + 1; j < len(c.Insts); j++ {
+		nxt := &c.Insts[j]
+		if readsAcc(nxt, a) {
+			switch nxt.Kind {
+			case ildp.KindLoad, ildp.KindStore:
+				// The address (and any stored value) term is compared
+				// directly at every exit.
+				return true
+			case ildp.KindCopyToGPR:
+				if archDestLivesOut(c, j+1, nxt.Dest) {
+					return true
+				}
+			default:
+				// The consumer folds the value into its own result;
+				// follow that result instead.
+				if valueObservable(c, j) {
+					return true
+				}
+			}
+		}
+		if overwritesAcc(nxt, a) {
+			return false
+		}
+	}
+	return false
+}
+
+// readsAcc reports whether the instruction reads accumulator a.
+func readsAcc(inst *ildp.Inst, a ildp.AccID) bool {
+	if inst.Acc != a {
+		return false
+	}
+	switch inst.Kind {
+	case ildp.KindCopyToGPR:
+		return true
+	case ildp.KindCMOV:
+		return inst.SrcA.Kind != ildp.SrcGPR || inst.SrcB.Kind == ildp.SrcAcc
+	}
+	return inst.SrcA.Kind == ildp.SrcAcc || inst.SrcB.Kind == ildp.SrcAcc
+}
+
+// archDestLivesOut reports whether r is an architected register no
+// instruction at or after index j writes.
+func archDestLivesOut(c *Code, j int, r alpha.Reg) bool {
+	if r == alpha.RegZero || int(r) >= alpha.NumRegs {
+		return false
+	}
+	for ; j < len(c.Insts); j++ {
+		if writesGPR(&c.Insts[j], r) {
+			return false
+		}
+	}
+	return true
+}
+
+func writesGPR(inst *ildp.Inst, r alpha.Reg) bool {
+	switch inst.Kind {
+	case ildp.KindALU, ildp.KindCMOV, ildp.KindLoad,
+		ildp.KindCopyToGPR, ildp.KindSaveVRA:
+		return inst.Dest == r
+	}
+	return false
+}
+
+func overwritesAcc(inst *ildp.Inst, a ildp.AccID) bool {
+	if inst.WritesAcc && inst.Acc == a {
+		return true
+	}
+	switch inst.Kind {
+	case ildp.KindCopyFromGPR, ildp.KindLoadETA:
+		return inst.Acc == a
+	}
+	return false
+}
+
+// sameSrc reports syntactically identical operand specifiers.
+func sameSrc(a, b ildp.Src) bool {
+	return a.Kind == b.Kind && a.Reg == b.Reg && a.Imm == b.Imm
+}
+
+// S1: swap the operands of a non-commutative core ALU instruction. The
+// operand counts, accumulator dataflow, and encoding class are all
+// unchanged, but a-b becomes b-a.
+func mutSwapOperands(c *Code, cfg Config) bool {
+	nonCommutative := map[alpha.Op]bool{
+		alpha.OpSUBQ: true, alpha.OpSUBL: true,
+		alpha.OpCMPLT: true, alpha.OpCMPLE: true,
+		alpha.OpCMPULT: true, alpha.OpCMPULE: true,
+		alpha.OpSLL: true, alpha.OpSRL: true, alpha.OpSRA: true,
+		alpha.OpBIC: true, alpha.OpORNOT: true,
+	}
+	return semSearch(c, cfg, len(c.Insts), func(d *Code, i int) bool {
+		inst := &d.Insts[i]
+		if inst.Kind != ildp.KindALU || inst.Class != ildp.ClassCore ||
+			!nonCommutative[inst.Op] || sameSrc(inst.SrcA, inst.SrcB) {
+			return false
+		}
+		// One operand must be an immediate: two register-file or
+		// accumulator operands can transiently hold equal values, which
+		// would make the swap a semantic no-op.
+		if inst.SrcA.Kind != ildp.SrcImm && inst.SrcB.Kind != ildp.SrcImm {
+			return false
+		}
+		if !valueObservable(d, i) {
+			return false
+		}
+		inst.SrcA, inst.SrcB = inst.SrcB, inst.SrcA
+		return true
+	})
+}
+
+// S2: nudge an ALU immediate by one — the classic off-by-one a decoder
+// or constant pool could introduce with no structural trace.
+func mutLiteral(c *Code, cfg Config) bool {
+	return semSearch(c, cfg, len(c.Insts), func(d *Code, i int) bool {
+		inst := &d.Insts[i]
+		if inst.Kind != ildp.KindALU || inst.Class != ildp.ClassCore ||
+			inst.SrcB.Kind != ildp.SrcImm {
+			return false
+		}
+		if !valueObservable(d, i) {
+			return false
+		}
+		inst.SrcB.Imm++
+		return true
+	})
+}
+
+// S3: skew a memory displacement by one quadword. Loads observe the
+// wrong address term directly; stores write the right value to the
+// wrong place. Always observable: the prover compares every memory
+// access's address.
+func mutDisplacement(c *Code, cfg Config) bool {
+	return semSearch(c, cfg, len(c.Insts), func(d *Code, i int) bool {
+		inst := &d.Insts[i]
+		if inst.Class != ildp.ClassCore ||
+			(inst.Kind != ildp.KindLoad && inst.Kind != ildp.KindStore) {
+			return false
+		}
+		inst.Disp += 8
+		return true
+	})
+}
+
+// S4: repoint an accumulator-loading copy at the wrong architected
+// register — the two-GPR-repair or strand-start copy now feeds the
+// strand from a different live value. Register liveness and strand
+// structure are untouched, so only term equivalence can object.
+func mutStrandSource(c *Code, cfg Config) bool {
+	return semSearch(c, cfg, len(c.Insts)*int(alpha.NumRegs), func(d *Code, site int) bool {
+		i, r := site/int(alpha.NumRegs), alpha.Reg(site%int(alpha.NumRegs))
+		inst := &d.Insts[i]
+		if inst.Kind != ildp.KindCopyFromGPR || inst.SrcA.Kind != ildp.SrcGPR ||
+			int(inst.SrcA.Reg) >= alpha.NumRegs {
+			return false
+		}
+		if r == alpha.RegZero || r == inst.SrcA.Reg {
+			return false
+		}
+		if !valueObservable(d, i) {
+			return false
+		}
+		inst.SrcA.Reg = r
+		return true
+	})
+}

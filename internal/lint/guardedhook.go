@@ -1,0 +1,134 @@
+package lint
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"strings"
+)
+
+// GuardedHook flags `if x != nil { ... }` guards around metrics and
+// profiling hook calls whose body does nothing but call hooks on the
+// guarded receiver. Those receivers (metrics.Registry, metrics.Counter,
+// metrics.Histogram, prof.Profiler) are nil-safe by contract — every
+// method no-ops on a nil receiver — so the guard duplicates a check the
+// callee already makes and rots as hook calls are added or moved.
+//
+// A guard whose body does anything beyond bare hook calls (binds
+// locals, computes expensive arguments once, branches) is allowed: it
+// is then guarding real work, not just the calls.
+var GuardedHook = &Analyzer{
+	Name: "guardedhook",
+	Doc:  "metrics/prof hooks are nil-safe; drop bare `if x != nil { x.Hook() }` guards",
+	Run:  runGuardedHook,
+}
+
+// hookRootName extracts the telltale name of a guarded expression:
+// the field or function yielding the receiver (v.cfg.Metrics -> Metrics,
+// c.prof -> prof, currentMetrics() -> currentMetrics).
+func hookRootName(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return x.Sel.Name
+	case *ast.CallExpr:
+		return hookRootName(x.Fun)
+	}
+	return ""
+}
+
+// isHookSource reports whether the name denotes a metrics registry or
+// execution profiler by this repository's naming conventions.
+func isHookSource(name string) bool {
+	if name == "reg" || name == "prof" {
+		return true
+	}
+	return strings.Contains(name, "Metrics") || strings.Contains(name, "Prof")
+}
+
+func runGuardedHook(pass *Pass) error {
+	exprText := func(e ast.Expr) string {
+		var buf bytes.Buffer
+		if err := printer.Fprint(&buf, pass.Fset, e); err != nil {
+			return ""
+		}
+		return buf.String()
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			ifStmt, ok := n.(*ast.IfStmt)
+			if !ok || ifStmt.Else != nil || len(ifStmt.Body.List) == 0 {
+				return true
+			}
+			guarded, src := guardedNilCheck(ifStmt, exprText)
+			if guarded == "" || !isHookSource(src) {
+				return true
+			}
+			for _, stmt := range ifStmt.Body.List {
+				expr, ok := stmt.(*ast.ExprStmt)
+				if !ok {
+					return true // real work inside: the guard is earning its keep
+				}
+				call, ok := expr.X.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if !strings.HasPrefix(exprText(call), guarded+".") {
+					return true
+				}
+			}
+			pass.Report(Diagnostic{Pos: ifStmt.If, Message: fmt.Sprintf(
+				"%s is nil-safe; call its hooks directly instead of guarding with != nil", guarded)})
+			return true
+		})
+	}
+	return nil
+}
+
+// guardedNilCheck matches `if x != nil` / `if x := expr; x != nil`,
+// returning the guarded receiver (the rendered expression body calls
+// must chain from) and the name of its source expression, used to
+// recognize metrics/prof receivers.
+func guardedNilCheck(s *ast.IfStmt, exprText func(ast.Expr) string) (guarded, src string) {
+	cond, ok := s.Cond.(*ast.BinaryExpr)
+	if !ok || cond.Op != token.NEQ {
+		return "", ""
+	}
+	operand := cond.X
+	if isNil(operand) {
+		operand = cond.Y
+	} else if !isNil(cond.Y) {
+		return "", ""
+	}
+
+	if s.Init != nil {
+		assign, ok := s.Init.(*ast.AssignStmt)
+		if !ok || len(assign.Lhs) != 1 || len(assign.Rhs) != 1 {
+			return "", ""
+		}
+		name, ok := assign.Lhs[0].(*ast.Ident)
+		if !ok {
+			return "", ""
+		}
+		if id, ok := operand.(*ast.Ident); !ok || id.Name != name.Name {
+			return "", ""
+		}
+		return name.Name, hookRootName(assign.Rhs[0])
+	}
+
+	// Guard without init: the body calls through the condition's own
+	// expression, e.g. `if c.reg != nil { c.reg.Event(...) }`.
+	switch operand.(type) {
+	case *ast.Ident, *ast.SelectorExpr:
+		return exprText(operand), hookRootName(operand)
+	}
+	return "", ""
+}
+
+func isNil(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "nil"
+}

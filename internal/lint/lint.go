@@ -1,0 +1,53 @@
+// Package lint implements this repository's project-specific static
+// analyses over the standard library's go/ast, shaped after the
+// go/analysis framework (the container ships no golang.org/x/tools, so
+// the Analyzer/Pass/Diagnostic surface is reproduced here in miniature).
+//
+// Two conventions are enforced:
+//
+//   - Sentinel errors and typed errors flow through errors.Is and
+//     errors.As; direct identity comparisons (err == ErrX) and type
+//     assertions on error values break once errors are wrapped with
+//     %w, which the VM's recovery paths do.
+//
+//   - Metrics and profiling hooks (internal/metrics, internal/prof)
+//     have nil-safe receivers by design: a disabled registry or
+//     profiler is a nil pointer whose methods are cheap no-ops. Call
+//     sites must rely on that instead of wrapping bare hook calls in
+//     `if x != nil { ... }` guards, which duplicate the receiver's own
+//     check and drift out of sync as hooks are added. A guard that
+//     does real work beyond the hook calls (computing arguments,
+//     branching) is allowed — the guard then earns its keep.
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// Diagnostic is one analyzer finding at a source position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Pass carries one package's parsed files through an analyzer run.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Report   func(Diagnostic)
+}
+
+// Analyzer is one named analysis, mirroring golang.org/x/tools'
+// analysis.Analyzer in miniature.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+}
+
+// Analyzers returns every analyzer in the suite, in reporting order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{SentinelCompare, GuardedHook}
+}

@@ -1,0 +1,182 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+	"unicode"
+)
+
+// SentinelCompare flags error-identity operations that break under
+// error wrapping: == / != against a sentinel `ErrX` variable, switch
+// cases over sentinel values, and type assertions or type switches on
+// error-typed operands naming `*SomethingError` types. errors.Is and
+// errors.As follow wrap chains; identity tests do not.
+//
+// Two shapes are deliberately exempt:
+//
+//   - comparisons inside a method named Is — that method IS the
+//     errors.Is protocol hook, where identity against the sentinel is
+//     the whole point;
+//   - assertions on operands not named like errors (e.g. a recover()
+//     result, which is an any, not an error travelling a wrap chain).
+var SentinelCompare = &Analyzer{
+	Name: "sentinelcompare",
+	Doc:  "sentinel and typed errors must be tested with errors.Is / errors.As",
+	Run:  runSentinelCompare,
+}
+
+// isSentinelName reports an exported-or-not sentinel error identifier:
+// Err followed by an upper-case letter (ErrBudget, ErrPreempted, ...).
+func isSentinelName(name string) bool {
+	return len(name) > 3 && strings.HasPrefix(name, "Err") &&
+		!strings.HasPrefix(name, "Error") &&
+		unicode.IsUpper(rune(name[3]))
+}
+
+// sentinelRef matches an identifier or selector naming a sentinel.
+func sentinelRef(e ast.Expr) (string, bool) {
+	switch x := e.(type) {
+	case *ast.Ident:
+		if isSentinelName(x.Name) {
+			return x.Name, true
+		}
+	case *ast.SelectorExpr:
+		if isSentinelName(x.Sel.Name) {
+			if pkg, ok := x.X.(*ast.Ident); ok {
+				return pkg.Name + "." + x.Sel.Name, true
+			}
+			return x.Sel.Name, true
+		}
+	}
+	return "", false
+}
+
+// errorTypeName matches a type expression naming an error type:
+// *PreemptError, *emu.SemanticsError, faultinject.ErrInjected.
+func errorTypeName(e ast.Expr) (string, bool) {
+	switch x := e.(type) {
+	case *ast.StarExpr:
+		if name, ok := errorTypeName(x.X); ok {
+			return "*" + name, true
+		}
+	case *ast.Ident:
+		if strings.HasSuffix(x.Name, "Error") || isSentinelName(x.Name) {
+			return x.Name, true
+		}
+	case *ast.SelectorExpr:
+		if name, ok := errorTypeName(x.Sel); ok {
+			if pkg, ok := x.X.(*ast.Ident); ok {
+				return pkg.Name + "." + name, true
+			}
+			return name, true
+		}
+	}
+	return "", false
+}
+
+// errorishOperand reports whether the expression is named like an error
+// value — the calibration that keeps assertions on recover() results
+// (conventionally r) out of scope.
+func errorishOperand(e ast.Expr) bool {
+	name := ""
+	switch x := e.(type) {
+	case *ast.Ident:
+		name = x.Name
+	case *ast.SelectorExpr:
+		name = x.Sel.Name
+	default:
+		return false
+	}
+	lower := strings.ToLower(name)
+	return lower == "err" || strings.HasSuffix(lower, "err") || strings.HasSuffix(name, "Error")
+}
+
+func runSentinelCompare(pass *Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			// The errors.Is protocol hook compares identity by design.
+			if fn.Name.Name == "Is" && fn.Recv != nil {
+				continue
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				switch x := n.(type) {
+				case *ast.BinaryExpr:
+					if x.Op != token.EQL && x.Op != token.NEQ {
+						return true
+					}
+					name, ok := sentinelRef(x.X)
+					if !ok {
+						name, ok = sentinelRef(x.Y)
+					}
+					if ok {
+						pass.Report(Diagnostic{Pos: x.OpPos, Message: fmt.Sprintf(
+							"comparing against sentinel %s with %v breaks under error wrapping; use errors.Is",
+							name, x.Op)})
+					}
+				case *ast.SwitchStmt:
+					if x.Tag == nil || !errorishOperand(x.Tag) {
+						return true
+					}
+					for _, clause := range x.Body.List {
+						for _, v := range clause.(*ast.CaseClause).List {
+							if name, ok := sentinelRef(v); ok {
+								pass.Report(Diagnostic{Pos: v.Pos(), Message: fmt.Sprintf(
+									"switching on sentinel %s breaks under error wrapping; use errors.Is",
+									name)})
+							}
+						}
+					}
+				case *ast.TypeAssertExpr:
+					if x.Type == nil || !errorishOperand(x.X) {
+						return true
+					}
+					if name, ok := errorTypeName(x.Type); ok {
+						pass.Report(Diagnostic{Pos: x.Lparen, Message: fmt.Sprintf(
+							"asserting an error to %s breaks under error wrapping; use errors.As",
+							name)})
+					}
+				case *ast.TypeSwitchStmt:
+					operand := typeSwitchOperand(x)
+					if operand == nil || !errorishOperand(operand) {
+						return true
+					}
+					for _, clause := range x.Body.List {
+						for _, ty := range clause.(*ast.CaseClause).List {
+							if name, ok := errorTypeName(ty); ok {
+								pass.Report(Diagnostic{Pos: ty.Pos(), Message: fmt.Sprintf(
+									"type-switching an error on %s breaks under error wrapping; use errors.As",
+									name)})
+							}
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// typeSwitchOperand extracts x from `switch x.(type)` or
+// `switch v := x.(type)`.
+func typeSwitchOperand(s *ast.TypeSwitchStmt) ast.Expr {
+	switch a := s.Assign.(type) {
+	case *ast.ExprStmt:
+		if ta, ok := a.X.(*ast.TypeAssertExpr); ok {
+			return ta.X
+		}
+	case *ast.AssignStmt:
+		if len(a.Rhs) == 1 {
+			if ta, ok := a.Rhs[0].(*ast.TypeAssertExpr); ok {
+				return ta.X
+			}
+		}
+	}
+	return nil
+}

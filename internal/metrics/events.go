@@ -32,10 +32,14 @@ const (
 	// with a cold translation cache.
 	EventPreempt
 	EventResume
+	// EventProve marks a symbolic equivalence proof of a translated
+	// fragment against its source superblock (DESIGN.md §12); OK reports
+	// whether every exit's semantics matched.
+	EventProve
 )
 
 var eventKindNames = [...]string{"translate", "verify", "install", "chain", "evict",
-	"fault", "recover", "quarantine", "preempt", "resume"}
+	"fault", "recover", "quarantine", "preempt", "resume", "prove"}
 
 // String returns the lower-case kind name.
 func (k EventKind) String() string {

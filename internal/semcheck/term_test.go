@@ -1,0 +1,166 @@
+package semcheck
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/ildp/accdbt/internal/alpha"
+)
+
+// Terms are hash-consed: two structurally equal terms built through the
+// normalizing constructors must be the same pointer, and two distinct
+// values must not.
+func TestTermInterning(t *testing.T) {
+	b := newBuilder()
+	r1, r2 := b.initReg(1), b.initReg(2)
+
+	if x, y := b.op2(alpha.OpADDQ, r1, r2), b.op2(alpha.OpADDQ, r1, r2); x != y {
+		t.Errorf("identical sums interned separately: %v vs %v", x, y)
+	}
+	if x, y := b.op2(alpha.OpSUBQ, r1, r2), b.op2(alpha.OpSUBQ, r2, r1); x == y {
+		t.Errorf("a-b and b-a interned together: %v", x)
+	}
+	if b.initReg(alpha.RegZero) != b.zero {
+		t.Errorf("r31 is not the zero constant")
+	}
+}
+
+// Commutative operators canonicalize their operand order, so either
+// spelling is one term.
+func TestTermCommutativity(t *testing.T) {
+	b := newBuilder()
+	r1, r2 := b.initReg(1), b.initReg(2)
+	for _, op := range []alpha.Op{alpha.OpADDQ, alpha.OpBIS, alpha.OpXOR,
+		alpha.OpAND, alpha.OpCMPEQ, alpha.OpMULQ} {
+		if x, y := b.op2(op, r1, r2), b.op2(op, r2, r1); x != y {
+			t.Errorf("%v: operand order not canonicalized: %v vs %v", op, x, y)
+		}
+	}
+}
+
+// Constant operands fold through the interpreter's own ALU evaluator,
+// and the Alpha's 64-bit identities collapse.
+func TestTermConstantFolding(t *testing.T) {
+	b := newBuilder()
+	r := b.initReg(5)
+
+	if got := b.op2(alpha.OpADDQ, b.konst(2), b.konst(3)); got != b.konst(5) {
+		t.Errorf("2+3 = %v, want #0x5", got)
+	}
+	if got := b.op2(alpha.OpSLL, b.konst(1), b.konst(4)); got != b.konst(16) {
+		t.Errorf("1<<4 = %v, want #0x10", got)
+	}
+	// LDA is address arithmetic: it canonicalizes to ADDQ.
+	if got := b.op2(alpha.OpLDA, r, b.konst(0)); got != r {
+		t.Errorf("lda r5, 0 = %v, want r5", got)
+	}
+	if x, y := b.op2(alpha.OpLDA, r, b.konst(8)), b.op2(alpha.OpADDQ, r, b.konst(8)); x != y {
+		t.Errorf("lda and addq denormalized: %v vs %v", x, y)
+	}
+	for _, op := range []alpha.Op{alpha.OpADDQ, alpha.OpSUBQ, alpha.OpBIS,
+		alpha.OpXOR, alpha.OpBIC, alpha.OpSLL, alpha.OpSRL, alpha.OpSRA} {
+		if got := b.op2(op, r, b.zero); got != r {
+			t.Errorf("%v r5, 0 = %v, want r5", op, got)
+		}
+	}
+	for _, op := range []alpha.Op{alpha.OpADDQ, alpha.OpBIS, alpha.OpXOR} {
+		if got := b.op2(op, b.zero, r); got != r {
+			t.Errorf("%v 0, r5 = %v, want r5", op, got)
+		}
+	}
+}
+
+// Conditional-move terms fold a constant condition and collapse when
+// both branches agree.
+func TestTermITE(t *testing.T) {
+	b := newBuilder()
+	r, s := b.initReg(5), b.initReg(6)
+
+	if got := b.ite(alpha.OpCMOVNE, b.konst(1), r, s); got != r {
+		t.Errorf("cmovne #1 selected %v, want r5", got)
+	}
+	if got := b.ite(alpha.OpCMOVNE, b.zero, r, s); got != s {
+		t.Errorf("cmovne #0 selected %v, want r6", got)
+	}
+	if got := b.ite(alpha.OpCMOVEQ, b.initReg(7), r, r); got != r {
+		t.Errorf("cmov with equal branches = %v, want r5", got)
+	}
+	sym := b.ite(alpha.OpCMOVLT, b.initReg(7), r, s)
+	if sym.Kind != TITE {
+		t.Errorf("symbolic cmov folded to %v", sym)
+	}
+}
+
+// Loads are symbolic reads indexed by the store epoch: the same address
+// read before and after a store must be distinct terms, and aliasing
+// reads within one epoch must coincide.
+func TestTermMemoryEpochs(t *testing.T) {
+	b := newBuilder()
+	addr := b.op2(alpha.OpADDQ, b.initReg(16), b.konst(16))
+
+	before := b.load(alpha.OpLDQ, addr, 0)
+	again := b.load(alpha.OpLDQ, addr, 0)
+	after := b.load(alpha.OpLDQ, addr, 1)
+	if before != again {
+		t.Errorf("same-epoch aliasing loads differ: %v vs %v", before, again)
+	}
+	if before == after {
+		t.Errorf("loads across a store epoch coincide: %v", before)
+	}
+	if b.load(alpha.OpLDL, addr, 0) == before {
+		t.Errorf("loads of different widths coincide")
+	}
+}
+
+// Substitution rebuilds through the normalizing constructors, so an
+// assumption that pins a subterm to a constant folds the whole tree.
+func TestTermSubstitution(t *testing.T) {
+	b := newBuilder()
+	x := b.initReg(3)
+	sum := b.op2(alpha.OpADDQ, x, b.konst(5))
+
+	memo := map[*Term]*Term{}
+	got := b.subst(sum, map[*Term]*Term{x: b.konst(2)}, memo)
+	if got != b.konst(7) {
+		t.Errorf("subst(r3+5, r3=2) = %v, want #0x7", got)
+	}
+	// The fall-through assumption engine pins xor-compare operands.
+	cmp := b.op2(alpha.OpXOR, x, b.konst(0x2000))
+	as := notTakenAssumptions(b, alpha.OpBNE, cmp)
+	bind := bindings(as)
+	if got := b.subst(x, bind, map[*Term]*Term{}); got != b.konst(0x2000) {
+		t.Errorf("bne fall-through did not pin r3: got %v", got)
+	}
+}
+
+// Term rendering is the counterexample surface; pin its grammar.
+func TestTermRendering(t *testing.T) {
+	b := newBuilder()
+	cases := []struct {
+		t    *Term
+		want string
+	}{
+		{b.konst(0x10), "#0x10"},
+		{b.initReg(5), "r5"},
+		{b.initScratch(33), "s33"},
+		{b.initAcc(3), "a3"},
+		{b.op2(alpha.OpSUBQ, b.initReg(16), b.konst(0x10)), "(subq r16 #0x10)"},
+		{b.load(alpha.OpLDQ, b.initReg(9), 2), "ldq[2](r9)"},
+		{b.ite(alpha.OpCMOVNE, b.initReg(1), b.initReg(2), b.initReg(3)),
+			"(cmovne r1 ? r2 : r3)"},
+	}
+	for _, c := range cases {
+		if got := c.t.String(); got != c.want {
+			t.Errorf("render = %q, want %q", got, c.want)
+		}
+	}
+
+	// Deep trees truncate rather than exploding the report.
+	deep := b.initReg(1)
+	for i := 0; i < 40; i++ {
+		deep = b.op2(alpha.OpSUBQ, deep, b.initReg(2))
+	}
+	if s := deep.String(); !strings.Contains(s, "...") {
+		t.Errorf("deep term rendered in full: %d bytes", len(s))
+	}
+}

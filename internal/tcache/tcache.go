@@ -382,12 +382,10 @@ func (c *Cache) Install(res *translate.Result) (*Fragment, error) {
 
 	c.frags = append(c.frags, f)
 	c.byVPC[f.VStart] = f.ID
-	if c.reg != nil {
-		c.reg.Event(metrics.Event{Kind: metrics.EventInstall, Frag: f.ID,
-			VStart: f.VStart, OutInsts: len(f.Insts), CodeBytes: f.CodeBytes})
-		c.reg.Counter("tcache.installs").Inc()
-		c.reg.Counter("tcache.code_bytes").Add(uint64(f.CodeBytes))
-	}
+	c.reg.Event(metrics.Event{Kind: metrics.EventInstall, Frag: f.ID,
+		VStart: f.VStart, OutInsts: len(f.Insts), CodeBytes: f.CodeBytes})
+	c.reg.Counter("tcache.installs").Inc()
+	c.reg.Counter("tcache.code_bytes").Add(uint64(f.CodeBytes))
 
 	// Link this fragment's own exits against existing fragments.
 	for i := range f.Insts {
@@ -473,14 +471,10 @@ func (c *Cache) Invalidate(id int32) bool {
 	}
 	c.frags[id] = nil
 	c.Invalidates++
-	if c.reg != nil {
-		c.reg.Event(metrics.Event{Kind: metrics.EventEvict, Frag: id,
-			VStart: f.VStart, CodeBytes: f.CodeBytes, Detail: "invalidated"})
-		c.reg.Counter("tcache.invalidates").Inc()
-	}
-	if c.prof != nil {
-		c.prof.Evict(id, f.VStart)
-	}
+	c.reg.Event(metrics.Event{Kind: metrics.EventEvict, Frag: id,
+		VStart: f.VStart, CodeBytes: f.CodeBytes, Detail: "invalidated"})
+	c.reg.Counter("tcache.invalidates").Inc()
+	c.prof.Evict(id, f.VStart)
 	return true
 }
 
@@ -506,9 +500,7 @@ func (c *Cache) patch(f *Fragment, idx int, target int32) {
 		f.pristineInsts[idx] = *inst
 	}
 	c.Patches++
-	if c.reg != nil {
-		c.reg.Event(metrics.Event{Kind: metrics.EventChain, Frag: f.ID,
-			VStart: f.VStart, Detail: fmt.Sprintf("exit %d -> frag %d", idx, target)})
-		c.reg.Counter("tcache.patches").Inc()
-	}
+	c.reg.Event(metrics.Event{Kind: metrics.EventChain, Frag: f.ID,
+		VStart: f.VStart, Detail: fmt.Sprintf("exit %d -> frag %d", idx, target)})
+	c.reg.Counter("tcache.patches").Inc()
 }

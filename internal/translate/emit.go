@@ -286,8 +286,10 @@ func (t *xlat) emitIndirect(i int, nd *node) {
 }
 
 // emitJTargetMove latches the indirect-jump target register into the VM's
-// jump-target register for the shared dispatch routine. The Modified form
-// does it in one instruction; the Basic form needs a copy pair.
+// jump-target register for the shared dispatch routine, masking the low
+// bits exactly as the architected indirect jump does (jmp ignores the two
+// low target bits). The Modified form does it in one instruction; the
+// Basic form masks into the accumulator and copies out.
 func (t *xlat) emitJTargetMove(nd *node, target ildp.Src) {
 	if target.Kind != ildp.SrcGPR {
 		// Degenerate constant target; dispatch will read a zero latch.
@@ -297,8 +299,8 @@ func (t *xlat) emitJTargetMove(nd *node, target ildp.Src) {
 	t.nextStrand++
 	if t.cfg.Form == ildp.Modified {
 		t.push(ildp.Inst{
-			Kind: ildp.KindALU, Op: alpha.OpBIS,
-			SrcA: target, SrcB: ildp.ImmSrc(0),
+			Kind: ildp.KindALU, Op: alpha.OpBIC,
+			SrcA: target, SrcB: ildp.ImmSrc(3),
 			WritesAcc: true, Dest: ildp.RegJTarget, ArchDest: alpha.RegZero,
 			VPC: nd.vpc, Class: ildp.ClassChain,
 		}, s)
@@ -307,8 +309,9 @@ func (t *xlat) emitJTargetMove(nd *node, target ildp.Src) {
 		return
 	}
 	t.push(ildp.Inst{
-		Kind: ildp.KindCopyFromGPR, SrcA: target, WritesAcc: true,
-		Dest: alpha.RegZero, ArchDest: alpha.RegZero,
+		Kind: ildp.KindALU, Op: alpha.OpBIC,
+		SrcA: target, SrcB: ildp.ImmSrc(3),
+		WritesAcc: true, Dest: alpha.RegZero, ArchDest: alpha.RegZero,
 		VPC: nd.vpc, Class: ildp.ClassChain,
 	}, s)
 	t.push(ildp.Inst{

@@ -286,7 +286,16 @@ func (t *xlat) decompose() error {
 			case alpha.OpRET:
 				kind = indRet
 			}
-			if kind == indCall {
+			// Every memory-format jump writes its link register. The
+			// translated code reads the target from the register file
+			// after the link write, so a jump whose target register is
+			// its own link register cannot be expressed; degrade to a
+			// recoverable translation failure.
+			if inst.Ra != alpha.RegZero && inst.Ra == inst.Rb {
+				return fmt.Errorf("%w: %v with link == target register at %#x",
+					ErrUnsupported, inst.Op, rec.PC)
+			}
+			if inst.Ra != alpha.RegZero {
 				addNode(node{
 					vpc: rec.PC, kind: nkSaveVRA,
 					dest: inst.Ra, saveAddr: rec.PC + alpha.InstBytes,
@@ -301,7 +310,7 @@ func (t *xlat) decompose() error {
 				endsFrag: true,
 				ind:      kind,
 			}
-			if kind != indCall {
+			if inst.Ra == alpha.RegZero {
 				n.vcredit = 1
 			}
 			addNode(n)

@@ -150,6 +150,12 @@ func (s *straightener) run() error {
 			s.emitSaveVRA(rec.PC, inst.Ra)
 
 		case inst.IsIndirect():
+			if inst.Ra != alpha.RegZero && inst.Ra == inst.Rb {
+				// The link write precedes the target read in translated
+				// code; see the accumulator translator for rationale.
+				return fmt.Errorf("%w: %v with link == target register at %#x",
+					ErrUnsupported, inst.Op, rec.PC)
+			}
 			if inst.Ra != alpha.RegZero {
 				s.emitSaveVRA(rec.PC, inst.Ra)
 				s.emitIndirect(rec, inst, 0)
@@ -202,9 +208,10 @@ func (s *straightener) emitIndirect(rec *SBInst, inst alpha.Inst, credit uint8) 
 		return
 	}
 
-	// Latch the jump target for the dispatch routine.
-	s.push(ildp.Inst{Kind: ildp.KindALU, Op: alpha.OpBIS,
-		SrcA: target, SrcB: ildp.ImmSrc(0),
+	// Latch the jump target for the dispatch routine, masking the low
+	// bits exactly as the architected indirect jump does.
+	s.push(ildp.Inst{Kind: ildp.KindALU, Op: alpha.OpBIC,
+		SrcA: target, SrcB: ildp.ImmSrc(3),
 		Dest: ildp.RegJTarget, ArchDest: alpha.RegZero,
 		VPC: rec.PC, Class: ildp.ClassChain})
 	s.res.ChainCount++

@@ -260,9 +260,7 @@ func (m *ILDP) Append(rec trace.Rec) {
 	m.retire[m.head%uint64(len(m.retire))] = ret
 	m.head++
 
-	if m.prof != nil {
-		m.prof.Retire(pe, issue, ret, profAcc(&rec))
-	}
+	m.prof.Retire(pe, issue, ret, profAcc(&rec))
 
 	m.res.Insts++
 	m.res.VInsts += uint64(rec.VCredit)

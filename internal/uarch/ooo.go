@@ -126,9 +126,7 @@ func (m *OoO) Append(rec trace.Rec) {
 	m.retire[m.head%uint64(len(m.retire))] = ret
 	m.head++
 
-	if m.prof != nil {
-		m.prof.Retire(0, issue, ret, profAcc(&rec))
-	}
+	m.prof.Retire(0, issue, ret, profAcc(&rec))
 
 	m.res.Insts++
 	m.res.VInsts += uint64(rec.VCredit)

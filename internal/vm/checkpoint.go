@@ -75,13 +75,9 @@ func (v *VM) Restore(st *checkpoint.State) {
 	v.wdRetired = v.Stats.TotalVInsts()
 	v.wdWork = v.Stats.TransIInsts + v.Stats.InterpInsts
 
-	if reg := v.cfg.Metrics; reg != nil {
-		reg.Event(metrics.Event{Kind: metrics.EventResume, Frag: -1, VStart: st.PC})
-		reg.Counter("vm.preempt.resumes").Inc()
-	}
-	if p := v.cfg.Prof; p != nil {
-		p.Resume(v.Stats.TransIInsts, v.Stats.TransVInsts)
-	}
+	v.cfg.Metrics.Event(metrics.Event{Kind: metrics.EventResume, Frag: -1, VStart: st.PC})
+	v.cfg.Metrics.Counter("vm.preempt.resumes").Inc()
+	v.cfg.Prof.Resume(v.Stats.TransIInsts, v.Stats.TransVInsts)
 }
 
 // statsToCounters flattens Stats into named values by reflection:

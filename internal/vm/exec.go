@@ -12,8 +12,9 @@ import (
 )
 
 // profEnter, profExit, and profChain forward frame transitions and
-// chain-verdict events to the execution profiler. Each guards on a nil
-// profiler so the disabled path costs one pointer test.
+// chain-verdict events to the execution profiler. The profiler's
+// methods are nil-safe, so only profEnter guards: its guard avoids
+// computing StrandStats when profiling is disabled.
 func (v *VM) profEnter(f *tcache.Fragment) {
 	if p := v.cfg.Prof; p != nil {
 		n, maxLen := f.StrandStats()
@@ -25,15 +26,11 @@ func (v *VM) profEnter(f *tcache.Fragment) {
 }
 
 func (v *VM) profExit(reason prof.ExitKind) {
-	if p := v.cfg.Prof; p != nil {
-		p.FragExit(reason, v.Stats.TransIInsts, v.Stats.TransVInsts)
-	}
+	v.cfg.Prof.FragExit(reason, v.Stats.TransIInsts, v.Stats.TransVInsts)
 }
 
 func (v *VM) profChain(kind prof.ChainKind) {
-	if p := v.cfg.Prof; p != nil {
-		p.Chain(kind)
-	}
+	v.cfg.Prof.Chain(kind)
 }
 
 // execTranslated runs translated code starting at frag, following fragment
@@ -261,9 +258,7 @@ func (v *VM) execTranslated(frag *tcache.Fragment) (uint64, error) {
 func (v *VM) takeBranch(inst *ildp.Inst, rec *trace.Rec) (*tcache.Fragment, uint64, error) {
 	switch {
 	case inst.Frag == ildp.FragDispatch:
-		if p := v.cfg.Prof; p != nil {
-			p.EnterDispatch(v.Stats.TransIInsts, v.Stats.TransVInsts)
-		}
+		v.cfg.Prof.EnterDispatch(v.Stats.TransIInsts, v.Stats.TransVInsts)
 		f, exitV, err := v.runDispatch()
 		if err != nil {
 			return nil, 0, err

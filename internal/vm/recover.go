@@ -105,14 +105,10 @@ func (v *VM) fragUsable(f *tcache.Fragment) bool {
 func (v *VM) noteRecovery(detail string, vpc uint64) {
 	v.Stats.RecoveryCost += RecoveryCostPerEvent
 	v.inFallback = true
-	if reg := v.cfg.Metrics; reg != nil {
-		reg.Event(metrics.Event{Kind: metrics.EventRecover, Frag: -1,
-			VStart: vpc, Detail: detail})
-		reg.Counter("vm.recovery.episodes").Inc()
-	}
-	if p := v.cfg.Prof; p != nil {
-		p.EnterRecovery(v.Stats.TransIInsts, v.Stats.TransVInsts)
-	}
+	v.cfg.Metrics.Event(metrics.Event{Kind: metrics.EventRecover, Frag: -1,
+		VStart: vpc, Detail: detail})
+	v.cfg.Metrics.Counter("vm.recovery.episodes").Inc()
+	v.cfg.Prof.EnterRecovery(v.Stats.TransIInsts, v.Stats.TransVInsts)
 }
 
 // translateFailed handles a failed (or verifier-rejected) translation of
@@ -144,11 +140,9 @@ func (v *VM) quarantinePC(pc uint64, cause error) {
 	}
 	v.quarantine[pc] = true
 	v.Stats.Quarantines++
-	if reg := v.cfg.Metrics; reg != nil {
-		reg.Event(metrics.Event{Kind: metrics.EventQuarantine, Frag: -1,
-			VStart: pc, Detail: cause.Error()})
-		reg.Counter("vm.recovery.quarantines").Inc()
-	}
+	v.cfg.Metrics.Event(metrics.Event{Kind: metrics.EventQuarantine, Frag: -1,
+		VStart: pc, Detail: cause.Error()})
+	v.cfg.Metrics.Counter("vm.recovery.quarantines").Inc()
 }
 
 // preempt stops the run at the current (precise) V-PC: accounting, the
@@ -157,14 +151,10 @@ func (v *VM) quarantinePC(pc uint64, cause error) {
 // ErrBudget.
 func (v *VM) preempt(cause error) error {
 	v.Stats.Preemptions++
-	if reg := v.cfg.Metrics; reg != nil {
-		reg.Event(metrics.Event{Kind: metrics.EventPreempt, Frag: -1,
-			VStart: v.cpu.PC, Detail: cause.Error()})
-		reg.Counter("vm.preempt.events").Inc()
-	}
-	if p := v.cfg.Prof; p != nil {
-		p.Preempt(v.Stats.TransIInsts, v.Stats.TransVInsts)
-	}
+	v.cfg.Metrics.Event(metrics.Event{Kind: metrics.EventPreempt, Frag: -1,
+		VStart: v.cpu.PC, Detail: cause.Error()})
+	v.cfg.Metrics.Counter("vm.preempt.events").Inc()
+	v.cfg.Prof.Preempt(v.Stats.TransIInsts, v.Stats.TransVInsts)
 	return &PreemptError{PC: v.cpu.PC, Cause: cause}
 }
 

@@ -22,6 +22,7 @@ import (
 	"github.com/ildp/accdbt/internal/mem"
 	"github.com/ildp/accdbt/internal/metrics"
 	"github.com/ildp/accdbt/internal/prof"
+	"github.com/ildp/accdbt/internal/semcheck"
 	"github.com/ildp/accdbt/internal/tcache"
 	"github.com/ildp/accdbt/internal/trace"
 	"github.com/ildp/accdbt/internal/translate"
@@ -77,6 +78,15 @@ type Config struct {
 	// of being run. Straightened translations are exempt (they carry no
 	// accumulator invariants) but still counted as skipped.
 	Verify bool
+
+	// SemCheck runs the symbolic equivalence prover over every
+	// translation before it is installed: each fragment is statically
+	// proved to compute its source superblock's semantics at every exit
+	// (final register state, memory effects, next V-PC; DESIGN.md §12).
+	// A fragment with a counterexample aborts the run with the diverging
+	// terms instead of being run. Unlike Verify, straightened
+	// translations are covered too.
+	SemCheck bool
 
 	// Paranoid re-checks every fragment against an install-time pristine
 	// copy on each entry (top-level and chained). A failed re-check
@@ -185,6 +195,7 @@ type Stats struct {
 
 	Fragments          int
 	FragsVerified      int // fragments proven clean by the static verifier
+	FragsProved        int // fragments proved equivalent by the symbolic prover
 	SrcInstsTranslated int64
 	NOPsRemoved        int64
 	BranchElims        int64
@@ -257,6 +268,12 @@ func (s *Stats) Publish(reg *metrics.Registry) {
 	u("vm.ras_misses", s.RASMisses)
 	i("vm.fragments", int64(s.Fragments))
 	i("vm.frags_verified", int64(s.FragsVerified))
+	// The prover counter appears only when the prover ran, so registries
+	// (and reports generated from them) from non-SemCheck runs are
+	// byte-identical with and without this build.
+	if s.FragsProved != 0 {
+		i("vm.frags_proved", int64(s.FragsProved))
+	}
 	i("vm.src_insts_translated", s.SrcInstsTranslated)
 	i("vm.nops_removed", s.NOPsRemoved)
 	i("vm.branch_elims", s.BranchElims)
@@ -644,17 +661,13 @@ func (v *VM) finishRecording(end translate.EndKind, nextPC uint64) error {
 			v.inj.Applied(injectKind)
 		}
 	}
-	if reg := v.cfg.Metrics; reg != nil {
-		reg.Event(metrics.Event{Kind: metrics.EventTranslate, Frag: -1,
-			VStart: res.VStart, SrcInsts: res.SrcCount, OutInsts: len(res.Insts),
-			CodeBytes: res.CodeBytes, Cost: res.Cost})
-		reg.Histogram("translate.cost_per_fragment").Observe(float64(res.Cost))
-		reg.Histogram("translate.src_insts_per_fragment").Observe(float64(res.SrcCount))
-		reg.Histogram("translate.code_bytes_per_fragment").Observe(float64(res.CodeBytes))
-	}
-	if p := v.cfg.Prof; p != nil {
-		p.Translate(res.VStart, res.SrcCount, len(res.Insts), res.Cost)
-	}
+	v.cfg.Metrics.Event(metrics.Event{Kind: metrics.EventTranslate, Frag: -1,
+		VStart: res.VStart, SrcInsts: res.SrcCount, OutInsts: len(res.Insts),
+		CodeBytes: res.CodeBytes, Cost: res.Cost})
+	v.cfg.Metrics.Histogram("translate.cost_per_fragment").Observe(float64(res.Cost))
+	v.cfg.Metrics.Histogram("translate.src_insts_per_fragment").Observe(float64(res.SrcCount))
+	v.cfg.Metrics.Histogram("translate.code_bytes_per_fragment").Observe(float64(res.CodeBytes))
+	v.cfg.Prof.Translate(res.VStart, res.SrcCount, len(res.Insts), res.Cost)
 	if v.testMutateResult != nil {
 		v.testMutateResult(res)
 	}
@@ -674,6 +687,19 @@ func (v *VM) finishRecording(end translate.EndKind, nextPC uint64) error {
 		if !rep.Skipped {
 			v.Stats.FragsVerified++
 		}
+	}
+	if v.cfg.SemCheck {
+		rep := semcheck.Check(&sb, res)
+		v.cfg.Metrics.Event(metrics.Event{Kind: metrics.EventProve, Frag: -1,
+			VStart: res.VStart, OK: rep.OK()})
+		if !rep.OK() {
+			perr := fmt.Errorf("vm: fragment equivalence proof failed:\n%s", rep)
+			if v.cfg.SelfHeal {
+				return v.translateFailed(sb.StartPC, perr)
+			}
+			return perr
+		}
+		v.Stats.FragsProved++
 	}
 	if _, err := v.tc.Install(res); err != nil {
 		return err
