@@ -1,6 +1,6 @@
 # Convenience targets; ci/check.sh is the canonical gate.
 
-.PHONY: build test check lint-example semcheck experiments profile chaos killresume
+.PHONY: build test check lint-example semcheck experiments profile chaos killresume fragstore
 
 build:
 	go build ./...
@@ -46,3 +46,18 @@ chaos:
 # every resumed run finished bit-identical to the uninterrupted oracle.
 killresume:
 	go run ./cmd/ildpchaos -kill -seeds 50
+
+# Exercise the persistent fragment store end to end: the store and VM
+# test suites (race detector on), a decoder fuzz slice, and a cold ->
+# warm ildpvm run through the on-disk format (docs/FORMAT.md) with
+# every loaded fragment re-verified and re-proved.
+fragstore:
+	go test -race ./internal/fragstore/ -run 'Test' -count 1
+	go test -race ./internal/vm/ -run 'TestStore' -count 1
+	go test -run='^$$' -fuzz=FuzzFragstoreDecode -fuzztime=5s ./internal/fragstore/
+	@tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	go build -o "$$tmp/ildpvm" ./cmd/ildpvm; \
+	"$$tmp/ildpvm" -workload gzip -cachefile "$$tmp/gzip.fs" -cache-stats | grep '^cache'; \
+	"$$tmp/ildpvm" -workload gzip -cachefile "$$tmp/gzip.fs" -cache-stats -cache-prove \
+	    | tee /dev/stderr | grep -q '^translation cost: *0 work units' \
+	    || { echo "warm run retranslated"; exit 1; }

@@ -13,6 +13,7 @@ import (
 
 	"github.com/ildp/accdbt"
 	"github.com/ildp/accdbt/internal/experiments"
+	"github.com/ildp/accdbt/internal/fragstore"
 	"github.com/ildp/accdbt/internal/mem"
 	"github.com/ildp/accdbt/internal/prof"
 	"github.com/ildp/accdbt/internal/stats"
@@ -364,4 +365,63 @@ func BenchmarkVariance(b *testing.B) {
 		b.ReportMetric(experiments.Spread(rows,
 			func(r experiments.VarianceRow) float64 { return r.DynM }), "dynM-spread")
 	}
+}
+
+// BenchmarkStoreColdVsWarm measures what the shared fragment store
+// saves: "cold" gives every iteration a fresh store (every superblock
+// translated from scratch), "warm" reuses one store pre-populated
+// through the save/load codec (every translation is a shared hit).
+// translate-work/run is the per-run translation cost in work units;
+// shared-hit-rate is the fraction of fragment installs served by the
+// store.
+func BenchmarkStoreColdVsWarm(b *testing.B) {
+	spec, err := workload.ByName("gzip", benchScale)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog := spec.MustProgram()
+	run := func(b *testing.B, store func() *fragstore.Store) {
+		var cost, hits, lookups uint64
+		for i := 0; i < b.N; i++ {
+			cfg := vm.DefaultConfig()
+			cfg.HotThreshold = benchThreshold
+			cfg.Store = store()
+			v := vm.New(mem.New(), cfg)
+			if err := v.LoadProgram(prog); err != nil {
+				b.Fatal(err)
+			}
+			if err := v.Run(0); err != nil {
+				b.Fatal(err)
+			}
+			cost += uint64(v.Stats.TranslateCost)
+			hits += v.Stats.StoreSharedHits
+			lookups += v.Stats.StoreHits + v.Stats.StoreMisses
+		}
+		b.ReportMetric(float64(cost)/float64(b.N), "translate-work/run")
+		b.ReportMetric(float64(hits)/float64(max(lookups, 1)), "shared-hit-rate")
+	}
+	b.Run("cold", func(b *testing.B) {
+		run(b, fragstore.New)
+	})
+	b.Run("warm", func(b *testing.B) {
+		// Populate once, then persist through the codec so the warm path
+		// is exactly what -cachefile exercises: decode, re-verify, share.
+		seed := fragstore.New()
+		cfg := vm.DefaultConfig()
+		cfg.HotThreshold = benchThreshold
+		cfg.Store = seed
+		v := vm.New(mem.New(), cfg)
+		if err := v.LoadProgram(prog); err != nil {
+			b.Fatal(err)
+		}
+		if err := v.Run(0); err != nil {
+			b.Fatal(err)
+		}
+		warm, rep, err := fragstore.Decode(seed.Encode(), fragstore.LoadOptions{})
+		if err != nil || rep.Dropped() != 0 {
+			b.Fatalf("reloading store: %v (%v)", err, rep)
+		}
+		b.ResetTimer()
+		run(b, func() *fragstore.Store { return warm })
+	})
 }

@@ -25,6 +25,10 @@ echo "== ildpanalyze (project linters)"
 # through errors.Is / errors.As, and nil-safe metrics/prof hooks are
 # called directly rather than behind redundant nil guards.
 go run ./cmd/ildpanalyze ./internal/... ./cmd/...
+# The opt-in godoc gate: every exported symbol of the cache surface
+# (the per-VM cache and the shared persistent store) carries a doc
+# comment.
+go run ./cmd/ildpanalyze -select exporteddoc ./internal/tcache ./internal/fragstore
 
 echo "== go vet"
 go vet ./...
@@ -35,8 +39,8 @@ go build ./...
 echo "== go test"
 go test ./...
 
-echo "== go test -race (vm, tcache)"
-go test -race ./internal/vm/... ./internal/tcache/...
+echo "== go test -race (vm, tcache, fragstore)"
+go test -race ./internal/vm/... ./internal/tcache/... ./internal/fragstore/...
 
 echo "== chaos smoke (short soak under the race detector)"
 # A fixed-seed slice of the differential chaos oracle: fault-injected
@@ -59,6 +63,12 @@ echo "== checkpoint decoder fuzz (5s)"
 # re-encoding is byte-identical, or fail with a typed error — never a
 # panic or a half-restored state.
 go test -run='^$' -fuzz=FuzzCheckpointDecode -fuzztime=5s ./internal/checkpoint/
+
+echo "== fragstore decoder fuzz (5s)"
+# Arbitrary bytes either decode to a store whose re-encoding is
+# byte-identical (when nothing was dropped), or fail with a typed
+# error — never a panic, and survivors always re-load drop-free.
+go test -run='^$' -fuzz=FuzzFragstoreDecode -fuzztime=5s ./internal/fragstore/
 
 echo "== semcheck fuzz (5s)"
 # Arbitrary decodable superblocks through the real translator
@@ -99,6 +109,37 @@ if [ "$resumed" != "$full" ]; then
     echo "resumed final state differs from uninterrupted run:" >&2
     echo "  resumed: $resumed" >&2
     echo "  full:    $full" >&2
+    exit 1
+fi
+echo "== ildpvm cache save -> reload -> re-verify round trip"
+# A cold run saves the fragment store; the warm run must load it, put
+# every fragment back through the verifier and the symbolic prover,
+# and then retranslate nothing ("translation cost: 0 work units").
+"$ckpt_dir/ildpvm" -workload gzip -cachefile "$ckpt_dir/gzip.fs" \
+    -cache-stats > "$ckpt_dir/cold.txt"
+grep -q "^cache file: " "$ckpt_dir/cold.txt" || {
+    echo "cold run did not save a cache file:" >&2
+    cat "$ckpt_dir/cold.txt" >&2
+    exit 1
+}
+"$ckpt_dir/ildpvm" -workload gzip -cachefile "$ckpt_dir/gzip.fs" \
+    -cache-stats -cache-prove > "$ckpt_dir/warm.txt"
+grep -q "0 dropped (crc 0, key 0, malformed 0, verify 0, prove 0)" "$ckpt_dir/warm.txt" || {
+    echo "warm run dropped loaded fragments:" >&2
+    cat "$ckpt_dir/warm.txt" >&2
+    exit 1
+}
+grep -q "^translation cost: *0 work units" "$ckpt_dir/warm.txt" || {
+    echo "warm run retranslated instead of hitting the loaded store:" >&2
+    cat "$ckpt_dir/warm.txt" >&2
+    exit 1
+}
+warm_exit=$(grep '^exit status' "$ckpt_dir/warm.txt")
+full_exit=$(grep '^exit status' "$ckpt_dir/full.txt")
+if [ "$warm_exit" != "$full_exit" ]; then
+    echo "warm-cache final state differs from the store-less run:" >&2
+    echo "  warm: $warm_exit" >&2
+    echo "  full: $full_exit" >&2
     exit 1
 fi
 rm -rf "$ckpt_dir"

@@ -7,10 +7,14 @@
 //
 //	ildpanalyze ./internal/... ./cmd/...
 //	ildpanalyze -tests ./internal/vm
+//	ildpanalyze -select exporteddoc ./internal/tcache ./internal/fragstore
 //
-// A `...` suffix walks the directory recursively. The exit status is 0
-// when the tree is clean, 1 when any diagnostic fires, 2 on usage or
-// parse errors.
+// A `...` suffix walks the directory recursively. -select runs a
+// comma-separated list of analyzers instead of the default suite —
+// the opt-in exporteddoc analyzer (every exported symbol carries a doc
+// comment) is only reachable this way. The exit status is 0 when the
+// tree is clean, 1 when any diagnostic fires, 2 on usage or parse
+// errors.
 package main
 
 import (
@@ -30,10 +34,19 @@ import (
 
 func main() {
 	tests := flag.Bool("tests", false, "also analyze _test.go files")
+	sel := flag.String("select", "", "comma-separated analyzer names (default: the default suite)")
 	flag.Parse()
 	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: ildpanalyze [-tests] ./dir/... [dir2 ...]")
+		fmt.Fprintln(os.Stderr, "usage: ildpanalyze [-tests] [-select names] ./dir/... [dir2 ...]")
 		os.Exit(2)
+	}
+	var names []string
+	if *sel != "" {
+		names = strings.Split(*sel, ",")
+	}
+	analyzers, err := lint.Select(names)
+	if err != nil {
+		fatal(err)
 	}
 
 	var dirs []string
@@ -67,7 +80,7 @@ func main() {
 		if len(files) == 0 {
 			continue
 		}
-		for _, a := range lint.Analyzers() {
+		for _, a := range analyzers {
 			pass := &lint.Pass{
 				Analyzer: a, Fset: fset, Files: files,
 				Report: func(d lint.Diagnostic) {
@@ -102,7 +115,8 @@ func parseDir(fset *token.FileSet, dir string, tests bool) ([]*ast.File, error) 
 		if !tests && strings.HasSuffix(name, "_test.go") {
 			continue
 		}
-		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.SkipObjectResolution)
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil,
+			parser.SkipObjectResolution|parser.ParseComments)
 		if err != nil {
 			return nil, err
 		}

@@ -9,6 +9,14 @@
 // status 3), checkpointed to a file with -checkpoint, and later
 // continued bit-identically with -resume.
 //
+// Translated fragments can persist across runs: -cachefile loads a
+// shared fragment store from the named file when it exists (every
+// loaded fragment is re-verified, and -cache-prove additionally
+// re-proved, before it becomes visible) and saves the store back on
+// exit, so a warm second run translates nothing it has seen before.
+// -cache-stats reports hit/miss/load counters. See docs/FORMAT.md for
+// the on-disk format.
+//
 // Usage:
 //
 //	ildpvm -workload gzip -form modified -chain sw_pred.ras
@@ -16,6 +24,7 @@
 //	ildpvm -img prog.img -timing
 //	ildpvm -workload gzip -max 100000 -checkpoint state.ckpt
 //	ildpvm -resume state.ckpt
+//	ildpvm -workload gzip -cachefile gzip.fs -cache-stats
 package main
 
 import (
@@ -23,6 +32,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io/fs"
 	"os"
 	"sort"
 	"strconv"
@@ -34,6 +44,7 @@ import (
 	"github.com/ildp/accdbt/internal/checkpoint"
 	"github.com/ildp/accdbt/internal/emu"
 	"github.com/ildp/accdbt/internal/faultinject"
+	"github.com/ildp/accdbt/internal/fragstore"
 	"github.com/ildp/accdbt/internal/ildp"
 	"github.com/ildp/accdbt/internal/mem"
 	"github.com/ildp/accdbt/internal/metrics"
@@ -68,6 +79,9 @@ func main() {
 	ckptFile := flag.String("checkpoint", "", "write a checkpoint of the final architected state to this file (pairs with -deadline or -max)")
 	resumeFile := flag.String("resume", "", "restore architected state from this checkpoint file and continue (replaces -workload/-src/-img)")
 	watchdog := flag.Int64("watchdog", 0, "livelock watchdog window in work units (0 = off)")
+	cacheFile := flag.String("cachefile", "", "persistent translation cache: load this file if it exists, share the store with the run, save it back on exit")
+	cacheStats := flag.Bool("cache-stats", false, "report shared-store statistics (attaches an in-memory store even without -cachefile)")
+	cacheProve := flag.Bool("cache-prove", false, "with -cachefile, also re-prove loaded fragments with the symbolic equivalence checker")
 	flag.Parse()
 
 	if *list {
@@ -136,6 +150,25 @@ func main() {
 		cfg.Paranoid = true
 		cfg.SelfHeal = true
 		cfg.Faults = &faultinject.Config{Seed: seed}
+	}
+
+	var store *fragstore.Store
+	var loadRep *fragstore.LoadReport
+	if *cacheFile != "" || *cacheStats {
+		store = fragstore.New()
+		if *cacheFile != "" {
+			data, err := os.ReadFile(*cacheFile)
+			switch {
+			case err == nil:
+				store, loadRep, err = fragstore.Decode(data, fragstore.LoadOptions{SemCheck: *cacheProve})
+				if err != nil {
+					fatal(fmt.Errorf("loading %s: %w", *cacheFile, err))
+				}
+			case !errors.Is(err, fs.ErrNotExist):
+				fatal(err)
+			}
+		}
+		cfg.Store = store
 	}
 
 	var reg *metrics.Registry
@@ -234,6 +267,24 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("metrics:\n%s\n", out)
+	}
+	if store != nil {
+		if *cacheStats {
+			fmt.Printf("cache store:        %s\n", store.Stats())
+			if loadRep != nil {
+				fmt.Printf("cache load:         %s\n", loadRep)
+			}
+			fmt.Printf("cache this run:     %d hits (%d shared), %d misses\n",
+				v.Stats.StoreHits, v.Stats.StoreSharedHits, v.Stats.StoreMisses)
+		}
+		if *cacheFile != "" {
+			data := store.Encode()
+			if err := os.WriteFile(*cacheFile, data, 0o644); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("cache file:         %d fragments, %d bytes -> %s\n",
+				store.Len(), len(data), *cacheFile)
+		}
 	}
 	if *ckptFile != "" {
 		data := checkpoint.Encode(v.Checkpoint())

@@ -6,6 +6,7 @@ import (
 	"github.com/ildp/accdbt/internal/alpha"
 	"github.com/ildp/accdbt/internal/emu"
 	"github.com/ildp/accdbt/internal/faultinject"
+	"github.com/ildp/accdbt/internal/fragstore"
 	"github.com/ildp/accdbt/internal/mem"
 	"github.com/ildp/accdbt/internal/metrics"
 	"github.com/ildp/accdbt/internal/prof"
@@ -47,6 +48,12 @@ type ChaosSpec struct {
 	Timing  bool
 	Metrics *metrics.Registry
 	Prof    *prof.Profiler
+
+	// Store, when non-nil, attaches a shared fragment store to the VM.
+	// A fault-injected VM bypasses the store entirely (see vm.Config),
+	// so the run must be bit-identical with and without one — the field
+	// exists precisely so tests can pin that invariant.
+	Store *fragstore.Store
 }
 
 // ChaosOutcome is the result of one differential chaos run.
@@ -89,6 +96,7 @@ func RunChaos(spec ChaosSpec) (*ChaosOutcome, error) {
 	cfg.SelfHeal = true
 	cfg.Metrics = spec.Metrics
 	cfg.Prof = spec.Prof
+	cfg.Store = spec.Store
 	cfg.Faults = &faultinject.Config{
 		Seed:          spec.Seed,
 		EntryRate:     spec.EntryRate,

@@ -8,6 +8,7 @@ import (
 
 	"github.com/ildp/accdbt/internal/checkpoint"
 	"github.com/ildp/accdbt/internal/emu"
+	"github.com/ildp/accdbt/internal/fragstore"
 	"github.com/ildp/accdbt/internal/mem"
 	"github.com/ildp/accdbt/internal/metrics"
 	"github.com/ildp/accdbt/internal/prof"
@@ -43,6 +44,15 @@ type KillResumeSpec struct {
 	// pseudo-frame — segment by segment.
 	Timing  bool
 	Metrics *metrics.Registry
+
+	// Store, when non-nil, attaches a shared fragment store to every
+	// segment's VM. Each resumed segment boots with a cold private
+	// translation cache but a warm store, so superblocks the schedule
+	// re-encounters translate once per run instead of once per segment.
+	// The final architected state must stay bit-identical to the
+	// store-less run — the store changes where artifacts live, never
+	// what they compute.
+	Store *fragstore.Store
 }
 
 // KillResumeOutcome is the result of one kill-and-resume run.
@@ -129,6 +139,7 @@ func RunKillResume(spec KillResumeSpec) (*KillResumeOutcome, error) {
 	for {
 		cfg := vm.DefaultConfig()
 		cfg.Metrics = spec.Metrics
+		cfg.Store = spec.Store
 		var p *prof.Profiler
 		if spec.Timing {
 			p = prof.New(prof.Config{})

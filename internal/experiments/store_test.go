@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"github.com/ildp/accdbt/internal/fragstore"
+)
+
+// TestChaosStoreBitIdentical pins the chaos/store contract: a
+// fault-injected VM bypasses the shared store entirely, so attaching
+// one changes nothing — not the verdict, not a single counter — and
+// the store stays empty (injected corruption never becomes a shared
+// artifact).
+func TestChaosStoreBitIdentical(t *testing.T) {
+	wl := chaosWorkload(t)
+	machines := []Machine{Original, Straightened, ILDPBasic, ILDPModified}
+	seeds := 8
+	if testing.Short() {
+		seeds = 3
+	}
+	store := fragstore.New()
+	for s := 0; s < seeds; s++ {
+		seed := uint64(1000 + s)
+		m := machines[s%len(machines)]
+		t.Run(fmt.Sprintf("seed%d-%v", seed, m), func(t *testing.T) {
+			spec := ChaosSpec{
+				Workload: wl, Machine: m, Seed: seed,
+				EntryRate: 16, TranslateRate: 4,
+				MaxV: 20_000_000,
+			}
+			plain, err := RunChaos(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			spec.Store = store
+			stored, err := RunChaos(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkChaosOutcome(t, stored)
+			if !reflect.DeepEqual(plain.VM, stored.VM) {
+				t.Errorf("stats diverged with store attached:\nplain:  %+v\nstored: %+v",
+					plain.VM, stored.VM)
+			}
+			if plain.Faults != stored.Faults || plain.Decisions != stored.Decisions {
+				t.Errorf("fault schedule shifted with store attached: %v/%d vs %v/%d",
+					plain.Faults, plain.Decisions, stored.Faults, stored.Decisions)
+			}
+		})
+	}
+	if store.Len() != 0 {
+		t.Errorf("chaos runs published %d artifacts into the shared store", store.Len())
+	}
+}
+
+// TestKillResumeSharedStore runs the kill-and-resume sweep with one
+// store shared across every seed and segment. Correctness must not
+// move (every run still bit-identical to the oracle), and because each
+// resumed segment reboots with a cold private cache but a warm shared
+// store, the runs after the first must hit artifacts published by
+// their predecessors.
+func TestKillResumeSharedStore(t *testing.T) {
+	wl := chaosWorkload(t)
+	machines := []Machine{Original, Straightened, ILDPBasic, ILDPModified}
+	seeds := 8
+	if testing.Short() {
+		seeds = 4
+	}
+	store := fragstore.New()
+	var hits, kills uint64
+	for s := 0; s < seeds; s++ {
+		seed := uint64(5000 + s)
+		m := machines[s%len(machines)]
+		t.Run(fmt.Sprintf("seed%d-%v", seed, m), func(t *testing.T) {
+			out, err := RunKillResume(KillResumeSpec{
+				Workload: wl, Machine: m, Seed: seed, Kills: 3,
+				MaxV:  20_000_000,
+				Store: store,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if out.Mismatch != "" {
+				t.Fatalf("seed %d on %v (%d kills at %v): %s",
+					seed, m, out.Kills, out.KillTargets, out.Mismatch)
+			}
+			hits += out.VM.StoreHits
+			kills += uint64(out.Kills)
+		})
+	}
+	if kills == 0 {
+		t.Error("sweep never killed a run; the schedule is miscalibrated")
+	}
+	// Machines repeat across seeds, so identically-configured later runs
+	// re-encounter earlier runs' superblocks through the store.
+	if hits == 0 {
+		t.Error("no run ever hit the shared store")
+	}
+	if store.Len() == 0 {
+		t.Error("sweep published no artifacts")
+	}
+	st := store.Stats()
+	if int(st.Misses) != store.Len() {
+		t.Errorf("%d misses for %d entries — a superblock was translated twice", st.Misses, store.Len())
+	}
+}

@@ -1,0 +1,757 @@
+package fragstore
+
+// On-disk format of the fragment store (docs/FORMAT.md specifies it
+// byte for byte). The codec follows internal/checkpoint's discipline:
+// fixed-width little-endian fields, sorted canonical ordering, CRC-64
+// guards, typed *Error failures, and Encode(Decode(b)) == b for every
+// stream Decode accepts without dropping an entry.
+//
+// The stream is guarded at two granularities. A whole-file CRC rejects
+// transport corruption outright (Decode fails with ErrChecksum). Inside
+// an intact file, each entry carries its own CRC, its content-record
+// hash must reproduce its key, and its fragment must re-pass the static
+// verifier — an entry failing any of those is dropped and counted in
+// the LoadReport, never installed, while the rest of the file loads.
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"hash/crc64"
+	"sort"
+
+	"github.com/ildp/accdbt/internal/alpha"
+	"github.com/ildp/accdbt/internal/ildp"
+	"github.com/ildp/accdbt/internal/iverify"
+	"github.com/ildp/accdbt/internal/semcheck"
+	"github.com/ildp/accdbt/internal/translate"
+)
+
+// Version is the current fragment-store format version.
+const Version = 1
+
+// magic identifies a fragment-store stream.
+var magic = [8]byte{'A', 'C', 'C', 'D', 'B', 'T', 'F', 'S'}
+
+// Decode failure causes, matched with errors.Is against the returned
+// *Error. These classify whole-file failures; per-entry corruption is
+// not an error but a dropped entry counted in the LoadReport.
+var (
+	ErrBadMagic  = errors.New("bad magic")
+	ErrVersion   = errors.New("unsupported version")
+	ErrTruncated = errors.New("truncated")
+	ErrChecksum  = errors.New("checksum mismatch")
+	ErrCanonical = errors.New("non-canonical encoding")
+	ErrTrailing  = errors.New("trailing bytes after checksum")
+)
+
+// Error is the typed decode failure: the byte offset where decoding
+// stopped, the failure class (one of the Err sentinels), and detail.
+type Error struct {
+	Off    int
+	Cause  error
+	Detail string
+}
+
+// Error renders the failure with its offset and detail.
+func (e *Error) Error() string {
+	if e.Detail == "" {
+		return fmt.Sprintf("fragstore: %v at offset %d", e.Cause, e.Off)
+	}
+	return fmt.Sprintf("fragstore: %v at offset %d: %s", e.Cause, e.Off, e.Detail)
+}
+
+// Unwrap exposes the failure class for errors.Is.
+func (e *Error) Unwrap() error { return e.Cause }
+
+var crcTable = crc64.MakeTable(crc64.ECMA)
+
+// LoadOptions controls Decode's re-verification of loaded entries.
+type LoadOptions struct {
+	// SemCheck additionally re-proves every loaded accumulator fragment
+	// symbolically equivalent to its stored source superblock
+	// (internal/semcheck); entries with counterexamples are dropped.
+	SemCheck bool
+}
+
+// LoadReport accounts for every entry of a decoded stream: each one is
+// either admitted to the store or dropped for a counted reason.
+type LoadReport struct {
+	// Entries is the number of entries present in the stream; Loaded
+	// the number admitted after re-verification.
+	Entries int
+	Loaded  int
+
+	// Verified counts entries proved by the static fragment verifier;
+	// Skipped counts straightened entries, which carry no I-ISA
+	// invariants for it to check. Proved counts entries additionally
+	// proved by semcheck (only when LoadOptions.SemCheck is set).
+	Verified int
+	Skipped  int
+	Proved   int
+
+	// Drop reasons: entry CRC mismatch, key does not hash its content
+	// record, malformed entry body, static-verifier violation, semcheck
+	// counterexample.
+	DroppedCRC       int
+	DroppedKey       int
+	DroppedMalformed int
+	DroppedVerify    int
+	DroppedProve     int
+}
+
+// Dropped returns the total number of dropped entries.
+func (r *LoadReport) Dropped() int {
+	return r.DroppedCRC + r.DroppedKey + r.DroppedMalformed + r.DroppedVerify + r.DroppedProve
+}
+
+// String renders the report as a one-line summary.
+func (r *LoadReport) String() string {
+	return fmt.Sprintf("%d entries: %d loaded (%d verified, %d skipped, %d proved), %d dropped (crc %d, key %d, malformed %d, verify %d, prove %d)",
+		r.Entries, r.Loaded, r.Verified, r.Skipped, r.Proved, r.Dropped(),
+		r.DroppedCRC, r.DroppedKey, r.DroppedMalformed, r.DroppedVerify, r.DroppedProve)
+}
+
+// Encode serializes the store's completed entries into the versioned,
+// CRC-guarded stream of docs/FORMAT.md. The output is canonical:
+// entries sort by key within their shard, all integers are fixed-width
+// little-endian, and encoding the same entries always yields identical
+// bytes. Entries whose translation is still in flight are skipped.
+func (s *Store) Encode() []byte {
+	type flat struct {
+		key     Key
+		content []byte
+		res     *translate.Result
+	}
+	var perShard [NumShards][]flat
+	total := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for k, e := range sh.m {
+			select {
+			case <-e.ready:
+			default:
+				continue
+			}
+			if e.err != nil {
+				continue
+			}
+			perShard[i] = append(perShard[i], flat{k, e.content, e.res})
+		}
+		sh.mu.Unlock()
+		sort.Slice(perShard[i], func(a, b int) bool {
+			return bytes.Compare(perShard[i][a].key[:], perShard[i][b].key[:]) < 0
+		})
+		total += len(perShard[i])
+	}
+
+	var b []byte
+	b = append(b, magic[:]...)
+	b = le32(b, Version)
+	b = le32(b, NumShards)
+	b = le32(b, uint32(total))
+	for i := range perShard {
+		b = le32(b, uint32(len(perShard[i])))
+		for _, f := range perShard[i] {
+			body := make([]byte, 0, len(f.key)+len(f.content)+resultRecLen(f.res))
+			body = append(body, f.key[:]...)
+			body = append(body, f.content...)
+			body = appendResult(body, f.res)
+			b = le32(b, uint32(len(body)))
+			b = append(b, body...)
+			b = le64(b, crc64.Checksum(body, crcTable))
+		}
+	}
+	b = le64(b, crc64.Checksum(b, crcTable))
+	return b
+}
+
+// Decode rebuilds a store from an Encode stream. Whole-file damage —
+// bad magic, unknown version, truncation, file-checksum mismatch,
+// non-canonical structure — fails with a typed *Error and no store.
+// Within an intact file, every entry is independently validated (entry
+// CRC, key-to-content hash, structural well-formedness) and re-proved
+// by the static fragment verifier (plus semcheck when opts.SemCheck is
+// set) before it becomes visible; entries failing any check are dropped
+// and counted in the LoadReport, which is returned even on error.
+func Decode(b []byte, opts LoadOptions) (*Store, *LoadReport, error) {
+	rep := &LoadReport{}
+	const headerLen = 8 + 4 + 4 + 4
+	if len(b) < headerLen+8 {
+		return nil, rep, &Error{Off: len(b), Cause: ErrTruncated, Detail: "stream shorter than header and trailer"}
+	}
+	if !bytes.Equal(b[:8], magic[:]) {
+		return nil, rep, &Error{Off: 0, Cause: ErrBadMagic}
+	}
+	d := &decoder{b: b, off: 8}
+	ver, _ := d.u32()
+	if ver != Version {
+		return nil, rep, &Error{Off: 8, Cause: ErrVersion, Detail: fmt.Sprintf("version %d", ver)}
+	}
+	trailerOff := len(b) - 8
+	sum := crc64.Checksum(b[:trailerOff], crcTable)
+	if got := leU64(b[trailerOff:]); got != sum {
+		return nil, rep, &Error{Off: trailerOff, Cause: ErrChecksum,
+			Detail: fmt.Sprintf("file checksum %#x, computed %#x", got, sum)}
+	}
+
+	nShards, _ := d.u32()
+	if nShards != NumShards {
+		return nil, rep, &Error{Off: d.off - 4, Cause: ErrCanonical,
+			Detail: fmt.Sprintf("%d shards, want %d", nShards, NumShards)}
+	}
+	total, _ := d.u32()
+
+	s := New()
+	counted := uint32(0)
+	for shardIdx := 0; shardIdx < NumShards; shardIdx++ {
+		count, ok := d.u32()
+		if !ok {
+			return nil, rep, d.fail(ErrTruncated, "shard count")
+		}
+		var prev Key
+		for n := uint32(0); n < count; n++ {
+			counted++
+			bodyOff := d.off + 4
+			bodyLen, ok := d.u32()
+			if !ok {
+				return nil, rep, d.fail(ErrTruncated, "entry length")
+			}
+			body, ok := d.take(int(bodyLen))
+			if !ok {
+				return nil, rep, d.fail(ErrTruncated, "entry body")
+			}
+			wantCRC, ok := d.u64()
+			if !ok {
+				return nil, rep, d.fail(ErrTruncated, "entry checksum")
+			}
+			rep.Entries++
+
+			// Canonical placement checks use only the key prefix, so
+			// they apply even to entries whose body is later dropped.
+			if len(body) >= len(Key{}) {
+				key := Key(body[:len(Key{})])
+				if int(key[0])%NumShards != shardIdx {
+					return nil, rep, &Error{Off: bodyOff, Cause: ErrCanonical,
+						Detail: fmt.Sprintf("key %v in shard %d, belongs in %d", key, shardIdx, int(key[0])%NumShards)}
+				}
+				if n > 0 && bytes.Compare(key[:], prev[:]) <= 0 {
+					return nil, rep, &Error{Off: bodyOff, Cause: ErrCanonical,
+						Detail: fmt.Sprintf("key %v not strictly after %v", key, prev)}
+				}
+				prev = key
+			}
+
+			if crc64.Checksum(body, crcTable) != wantCRC {
+				rep.DroppedCRC++
+				continue
+			}
+			loadEntry(s, body, opts, rep)
+		}
+	}
+	if counted != total {
+		return nil, rep, &Error{Off: headerLen - 4, Cause: ErrCanonical,
+			Detail: fmt.Sprintf("entry total %d, shard counts sum to %d", total, counted)}
+	}
+	if d.off != trailerOff {
+		return nil, rep, &Error{Off: d.off, Cause: ErrTrailing,
+			Detail: fmt.Sprintf("%d bytes before checksum", trailerOff-d.off)}
+	}
+	return s, rep, nil
+}
+
+// loadEntry validates one CRC-clean entry body and admits it to the
+// store, or counts the drop reason in rep.
+func loadEntry(s *Store, body []byte, opts LoadOptions, rep *LoadReport) {
+	key, content, cfg, sb, res, ok := parseEntry(body)
+	if !ok {
+		rep.DroppedMalformed++
+		return
+	}
+	if sha256.Sum256(content) != [sha256.Size]byte(key) {
+		rep.DroppedKey++
+		return
+	}
+	// Re-prove before the entry becomes visible: loaded artifacts are
+	// never trusted on checksum alone.
+	vrep := iverify.Verify(res, iverify.Config{
+		Form:   cfg.Translate.Form,
+		NumAcc: cfg.Translate.NumAcc,
+		Chain:  cfg.Translate.Chain,
+	})
+	if !vrep.OK() {
+		rep.DroppedVerify++
+		return
+	}
+	if vrep.Skipped {
+		rep.Skipped++
+	} else {
+		rep.Verified++
+	}
+	if opts.SemCheck && !res.Straightened {
+		if !semcheck.Check(sb, res).OK() {
+			rep.DroppedProve++
+			return
+		}
+		rep.Proved++
+	}
+	s.insertLoaded(key, content, res)
+	rep.Loaded++
+}
+
+// parseEntry parses an entry body: key ‖ content record (config record
+// ‖ superblock record) ‖ result record. It reports ok=false for any
+// structural violation — short fields, impossible enum values, length
+// mismatch — without distinguishing causes; a malformed entry is
+// dropped whatever the detail.
+func parseEntry(body []byte) (key Key, content []byte, cfg Config, sb *translate.Superblock, res *translate.Result, ok bool) {
+	d := &decoder{b: body}
+	kb, ok1 := d.take(len(Key{}))
+	if !ok1 {
+		return key, nil, cfg, nil, nil, false
+	}
+	key = Key(kb)
+	contentStart := d.off
+	cfg, ok1 = parseConfigRec(d)
+	if !ok1 {
+		return key, nil, cfg, nil, nil, false
+	}
+	sb, ok1 = parseSuperblockRec(d)
+	if !ok1 {
+		return key, nil, cfg, nil, nil, false
+	}
+	content = body[contentStart:d.off]
+	res, ok1 = parseResultRec(d)
+	if !ok1 || d.off != len(body) {
+		return key, nil, cfg, nil, nil, false
+	}
+	return key, content, cfg, sb, res, true
+}
+
+// parseConfigRec parses the canonical config record and enforces its
+// normalisation: a straightening record must zero the fields
+// straightening ignores, and every enum must be in range.
+func parseConfigRec(d *decoder) (Config, bool) {
+	rec, ok := d.take(configRecLen)
+	if !ok {
+		return Config{}, false
+	}
+	flags, form, numAcc, chain, fuse := rec[0], rec[1], rec[2], rec[3], rec[4]
+	if flags > 1 || form > uint8(ildp.Modified) || chain > uint8(translate.SWPredRAS) || fuse > 1 {
+		return Config{}, false
+	}
+	cfg := Config{
+		Straighten: flags == 1,
+		Translate: translate.Config{
+			Form:       ildp.Form(form),
+			NumAcc:     int(numAcc),
+			Chain:      translate.ChainMode(chain),
+			FuseMemOps: fuse == 1,
+		},
+	}
+	if cfg.Straighten {
+		if form != 0 || numAcc != 0 || fuse != 0 {
+			return Config{}, false
+		}
+	} else if numAcc == 0 || int(numAcc) > ildp.MaxAccumulators {
+		return Config{}, false
+	}
+	return cfg, true
+}
+
+// parseSuperblockRec parses the canonical superblock record
+// (appendSuperblock's layout), rebuilding each instruction from its
+// stored Alpha word.
+func parseSuperblockRec(d *decoder) (*translate.Superblock, bool) {
+	sb := &translate.Superblock{}
+	var ok bool
+	if sb.StartPC, ok = d.u64(); !ok {
+		return nil, false
+	}
+	end, ok := d.u8()
+	if !ok || end > uint8(translate.EndTrap) {
+		return nil, false
+	}
+	sb.End = translate.EndKind(end)
+	if sb.NextPC, ok = d.u64(); !ok {
+		return nil, false
+	}
+	n, ok := d.u32()
+	if !ok || n == 0 || int(n) > d.remaining()/sbInstRecLen {
+		return nil, false
+	}
+	sb.Insts = make([]translate.SBInst, n)
+	for i := range sb.Insts {
+		si := &sb.Insts[i]
+		si.PC, _ = d.u64()
+		w, _ := d.u32()
+		si.Inst = alpha.Decode(alpha.Word(w))
+		flags, _ := d.u8()
+		if flags > 1 {
+			return nil, false
+		}
+		si.Taken = flags == 1
+		if si.PredTarget, ok = d.u64(); !ok {
+			return nil, false
+		}
+	}
+	return sb, true
+}
+
+// resultRecLen sizes the result record for preallocation.
+func resultRecLen(res *translate.Result) int {
+	n := 8 + 1 + 1 + 8*4 + 8 + 8*8 + 4 + len(res.Insts)*instRecLen +
+		4 + 8*len(res.PEI) + 4 + 4 + 4*len(res.Strands) + 4 + 1 + len(res.EndLive)
+	for _, rec := range res.PEIRecover {
+		n += 1 + 2*len(rec)
+	}
+	for _, regs := range res.ExitLive {
+		n += 1 + len(regs)
+	}
+	return n
+}
+
+// instRecLen is the encoded size of one I-ISA instruction record.
+const instRecLen = 1 + 2 + 1 + 1 + 10 + 10 + 1 + 1 + 4 + 8 + 8 + 4 + 1 + 1 + 1
+
+// appendResult appends the result record: every field of
+// translate.Result in fixed order, fixed width, with slice lengths
+// prefixed, so decode-then-encode reproduces the bytes exactly.
+func appendResult(b []byte, res *translate.Result) []byte {
+	b = le64(b, res.VStart)
+	b = append(b, byte(res.Form))
+	var flags byte
+	if res.Straightened {
+		flags = 1
+	}
+	b = append(b, flags)
+	b = le32(b, uint32(res.SrcCount))
+	b = le32(b, uint32(res.NOPCount))
+	b = le32(b, uint32(res.BranchElims))
+	b = le32(b, uint32(res.CopyCount))
+	b = le32(b, uint32(res.SpillCount))
+	b = le32(b, uint32(res.ChainCount))
+	b = le32(b, uint32(res.CodeBytes))
+	b = le32(b, uint32(res.SrcBytes))
+	b = le64(b, uint64(res.Cost))
+	for _, u := range res.Usage {
+		b = le64(b, uint64(u))
+	}
+	b = le32(b, uint32(len(res.Insts)))
+	for i := range res.Insts {
+		b = appendInst(b, &res.Insts[i])
+	}
+	b = le32(b, uint32(len(res.PEI)))
+	for _, pc := range res.PEI {
+		b = le64(b, pc)
+	}
+	b = le32(b, uint32(len(res.PEIRecover)))
+	for _, rec := range res.PEIRecover {
+		b = append(b, byte(len(rec)))
+		for _, ra := range rec {
+			b = append(b, byte(ra.Reg), byte(ra.Acc))
+		}
+	}
+	b = le32(b, uint32(len(res.Strands)))
+	for _, s := range res.Strands {
+		b = le32(b, uint32(int32(s)))
+	}
+	b = le32(b, uint32(len(res.ExitLive)))
+	for _, regs := range res.ExitLive {
+		b = append(b, byte(len(regs)))
+		for _, r := range regs {
+			b = append(b, byte(r))
+		}
+	}
+	b = append(b, byte(len(res.EndLive)))
+	for _, r := range res.EndLive {
+		b = append(b, byte(r))
+	}
+	return b
+}
+
+// appendInst appends one instruction record (instRecLen bytes).
+func appendInst(b []byte, in *ildp.Inst) []byte {
+	b = append(b, byte(in.Kind))
+	b = append(b, byte(in.Op), byte(uint16(in.Op)>>8))
+	b = append(b, byte(in.Acc))
+	var flags byte
+	if in.WritesAcc {
+		flags = 1
+	}
+	b = append(b, flags)
+	b = appendSrc(b, in.SrcA)
+	b = appendSrc(b, in.SrcB)
+	b = append(b, byte(in.Dest), byte(in.ArchDest))
+	b = le32(b, uint32(in.Disp))
+	b = le64(b, in.VPC)
+	b = le64(b, in.VAddr)
+	b = le32(b, uint32(in.Frag))
+	b = append(b, byte(in.Class), byte(in.VCredit), byte(in.Usage))
+	return b
+}
+
+// appendSrc appends one source-operand record (10 bytes).
+func appendSrc(b []byte, s ildp.Src) []byte {
+	b = append(b, byte(s.Kind), byte(s.Reg))
+	return le64(b, uint64(s.Imm))
+}
+
+// parseResultRec parses the result record (appendResult's layout).
+func parseResultRec(d *decoder) (*translate.Result, bool) {
+	res := &translate.Result{}
+	var ok bool
+	if res.VStart, ok = d.u64(); !ok {
+		return nil, false
+	}
+	form, ok := d.u8()
+	if !ok || form > uint8(ildp.Modified) {
+		return nil, false
+	}
+	res.Form = ildp.Form(form)
+	flags, ok := d.u8()
+	if !ok || flags > 1 {
+		return nil, false
+	}
+	res.Straightened = flags == 1
+	var v uint32
+	for _, dst := range []*int{&res.SrcCount, &res.NOPCount, &res.BranchElims,
+		&res.CopyCount, &res.SpillCount, &res.ChainCount, &res.CodeBytes, &res.SrcBytes} {
+		if v, ok = d.u32(); !ok {
+			return nil, false
+		}
+		*dst = int(v)
+	}
+	cost, ok := d.u64()
+	if !ok {
+		return nil, false
+	}
+	res.Cost = int64(cost)
+	for i := range res.Usage {
+		u, ok := d.u64()
+		if !ok {
+			return nil, false
+		}
+		res.Usage[i] = int64(u)
+	}
+
+	nInsts, ok := d.u32()
+	if !ok || nInsts == 0 || int(nInsts) > d.remaining()/instRecLen {
+		return nil, false
+	}
+	res.Insts = make([]ildp.Inst, nInsts)
+	for i := range res.Insts {
+		if !parseInst(d, &res.Insts[i]) {
+			return nil, false
+		}
+	}
+
+	nPEI, ok := d.u32()
+	if !ok || int(nPEI) > d.remaining()/8 {
+		return nil, false
+	}
+	if nPEI > 0 {
+		res.PEI = make([]uint64, nPEI)
+		for i := range res.PEI {
+			res.PEI[i], _ = d.u64()
+		}
+	}
+
+	nRec, ok := d.u32()
+	if !ok || int(nRec) > d.remaining() {
+		return nil, false
+	}
+	if nRec > 0 {
+		res.PEIRecover = make([][]translate.RegAcc, nRec)
+		for i := range res.PEIRecover {
+			m, ok := d.u8()
+			if !ok || int(m)*2 > d.remaining() {
+				return nil, false
+			}
+			if m > 0 {
+				rec := make([]translate.RegAcc, m)
+				for j := range rec {
+					r, _ := d.u8()
+					a, ok := d.u8()
+					if !ok || r >= alpha.NumRegs || int(a) >= ildp.MaxAccumulators {
+						return nil, false
+					}
+					rec[j] = translate.RegAcc{Reg: alpha.Reg(r), Acc: ildp.AccID(a)}
+				}
+				res.PEIRecover[i] = rec
+			}
+		}
+	}
+
+	nStrands, ok := d.u32()
+	if !ok || int(nStrands) > d.remaining()/4 {
+		return nil, false
+	}
+	if nStrands > 0 {
+		res.Strands = make([]int, nStrands)
+		for i := range res.Strands {
+			s, _ := d.u32()
+			res.Strands[i] = int(int32(s))
+		}
+	}
+
+	nExit, ok := d.u32()
+	if !ok || int(nExit) > d.remaining() {
+		return nil, false
+	}
+	if nExit > 0 {
+		res.ExitLive = make([][]alpha.Reg, nExit)
+		for i := range res.ExitLive {
+			regs, ok := parseRegList(d)
+			if !ok {
+				return nil, false
+			}
+			res.ExitLive[i] = regs
+		}
+	}
+
+	endLive, ok := parseRegList(d)
+	if !ok {
+		return nil, false
+	}
+	res.EndLive = endLive
+
+	// The per-VM cache may only patch NoFrag exits and dispatch stubs;
+	// a stored fragment referencing a concrete fragment ID would leak
+	// one session's private cache layout into the shared artifact.
+	for i := range res.Insts {
+		if f := res.Insts[i].Frag; f != ildp.NoFrag && f != ildp.FragDispatch {
+			return nil, false
+		}
+	}
+	return res, true
+}
+
+// parseInst parses one instruction record.
+func parseInst(d *decoder, in *ildp.Inst) bool {
+	kind, ok := d.u8()
+	if !ok {
+		return false
+	}
+	in.Kind = ildp.Kind(kind)
+	lo, _ := d.u8()
+	hi, _ := d.u8()
+	in.Op = alpha.Op(uint16(lo) | uint16(hi)<<8)
+	acc, _ := d.u8()
+	in.Acc = ildp.AccID(acc)
+	flags, ok := d.u8()
+	if !ok || flags > 1 {
+		return false
+	}
+	in.WritesAcc = flags == 1
+	if !parseSrc(d, &in.SrcA) || !parseSrc(d, &in.SrcB) {
+		return false
+	}
+	dest, _ := d.u8()
+	in.Dest = alpha.Reg(dest)
+	archDest, _ := d.u8()
+	in.ArchDest = alpha.Reg(archDest)
+	disp, _ := d.u32()
+	in.Disp = int32(disp)
+	in.VPC, _ = d.u64()
+	in.VAddr, _ = d.u64()
+	frag, _ := d.u32()
+	in.Frag = int32(frag)
+	class, _ := d.u8()
+	in.Class = ildp.Class(class)
+	credit, _ := d.u8()
+	in.VCredit = credit
+	usage, ok := d.u8()
+	if !ok {
+		return false
+	}
+	in.Usage = ildp.UsageClass(usage)
+	return true
+}
+
+// parseSrc parses one source-operand record.
+func parseSrc(d *decoder, s *ildp.Src) bool {
+	kind, _ := d.u8()
+	reg, _ := d.u8()
+	imm, ok := d.u64()
+	if !ok {
+		return false
+	}
+	s.Kind = ildp.SrcKind(kind)
+	s.Reg = alpha.Reg(reg)
+	s.Imm = int64(imm)
+	return true
+}
+
+// parseRegList parses a u8-counted register list; zero count yields nil.
+func parseRegList(d *decoder) ([]alpha.Reg, bool) {
+	m, ok := d.u8()
+	if !ok || int(m) > d.remaining() {
+		return nil, false
+	}
+	if m == 0 {
+		return nil, true
+	}
+	regs := make([]alpha.Reg, m)
+	for i := range regs {
+		r, _ := d.u8()
+		if r >= alpha.NumRegs {
+			return nil, false
+		}
+		regs[i] = alpha.Reg(r)
+	}
+	return regs, true
+}
+
+// decoder is a bounds-checked little-endian reader.
+type decoder struct {
+	b   []byte
+	off int
+}
+
+func (d *decoder) remaining() int { return len(d.b) - d.off }
+
+func (d *decoder) take(n int) ([]byte, bool) {
+	if n < 0 || d.remaining() < n {
+		return nil, false
+	}
+	v := d.b[d.off : d.off+n]
+	d.off += n
+	return v, true
+}
+
+func (d *decoder) u8() (uint8, bool) {
+	v, ok := d.take(1)
+	if !ok {
+		return 0, false
+	}
+	return v[0], true
+}
+
+func (d *decoder) u32() (uint32, bool) {
+	v, ok := d.take(4)
+	if !ok {
+		return 0, false
+	}
+	return uint32(v[0]) | uint32(v[1])<<8 | uint32(v[2])<<16 | uint32(v[3])<<24, true
+}
+
+func (d *decoder) u64() (uint64, bool) {
+	v, ok := d.take(8)
+	if !ok {
+		return 0, false
+	}
+	return leU64(v), true
+}
+
+func leU64(v []byte) uint64 {
+	return uint64(v[0]) | uint64(v[1])<<8 | uint64(v[2])<<16 | uint64(v[3])<<24 |
+		uint64(v[4])<<32 | uint64(v[5])<<40 | uint64(v[6])<<48 | uint64(v[7])<<56
+}
+
+// fail builds a truncation-class error at the current offset.
+func (d *decoder) fail(cause error, detail string) *Error {
+	return &Error{Off: d.off, Cause: cause, Detail: detail}
+}

@@ -1,0 +1,135 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"strings"
+)
+
+// ExportedDoc flags exported package-level symbols that lack a doc
+// comment: functions, methods on exported receivers, and the types,
+// variables and constants of exported name in top-level declarations.
+// Grouped declarations (`var ( ... )`, `const ( ... )`) pass when the
+// group itself is documented or every exported spec inside carries its
+// own comment; iota-style continuation specs (no type, no values)
+// inherit the group's doc. A file named like a command entry point
+// (package main) is exempt — nothing is importable from it.
+//
+// The analyzer is opt-in: it is not part of the default Analyzers()
+// suite, because most packages in this repository predate the
+// convention. Select it explicitly (ildpanalyze -select exporteddoc)
+// for the packages that opt in — the public cache surface
+// (internal/tcache, internal/fragstore) does in ci/check.sh.
+var ExportedDoc = &Analyzer{
+	Name: "exporteddoc",
+	Doc:  "exported package-level symbols must carry doc comments",
+	Run:  runExportedDoc,
+}
+
+// hasDoc reports a non-empty doc comment group.
+func hasDoc(g *ast.CommentGroup) bool {
+	return g != nil && len(g.List) > 0
+}
+
+func runExportedDoc(pass *Pass) error {
+	for _, file := range pass.Files {
+		if file.Name.Name == "main" || strings.HasSuffix(file.Name.Name, "_test") {
+			continue
+		}
+		for _, decl := range file.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				checkFuncDoc(pass, d)
+			case *ast.GenDecl:
+				checkGenDoc(pass, d)
+			}
+		}
+	}
+	return nil
+}
+
+// checkFuncDoc flags exported functions and exported methods whose
+// receiver type is itself exported (methods on unexported types are
+// invisible in godoc, so a missing comment there is a style choice,
+// not a documentation gap).
+func checkFuncDoc(pass *Pass, d *ast.FuncDecl) {
+	if !d.Name.IsExported() || hasDoc(d.Doc) {
+		return
+	}
+	kind := "function"
+	if d.Recv != nil {
+		recv, ok := receiverTypeName(d.Recv)
+		if !ok || !ast.IsExported(recv) {
+			return
+		}
+		kind = "method " + recv + "."
+	}
+	pass.Report(Diagnostic{Pos: d.Name.Pos(), Message: fmt.Sprintf(
+		"exported %s%s has no doc comment", kindPrefix(kind), d.Name.Name)})
+}
+
+// kindPrefix normalises the two shapes "function" and "method T." into
+// a message fragment reading naturally either way.
+func kindPrefix(kind string) string {
+	if kind == "function" {
+		return "function "
+	}
+	return kind
+}
+
+// receiverTypeName extracts the receiver's base type name from
+// `func (x T)` or `func (x *T)`, including generic receivers `T[P]`.
+func receiverTypeName(recv *ast.FieldList) (string, bool) {
+	if recv == nil || len(recv.List) != 1 {
+		return "", false
+	}
+	t := recv.List[0].Type
+	for {
+		switch x := t.(type) {
+		case *ast.StarExpr:
+			t = x.X
+		case *ast.IndexExpr:
+			t = x.X
+		case *ast.IndexListExpr:
+			t = x.X
+		case *ast.Ident:
+			return x.Name, true
+		default:
+			return "", false
+		}
+	}
+}
+
+// checkGenDoc flags exported names in type/var/const declarations.
+func checkGenDoc(pass *Pass, d *ast.GenDecl) {
+	groupDoc := hasDoc(d.Doc)
+	for _, spec := range d.Specs {
+		switch s := spec.(type) {
+		case *ast.TypeSpec:
+			if s.Name.IsExported() && !groupDoc && !hasDoc(s.Doc) && !hasDoc(s.Comment) {
+				pass.Report(Diagnostic{Pos: s.Name.Pos(), Message: fmt.Sprintf(
+					"exported type %s has no doc comment", s.Name.Name)})
+			}
+		case *ast.ValueSpec:
+			// An iota continuation (`KindB` after `KindA Kind = iota`)
+			// is covered by whatever documents the group.
+			if d.Lparen.IsValid() && s.Type == nil && len(s.Values) == 0 {
+				continue
+			}
+			if groupDoc || hasDoc(s.Doc) || hasDoc(s.Comment) {
+				continue
+			}
+			for _, name := range s.Names {
+				if name.IsExported() {
+					pass.Report(Diagnostic{Pos: name.Pos(), Message: fmt.Sprintf(
+						"exported %s %s has no doc comment", declKind(d), name.Name)})
+				}
+			}
+		}
+	}
+}
+
+// declKind renders the GenDecl token as the word used in diagnostics.
+func declKind(d *ast.GenDecl) string {
+	return d.Tok.String() // "var" or "const"
+}

@@ -1,0 +1,134 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// runExportedDocOn parses src with comments and returns the
+// diagnostics ExportedDoc reports on it.
+func runExportedDocOn(t *testing.T, src string) []Diagnostic {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "src.go", src,
+		parser.SkipObjectResolution|parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []Diagnostic
+	pass := &Pass{
+		Analyzer: ExportedDoc,
+		Fset:     fset,
+		Files:    []*ast.File{f},
+		Report:   func(d Diagnostic) { got = append(got, d) },
+	}
+	if err := ExportedDoc.Run(pass); err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+func wantMessages(t *testing.T, got []Diagnostic, want ...string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("got %d diagnostics %v, want %d", len(got), got, len(want))
+	}
+	for i, w := range want {
+		if !strings.Contains(got[i].Message, w) {
+			t.Errorf("diagnostic %d = %q, want mention of %q", i, got[i].Message, w)
+		}
+	}
+}
+
+func TestExportedDocFlagsUndocumented(t *testing.T) {
+	got := runExportedDocOn(t, `package p
+
+func Exported() {}
+
+type Widget struct{}
+
+func (w *Widget) Spin() {}
+
+const Limit = 4
+
+var Registry = 1
+`)
+	wantMessages(t, got, "Exported", "Widget", "Widget.Spin", "Limit", "Registry")
+}
+
+func TestExportedDocAcceptsDocumented(t *testing.T) {
+	got := runExportedDocOn(t, `package p
+
+// Exported does things.
+func Exported() {}
+
+// Widget is a thing.
+type Widget struct{}
+
+// Spin spins.
+func (w *Widget) Spin() {}
+
+// Limit bounds things.
+const Limit = 4
+
+// Group docs cover every spec inside.
+var (
+	Registry = 1
+	Backup   = 2
+)
+
+// Kind enumerates widget kinds; iota continuations inherit this doc.
+const (
+	KindA int = iota
+	KindB
+	KindC
+)
+`)
+	wantMessages(t, got)
+}
+
+func TestExportedDocSkipsUnexportedAndPrivateReceivers(t *testing.T) {
+	got := runExportedDocOn(t, `package p
+
+func internal() {}
+
+type widget struct{}
+
+// Methods on unexported types are invisible in godoc.
+func (w widget) Spin() {}
+
+var registry = 1
+`)
+	wantMessages(t, got)
+}
+
+func TestExportedDocSkipsMainAndTestPackages(t *testing.T) {
+	got := runExportedDocOn(t, `package main
+
+func Exported() {}
+`)
+	wantMessages(t, got)
+}
+
+func TestSelect(t *testing.T) {
+	def, err := Select(nil)
+	if err != nil || len(def) != len(Analyzers()) {
+		t.Fatalf("Select(nil) = %v, %v", def, err)
+	}
+	one, err := Select([]string{"exporteddoc"})
+	if err != nil || len(one) != 1 || one[0] != ExportedDoc {
+		t.Fatalf("Select(exporteddoc) = %v, %v", one, err)
+	}
+	if _, err := Select([]string{"nope"}); err == nil {
+		t.Fatal("Select(nope) succeeded")
+	}
+	// The opt-in analyzer stays out of the default suite.
+	for _, a := range Analyzers() {
+		if a == ExportedDoc {
+			t.Fatal("ExportedDoc leaked into the default suite")
+		}
+	}
+}

@@ -21,8 +21,10 @@
 package lint
 
 import (
+	"fmt"
 	"go/ast"
 	"go/token"
+	"strings"
 )
 
 // Diagnostic is one analyzer finding at a source position.
@@ -47,7 +49,39 @@ type Analyzer struct {
 	Run  func(*Pass) error
 }
 
-// Analyzers returns every analyzer in the suite, in reporting order.
+// Analyzers returns the default suite, in reporting order. Opt-in
+// analyzers (ExportedDoc) are excluded; select them by name through
+// Select.
 func Analyzers() []*Analyzer {
 	return []*Analyzer{SentinelCompare, GuardedHook}
+}
+
+// All returns every analyzer, default suite first, then opt-in ones.
+func All() []*Analyzer {
+	return append(Analyzers(), ExportedDoc)
+}
+
+// Select resolves a list of analyzer names (from ildpanalyze -select)
+// against All. An empty list selects the default suite; an unknown
+// name is an error listing what exists.
+func Select(names []string) ([]*Analyzer, error) {
+	if len(names) == 0 {
+		return Analyzers(), nil
+	}
+	byName := map[string]*Analyzer{}
+	known := make([]string, 0, len(All()))
+	for _, a := range All() {
+		byName[a.Name] = a
+		known = append(known, a.Name)
+	}
+	var out []*Analyzer
+	for _, name := range names {
+		a, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("lint: unknown analyzer %q (have %s)",
+				name, strings.Join(known, ", "))
+		}
+		out = append(out, a)
+	}
+	return out, nil
 }

@@ -36,10 +36,18 @@ const (
 	// fragment against its source superblock (DESIGN.md §12); OK reports
 	// whether every exit's semantics matched.
 	EventProve
+	// EventStoreHit marks a superblock satisfied from the shared
+	// fragment store without translating (Detail distinguishes "shared"
+	// hits on another session's artifact from "private" re-hits);
+	// EventStoreLoad marks a persisted store decoded and re-verified
+	// into the process (Detail carries the load report).
+	EventStoreHit
+	EventStoreLoad
 )
 
 var eventKindNames = [...]string{"translate", "verify", "install", "chain", "evict",
-	"fault", "recover", "quarantine", "preempt", "resume", "prove"}
+	"fault", "recover", "quarantine", "preempt", "resume", "prove",
+	"store_hit", "store_load"}
 
 // String returns the lower-case kind name.
 func (k EventKind) String() string {

@@ -148,6 +148,11 @@ func (p *Profiler) WritePerfetto(w io.Writer) error {
 				Name: "evict", Ph: "i", TS: e.TS, PID: pidVM, TID: tidVM, S: "t",
 				Args: map[string]any{"frag": e.Frag, "vstart": fmt.Sprintf("%#x", e.VStart)},
 			})
+		case EvStoreHit:
+			out = append(out, traceEvent{
+				Name: "store_hit", Ph: "i", TS: e.TS, PID: pidVM, TID: tidVM, S: "t",
+				Args: map[string]any{"vstart": fmt.Sprintf("%#x", e.VStart), "shared": e.Arg == 1},
+			})
 		case EvPESample:
 			if !peSeen[e.PE] {
 				peSeen[e.PE] = true

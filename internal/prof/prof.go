@@ -172,9 +172,11 @@ const (
 	EvTranslate               // superblock translated; Arg = cost work units
 	EvEvict                   // fragment evicted on a cache flush
 	EvPESample                // per-PE instruction count since the frame opened; Arg = count
+	EvStoreHit                // superblock satisfied from the shared fragment store; Arg = 1 if shared
 )
 
-var evKindNames = [...]string{"enter", "exit", "chain", "translate", "evict", "pe_sample"}
+var evKindNames = [...]string{"enter", "exit", "chain", "translate", "evict", "pe_sample",
+	"store_hit"}
 
 // String returns the lower-case event-kind name.
 func (k EvKind) String() string {
@@ -540,6 +542,21 @@ func (p *Profiler) Translate(vstart uint64, srcInsts, outInsts int, cost int64) 
 	_ = srcInsts
 	_ = outInsts
 	p.push(Event{Kind: EvTranslate, TS: p.clock, Frag: -1, VStart: vstart, Arg: cost, PE: -1})
+}
+
+// StoreHit records a superblock satisfied from the shared fragment
+// store instead of being translated (always ring-recorded, like
+// translations; shared marks a hit on an artifact some other session
+// translated or that was loaded from disk).
+func (p *Profiler) StoreHit(vstart uint64, shared bool) {
+	if p == nil {
+		return
+	}
+	var arg int64
+	if shared {
+		arg = 1
+	}
+	p.push(Event{Kind: EvStoreHit, TS: p.clock, Frag: -1, VStart: vstart, Arg: arg, PE: -1})
 }
 
 // Evict records a fragment eviction (cache flush).

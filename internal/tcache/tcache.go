@@ -53,7 +53,24 @@ type Fragment struct {
 	// ExecCount counts entries into this fragment.
 	ExecCount uint64
 
+	// Straightened marks a code-straightening-only fragment (see
+	// translate.Result.Straightened).
 	Straightened bool
+
+	// StoreKey is the content address of the shared fragment-store
+	// artifact this fragment was installed from (all zero when the
+	// fragment was translated privately, without a store). The key is
+	// kept as raw bytes — not a fragstore type — because provenance is
+	// the only thing the per-VM cache knows about the store: chain
+	// links, patched exits, and shadow copies in this Fragment are
+	// private mutations of a cloned instruction stream, never of the
+	// store's immutable entry.
+	StoreKey [32]byte
+
+	// Shared marks a fragment whose translation was produced by a
+	// different session (or loaded from a persisted store) and reached
+	// this VM as a shared-store hit.
+	Shared bool
 
 	// pristineInsts / pristinePEI are install-time deep copies of the
 	// mutable fragment image, maintained when the cache's shadow mode is
@@ -410,6 +427,23 @@ func (c *Cache) Install(res *translate.Result) (*Fragment, error) {
 	if c.shadow {
 		f.snapshotPristine()
 	}
+	return f, nil
+}
+
+// InstallShared installs a translation obtained from the shared
+// fragment store, recording its provenance (content address and
+// whether the artifact came from another session). res must be a
+// private copy of the store's entry (fragstore.CloneForInstall):
+// Install aliases res.Insts into the fragment and exit patching
+// mutates it in place, which must never touch the store's immutable
+// artifact.
+func (c *Cache) InstallShared(res *translate.Result, key [32]byte, shared bool) (*Fragment, error) {
+	f, err := c.Install(res)
+	if err != nil {
+		return nil, err
+	}
+	f.StoreKey = key
+	f.Shared = shared
 	return f, nil
 }
 

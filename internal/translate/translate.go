@@ -68,6 +68,28 @@ func DefaultConfig() Config {
 	return Config{Form: ildp.Modified, NumAcc: ildp.DefaultAccumulators, Chain: SWPredRAS}
 }
 
+// FingerprintLen is the size of a Config fingerprint in bytes.
+const FingerprintLen = 4
+
+// Fingerprint returns the canonical binary fingerprint of the
+// configuration fields that determine translation output: form,
+// accumulator count, chain mode, and the memory-fusion flag, one byte
+// each. Translation is a pure function of (superblock, Config), so two
+// translations agree whenever their superblocks and fingerprints agree —
+// the property the content-addressed fragment store keys on. Equal
+// configs always produce equal fingerprints, and every field that can
+// change the emitted code is included.
+func (c Config) Fingerprint() [FingerprintLen]byte {
+	var fp [FingerprintLen]byte
+	fp[0] = byte(c.Form)
+	fp[1] = byte(c.NumAcc)
+	fp[2] = byte(c.Chain)
+	if c.FuseMemOps {
+		fp[3] = 1
+	}
+	return fp
+}
+
 // EndKind records why superblock collection stopped (§3.1 fragment ending
 // conditions).
 type EndKind uint8

@@ -17,6 +17,7 @@ import (
 	"github.com/ildp/accdbt/internal/alphaprog"
 	"github.com/ildp/accdbt/internal/emu"
 	"github.com/ildp/accdbt/internal/faultinject"
+	"github.com/ildp/accdbt/internal/fragstore"
 	"github.com/ildp/accdbt/internal/ildp"
 	"github.com/ildp/accdbt/internal/iverify"
 	"github.com/ildp/accdbt/internal/mem"
@@ -111,6 +112,20 @@ type Config struct {
 	// SelfHeal (failure recovery) for full self-healing — the chaos
 	// harness forces all three.
 	Faults *faultinject.Config
+
+	// Store, when non-nil, attaches a process-wide shared fragment
+	// store (internal/fragstore): hot superblocks are content-addressed
+	// by hash(superblock bytes ‖ translation config) and translated at
+	// most once per process, however many VMs run concurrently; a
+	// persisted store warm-starts with zero retranslation. The per-VM
+	// translation cache installs a private clone of each artifact, so
+	// chain patching and invalidation never touch the shared entry.
+	// Verify and SemCheck still run per-VM on hits. The store is
+	// bypassed entirely while a fault injector (Faults) is attached:
+	// injected corruption must never enter the shared store, and store
+	// hits would skip injector draws and shift the deterministic fault
+	// schedule.
+	Store *fragstore.Store
 
 	// Stop, when non-nil, is the preemption hook (a context-style
 	// cancellation test). It is polled only at V-instruction boundaries
@@ -223,6 +238,16 @@ type Stats struct {
 	// Preemption statistics (DESIGN.md §11). Zero on undisturbed runs.
 	Preemptions   uint64 // stop-hook or budget preemptions taken
 	WatchdogTrips uint64 // livelock watchdog quarantines
+
+	// Shared-fragment-store statistics (docs/FORMAT.md). All zero
+	// unless Config.Store is set. A hit reuses an existing artifact
+	// without translating (TranslateCost is not charged); a shared hit
+	// is the subset whose artifact was translated by a different
+	// session or loaded from a persisted store; a miss means this VM
+	// ran the translator and published the artifact.
+	StoreHits       uint64
+	StoreMisses     uint64
+	StoreSharedHits uint64
 }
 
 // Recoveries returns the total recovery episodes: every event that
@@ -317,6 +342,14 @@ func (s *Stats) Publish(reg *metrics.Registry) {
 	if s.Preemptions != 0 || s.WatchdogTrips != 0 {
 		u("vm.preempt.preemptions", s.Preemptions)
 		u("vm.preempt.watchdog_trips", s.WatchdogTrips)
+	}
+	// Store counters appear only on runs that actually consulted a
+	// shared fragment store, so store-less registries stay
+	// byte-identical with and without this build.
+	if s.StoreHits != 0 || s.StoreMisses != 0 {
+		u("vm.store.hits", s.StoreHits)
+		u("vm.store.misses", s.StoreMisses)
+		u("vm.store.shared_hits", s.StoreSharedHits)
 	}
 }
 
@@ -635,13 +668,23 @@ func (v *VM) finishRecording(end translate.EndKind, nextPC uint64) error {
 
 	var res *translate.Result
 	var err error
-	if v.cfg.Straighten {
-		res, err = translate.Straighten(&sb, v.cfg.Chain)
-	} else {
-		res, err = translate.Translate(&sb, translate.Config{
-			Form: v.cfg.Form, NumAcc: v.cfg.NumAcc, Chain: v.cfg.Chain,
-			FuseMemOps: v.cfg.FuseMemOps,
-		})
+	var viaStore, storeHit, storeShared bool
+	var storeKey fragstore.Key
+	// The shared store is bypassed whenever a fault injector or the test
+	// mutation hook is active: corrupt artifacts must never enter the
+	// process-wide store, and a store hit would skip injector draws and
+	// shift the deterministic fault schedule. A superblock with no
+	// canonical content address (KeyOf error) translates privately.
+	if v.cfg.Store != nil && v.inj == nil && v.testMutateResult == nil {
+		key, content, kerr := fragstore.KeyOf(&sb, v.storeConfig())
+		if kerr == nil {
+			viaStore, storeKey = true, key
+			res, storeHit, storeShared, err = v.cfg.Store.Do(key, content, v,
+				func() (*translate.Result, error) { return v.translateSB(&sb) })
+		}
+	}
+	if !viaStore {
+		res, err = v.translateSB(&sb)
 	}
 	if err != nil {
 		if errors.Is(err, translate.ErrEmptySuperblock) {
@@ -661,13 +704,32 @@ func (v *VM) finishRecording(end translate.EndKind, nextPC uint64) error {
 			v.inj.Applied(injectKind)
 		}
 	}
-	v.cfg.Metrics.Event(metrics.Event{Kind: metrics.EventTranslate, Frag: -1,
-		VStart: res.VStart, SrcInsts: res.SrcCount, OutInsts: len(res.Insts),
-		CodeBytes: res.CodeBytes, Cost: res.Cost})
-	v.cfg.Metrics.Histogram("translate.cost_per_fragment").Observe(float64(res.Cost))
-	v.cfg.Metrics.Histogram("translate.src_insts_per_fragment").Observe(float64(res.SrcCount))
-	v.cfg.Metrics.Histogram("translate.code_bytes_per_fragment").Observe(float64(res.CodeBytes))
-	v.cfg.Prof.Translate(res.VStart, res.SrcCount, len(res.Insts), res.Cost)
+	if storeHit {
+		// Reused artifact: no translation happened in this VM, so no
+		// translate event, histograms, or cost — a hit's whole point is
+		// that the work (and its accounting) stays un-redone.
+		v.Stats.StoreHits++
+		detail := "private"
+		if storeShared {
+			v.Stats.StoreSharedHits++
+			detail = "shared"
+		}
+		v.cfg.Metrics.Event(metrics.Event{Kind: metrics.EventStoreHit, Frag: -1,
+			VStart: res.VStart, SrcInsts: res.SrcCount, OutInsts: len(res.Insts),
+			CodeBytes: res.CodeBytes, Detail: detail})
+		v.cfg.Prof.StoreHit(res.VStart, storeShared)
+	} else {
+		if viaStore {
+			v.Stats.StoreMisses++
+		}
+		v.cfg.Metrics.Event(metrics.Event{Kind: metrics.EventTranslate, Frag: -1,
+			VStart: res.VStart, SrcInsts: res.SrcCount, OutInsts: len(res.Insts),
+			CodeBytes: res.CodeBytes, Cost: res.Cost})
+		v.cfg.Metrics.Histogram("translate.cost_per_fragment").Observe(float64(res.Cost))
+		v.cfg.Metrics.Histogram("translate.src_insts_per_fragment").Observe(float64(res.SrcCount))
+		v.cfg.Metrics.Histogram("translate.code_bytes_per_fragment").Observe(float64(res.CodeBytes))
+		v.cfg.Prof.Translate(res.VStart, res.SrcCount, len(res.Insts), res.Cost)
+	}
 	if v.testMutateResult != nil {
 		v.testMutateResult(res)
 	}
@@ -701,7 +763,15 @@ func (v *VM) finishRecording(end translate.EndKind, nextPC uint64) error {
 		}
 		v.Stats.FragsProved++
 	}
-	if _, err := v.tc.Install(res); err != nil {
+	if viaStore {
+		// The store's artifact is immutable and possibly shared with
+		// other VMs; install a private clone so exit patching and
+		// invalidation stay session-local. This holds on misses too —
+		// the result Do returned on a miss is the entry it published.
+		if _, err := v.tc.InstallShared(fragstore.CloneForInstall(res), storeKey, storeShared); err != nil {
+			return err
+		}
+	} else if _, err := v.tc.Install(res); err != nil {
 		return err
 	}
 	delete(v.failures, sb.StartPC)
@@ -710,7 +780,9 @@ func (v *VM) finishRecording(end translate.EndKind, nextPC uint64) error {
 	s.SrcInstsTranslated += int64(res.SrcCount)
 	s.NOPsRemoved += int64(res.NOPCount)
 	s.BranchElims += int64(res.BranchElims)
-	s.TranslateCost += res.Cost
+	if !storeHit {
+		s.TranslateCost += res.Cost
+	}
 	s.StaticCodeBytes += int64(res.CodeBytes)
 	s.StaticSrcBytes += int64(res.SrcBytes)
 	s.StaticCopies += int64(res.CopyCount)
@@ -718,6 +790,30 @@ func (v *VM) finishRecording(end translate.EndKind, nextPC uint64) error {
 	s.Spills += int64(res.SpillCount)
 	s.UsageStatic.Add(res.Usage)
 	return nil
+}
+
+// translateSB runs the configured translator over one superblock — the
+// pure function the shared fragment store memoizes.
+func (v *VM) translateSB(sb *translate.Superblock) (*translate.Result, error) {
+	if v.cfg.Straighten {
+		return translate.Straighten(sb, v.cfg.Chain)
+	}
+	return translate.Translate(sb, translate.Config{
+		Form: v.cfg.Form, NumAcc: v.cfg.NumAcc, Chain: v.cfg.Chain,
+		FuseMemOps: v.cfg.FuseMemOps,
+	})
+}
+
+// storeConfig returns this VM's translation configuration as the
+// fragment store addresses it.
+func (v *VM) storeConfig() fragstore.Config {
+	return fragstore.Config{
+		Straighten: v.cfg.Straighten,
+		Translate: translate.Config{
+			Form: v.cfg.Form, NumAcc: v.cfg.NumAcc, Chain: v.cfg.Chain,
+			FuseMemOps: v.cfg.FuseMemOps,
+		},
+	}
 }
 
 // alphaRec builds a trace record for one interpreted Alpha instruction.
