@@ -1,6 +1,6 @@
 # Convenience targets; ci/check.sh is the canonical gate.
 
-.PHONY: build test check lint-example semcheck experiments profile chaos killresume fragstore
+.PHONY: build test check lint-example semcheck experiments profile chaos killresume fragstore telemetry monitor
 
 build:
 	go build ./...
@@ -46,6 +46,19 @@ chaos:
 # every resumed run finished bit-identical to the uninterrupted oracle.
 killresume:
 	go run ./cmd/ildpchaos -kill -seeds 50
+
+# Exercise the telemetry plane end to end: the package test suite (race
+# detector on — fan-out, slow-consumer shedding, zero-perturbation
+# equivalence, the soak) plus the attach-cost benchmark recorded in
+# EXPERIMENTS.md note 13.
+telemetry:
+	go test -race ./internal/telemetry/ -count 1
+	go test -run '^$$' -bench BenchmarkTelemetryOverhead -benchtime 10x ./internal/telemetry/
+
+# Run the live soak monitor: a continuous chaos sweep with the
+# telemetry plane on http://127.0.0.1:9844 (interrupt to stop).
+monitor:
+	go run ./cmd/ildpmon -addr 127.0.0.1:9844
 
 # Exercise the persistent fragment store end to end: the store and VM
 # test suites (race detector on), a decoder fuzz slice, and a cold ->

@@ -26,9 +26,9 @@ echo "== ildpanalyze (project linters)"
 # called directly rather than behind redundant nil guards.
 go run ./cmd/ildpanalyze ./internal/... ./cmd/...
 # The opt-in godoc gate: every exported symbol of the cache surface
-# (the per-VM cache and the shared persistent store) carries a doc
-# comment.
-go run ./cmd/ildpanalyze -select exporteddoc ./internal/tcache ./internal/fragstore
+# (the per-VM cache and the shared persistent store) and of the
+# telemetry plane carries a doc comment.
+go run ./cmd/ildpanalyze -select exporteddoc ./internal/tcache ./internal/fragstore ./internal/telemetry
 
 echo "== go vet"
 go vet ./...
@@ -39,8 +39,9 @@ go build ./...
 echo "== go test"
 go test ./...
 
-echo "== go test -race (vm, tcache, fragstore)"
-go test -race ./internal/vm/... ./internal/tcache/... ./internal/fragstore/...
+echo "== go test -race (vm, tcache, fragstore, metrics, telemetry)"
+go test -race ./internal/vm/... ./internal/tcache/... ./internal/fragstore/... \
+    ./internal/metrics/... ./internal/telemetry/...
 
 echo "== chaos smoke (short soak under the race detector)"
 # A fixed-seed slice of the differential chaos oracle: fault-injected
@@ -142,6 +143,52 @@ if [ "$warm_exit" != "$full_exit" ]; then
     echo "  full: $full_exit" >&2
     exit 1
 fi
+echo "== ildpvm serve smoke (telemetry plane over HTTP)"
+# A serving run must report its address on stdout, answer the health
+# probes, expose live nonzero vm.* samples in Prometheus text format,
+# and replay at least one SSE metrics event — then shut down cleanly on
+# SIGTERM.
+"$ckpt_dir/ildpvm" -workload gzip -serve 127.0.0.1:0 \
+    > "$ckpt_dir/serve.txt" 2> "$ckpt_dir/serve.log" &
+serve_pid=$!
+port=""
+for _ in $(seq 1 50); do
+    port=$(sed -n 's#^telemetry: *serving on http://127\.0\.0\.1:##p' "$ckpt_dir/serve.txt")
+    [ -n "$port" ] && break
+    sleep 0.1
+done
+[ -n "$port" ] || {
+    echo "serving ildpvm never reported its address:" >&2
+    cat "$ckpt_dir/serve.txt" "$ckpt_dir/serve.log" >&2
+    kill "$serve_pid" 2>/dev/null || true
+    exit 1
+}
+curl -fsS "http://127.0.0.1:$port/healthz" > /dev/null
+curl -fsS "http://127.0.0.1:$port/readyz" > /dev/null
+serve_ok=0
+for _ in $(seq 1 50); do
+    metrics_out=$(curl -fsS "http://127.0.0.1:$port/metrics?wait=100")
+    if echo "$metrics_out" | awk '/^vm_interp_insts\{/ { if ($NF + 0 > 0) ok = 1 } END { exit ok ? 0 : 1 }'; then
+        serve_ok=1
+        break
+    fi
+    sleep 0.1
+done
+[ "$serve_ok" -eq 1 ] || {
+    echo "serving ildpvm never exposed nonzero vm_interp_insts samples:" >&2
+    echo "$metrics_out" >&2
+    kill "$serve_pid" 2>/dev/null || true
+    exit 1
+}
+sse_out=$(curl -sN -m 2 "http://127.0.0.1:$port/events?replay=4" || true)
+echo "$sse_out" | grep -q "^event: metrics" || {
+    echo "SSE replay returned no metrics events:" >&2
+    echo "$sse_out" >&2
+    kill "$serve_pid" 2>/dev/null || true
+    exit 1
+}
+kill "$serve_pid"
+wait "$serve_pid" 2>/dev/null || true
 rm -rf "$ckpt_dir"
 
 echo "== docs gate (ildpreport -check)"

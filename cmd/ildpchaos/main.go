@@ -20,13 +20,19 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"strings"
 
 	"github.com/ildp/accdbt/internal/experiments"
 	"github.com/ildp/accdbt/internal/faultinject"
+	"github.com/ildp/accdbt/internal/telemetry"
 	"github.com/ildp/accdbt/internal/workload"
 )
+
+// logger is the process-wide structured logger for diagnostics; sweep
+// results stay on stdout in their fixed format.
+var logger *slog.Logger
 
 var allMachines = []experiments.Machine{
 	experiments.Original,
@@ -86,7 +92,16 @@ func main() {
 	verbose := flag.Bool("v", false, "print one line per run instead of only failures")
 	kill := flag.Bool("kill", false, "run the kill-and-resume harness instead of fault injection")
 	kills := flag.Int("kills", 3, "maximum preemptions per run (with -kill; actual count is seed-chosen)")
+	logLevel := flag.String("log-level", "info", "log level: debug | info | warn | error")
+	logFormat := flag.String("log-format", "text", "log format: text | json")
 	flag.Parse()
+
+	var err error
+	logger, err = telemetry.NewLogger(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ildpchaos:", err)
+		os.Exit(2)
+	}
 
 	machines, err := parseMachines(*machinesFlag)
 	if err != nil {
@@ -123,12 +138,12 @@ func main() {
 		switch {
 		case err != nil:
 			failures++
-			fmt.Fprintf(os.Stderr, "FAIL seed %d on %v: %v\n", seed, m, err)
+			logger.Error("run failed", "seed", seed, "machine", m.String(), "err", err)
 			continue
 		case out.Mismatch != "":
 			failures++
-			fmt.Fprintf(os.Stderr, "FAIL seed %d on %v: state diverged: %s (faults: %s)\n",
-				seed, m, out.Mismatch, out.Faults)
+			logger.Error("state diverged", "seed", seed, "machine", m.String(),
+				"mismatch", out.Mismatch, "faults", out.Faults.String())
 			continue
 		}
 		for k, n := range out.Faults {
@@ -166,12 +181,12 @@ func killResumeSweep(wl *workload.Spec, machines []experiments.Machine,
 		switch {
 		case err != nil:
 			failures++
-			fmt.Fprintf(os.Stderr, "FAIL seed %d on %v: %v\n", seed, m, err)
+			logger.Error("run failed", "seed", seed, "machine", m.String(), "err", err)
 			continue
 		case out.Mismatch != "":
 			failures++
-			fmt.Fprintf(os.Stderr, "FAIL seed %d on %v: state diverged after %d kills at %v: %s\n",
-				seed, m, out.Kills, out.KillTargets, out.Mismatch)
+			logger.Error("state diverged", "seed", seed, "machine", m.String(),
+				"kills", out.Kills, "targets", fmt.Sprint(out.KillTargets), "mismatch", out.Mismatch)
 			continue
 		}
 		totalKills += out.Kills
@@ -191,6 +206,9 @@ func killResumeSweep(wl *workload.Spec, machines []experiments.Machine,
 }
 
 func fatal(err error) {
-	fmt.Fprintf(os.Stderr, "ildpchaos: %v\n", err)
+	if logger == nil {
+		logger = slog.Default()
+	}
+	logger.Error(err.Error())
 	os.Exit(1)
 }

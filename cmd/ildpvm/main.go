@@ -17,6 +17,12 @@
 // -cache-stats reports hit/miss/load counters. See docs/FORMAT.md for
 // the on-disk format.
 //
+// With -serve ADDR the process attaches the live telemetry plane
+// (DESIGN.md §13): Prometheus exposition on /metrics, an SSE event
+// stream on /events, session introspection on /vms, and health checks
+// on /healthz and /readyz. The plane stays up after the run finishes,
+// serving the final state, until the process is interrupted.
+//
 // Usage:
 //
 //	ildpvm -workload gzip -form modified -chain sw_pred.ras
@@ -25,6 +31,7 @@
 //	ildpvm -workload gzip -max 100000 -checkpoint state.ckpt
 //	ildpvm -resume state.ckpt
 //	ildpvm -workload gzip -cachefile gzip.fs -cache-stats
+//	ildpvm -workload gzip -serve 127.0.0.1:9844
 package main
 
 import (
@@ -33,10 +40,15 @@ import (
 	"flag"
 	"fmt"
 	"io/fs"
+	"log/slog"
+	"net"
+	"net/http"
 	"os"
+	"os/signal"
 	"sort"
 	"strconv"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"github.com/ildp/accdbt/internal/alpha/alphaasm"
@@ -50,11 +62,17 @@ import (
 	"github.com/ildp/accdbt/internal/metrics"
 	"github.com/ildp/accdbt/internal/prof"
 	"github.com/ildp/accdbt/internal/tcache"
+	"github.com/ildp/accdbt/internal/telemetry"
 	"github.com/ildp/accdbt/internal/translate"
 	"github.com/ildp/accdbt/internal/uarch"
 	"github.com/ildp/accdbt/internal/vm"
 	"github.com/ildp/accdbt/internal/workload"
 )
+
+// logger carries the process-wide structured logger, built from
+// -log-level / -log-format right after flag parsing. Diagnostics go
+// through it; the stdout report format is unchanged.
+var logger *slog.Logger
 
 func main() {
 	wl := flag.String("workload", "", "run a named synthetic workload (see -list)")
@@ -82,7 +100,17 @@ func main() {
 	cacheFile := flag.String("cachefile", "", "persistent translation cache: load this file if it exists, share the store with the run, save it back on exit")
 	cacheStats := flag.Bool("cache-stats", false, "report shared-store statistics (attaches an in-memory store even without -cachefile)")
 	cacheProve := flag.Bool("cache-prove", false, "with -cachefile, also re-prove loaded fragments with the symbolic equivalence checker")
+	serve := flag.String("serve", "", "serve the live telemetry plane (/metrics, /events, /vms, /healthz) on this address and keep serving after the run until interrupted")
+	logLevel := flag.String("log-level", "info", "log level: debug | info | warn | error")
+	logFormat := flag.String("log-format", "text", "log format: text | json")
 	flag.Parse()
+
+	var err error
+	logger, err = telemetry.NewLogger(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ildpvm:", err)
+		os.Exit(2)
+	}
 
 	if *list {
 		for _, name := range workload.Names() {
@@ -172,7 +200,7 @@ func main() {
 	}
 
 	var reg *metrics.Registry
-	if *metricsJSON {
+	if *metricsJSON || *serve != "" {
 		reg = metrics.NewRegistry()
 		cfg.Metrics = reg
 	}
@@ -206,20 +234,48 @@ func main() {
 		}
 	}
 
+	var plane *telemetry.Plane
+	var sess *telemetry.Session
+	if *serve != "" {
+		plane = telemetry.New(telemetry.Options{Logger: logger})
+		sess = plane.Register(telemetry.SessionConfig{
+			Name: name, Workload: name, Machine: machineName(cfg),
+			Registry: reg, Store: store,
+		})
+		cfg.Poll = sess.Poll
+		ln, err := net.Listen("tcp", *serve)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("telemetry:          serving on http://%s\n", ln.Addr())
+		go func() {
+			if err := http.Serve(ln, plane.Handler()); err != nil && !errors.Is(err, net.ErrClosed) {
+				logger.Error("telemetry server failed", "err", err)
+			}
+		}()
+		plane.SetReady(true)
+	}
+
 	v := vm.New(mem.New(), cfg)
 	if resumeState != nil {
 		v.Restore(resumeState)
 	} else if err := v.LoadProgram(prog); err != nil {
 		fatal(err)
 	}
+	if sess != nil {
+		sess.Attach(v, profiler)
+	}
 	var pe *vm.PreemptError
 	if err := v.Run(*maxV); err != nil && !errors.As(err, &pe) {
 		var tr *emu.Trap
 		if errors.As(err, &tr) {
-			fmt.Fprintf(os.Stderr, "ildpvm: trap at V-PC %#x: %v\n", tr.PC, tr.Cause)
+			logger.Error("trap", "vpc", fmt.Sprintf("%#x", tr.PC), "cause", tr.Cause)
 			os.Exit(2)
 		}
 		fatal(err)
+	}
+	if sess != nil {
+		sess.Finish()
 	}
 
 	report(name, v, cfg)
@@ -258,7 +314,7 @@ func main() {
 			fatal(err)
 		}
 	}
-	if reg != nil {
+	if *metricsJSON {
 		v.Stats.Publish(reg)
 		fmt.Printf("metrics events:     %d recorded, %d dropped by the ring\n",
 			reg.EventsRecorded(), reg.EventsDropped())
@@ -292,6 +348,13 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("checkpoint:         %d bytes -> %s\n", len(data), *ckptFile)
+	}
+	if plane != nil {
+		logger.Info("run finished; telemetry plane still serving", "addr", *serve)
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		plane.Close()
 	}
 	if pe != nil {
 		os.Exit(3)
@@ -332,18 +395,23 @@ func loadProgram(wl, src, img string, scale int) (*alphaprog.Program, string) {
 		}
 		return p, img
 	}
-	fmt.Fprintln(os.Stderr, "ildpvm: one of -workload, -src, or -img is required (see -list)")
+	logger.Error("one of -workload, -src, or -img is required (see -list)")
 	os.Exit(2)
 	return nil, ""
 }
 
+// machineName names the configured I-ISA form the way the report and
+// the telemetry session label do.
+func machineName(cfg vm.Config) string {
+	if cfg.Straighten {
+		return "straightened"
+	}
+	return cfg.Form.String()
+}
+
 func report(name string, v *vm.VM, cfg vm.Config) {
 	s := &v.Stats
-	formName := cfg.Form.String()
-	if cfg.Straighten {
-		formName = "straightened"
-	}
-	fmt.Printf("program:            %s (%s, %v)\n", name, formName, cfg.Chain)
+	fmt.Printf("program:            %s (%s, %v)\n", name, machineName(cfg), cfg.Chain)
 	fmt.Printf("exit status:        %d, console %q\n", v.CPU().ExitStatus, v.CPU().ConsoleString())
 	fmt.Printf("V-insts total:      %d (interpreted %d, translated %d, %.1f%% translated)\n",
 		s.TotalVInsts(), s.InterpInsts, s.TransVInsts,
@@ -413,6 +481,9 @@ func max64i(a, b int64) int64 {
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "ildpvm:", err)
+	if logger == nil {
+		logger = slog.Default()
+	}
+	logger.Error(err.Error())
 	os.Exit(1)
 }

@@ -54,6 +54,13 @@ type ChaosSpec struct {
 	// so the run must be bit-identical with and without one — the field
 	// exists precisely so tests can pin that invariant.
 	Store *fragstore.Store
+
+	// Tune and Attach are the observability hooks shared with RunSpec:
+	// Tune receives the final VM configuration before construction,
+	// Attach the loaded VM before it runs. Neither may change
+	// translation semantics — the oracle comparison would catch it.
+	Tune   func(*vm.Config)
+	Attach func(*vm.VM)
 }
 
 // ChaosOutcome is the result of one differential chaos run.
@@ -110,9 +117,15 @@ func RunChaos(spec ChaosSpec) (*ChaosOutcome, error) {
 		return nil, err
 	}
 
+	if tune := spec.Tune; tune != nil {
+		tune(&cfg)
+	}
 	v := vm.New(mem.New(), cfg)
 	if err := v.LoadProgram(prog); err != nil {
 		return nil, err
+	}
+	if attach := spec.Attach; attach != nil {
+		attach(v)
 	}
 	if err := v.Run(spec.MaxV); err != nil {
 		return nil, fmt.Errorf("chaos: seed %d, %s on %v: unrecovered fault: %w",

@@ -53,6 +53,14 @@ type KillResumeSpec struct {
 	// store-less run — the store changes where artifacts live, never
 	// what they compute.
 	Store *fragstore.Store
+
+	// Tune and Attach are the observability hooks shared with RunSpec,
+	// invoked for every segment: Tune receives the segment's final VM
+	// configuration before construction, Attach the booted (or
+	// restored) VM before it runs. Neither may change translation
+	// semantics.
+	Tune   func(*vm.Config)
+	Attach func(*vm.VM)
 }
 
 // KillResumeOutcome is the result of one kill-and-resume run.
@@ -161,6 +169,9 @@ func RunKillResume(spec KillResumeSpec) (*KillResumeOutcome, error) {
 		cfg.Stop = func() bool {
 			return target >= 0 && int64(vv.Stats.TotalVInsts()) >= target
 		}
+		if tune := spec.Tune; tune != nil {
+			tune(&cfg)
+		}
 		vv = vm.New(mem.New(), cfg)
 		if st == nil {
 			if err := vv.LoadProgram(prog); err != nil {
@@ -168,6 +179,9 @@ func RunKillResume(spec KillResumeSpec) (*KillResumeOutcome, error) {
 			}
 		} else {
 			vv.Restore(st)
+		}
+		if attach := spec.Attach; attach != nil {
+			attach(vv)
 		}
 		out.Segments++
 

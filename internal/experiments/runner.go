@@ -72,6 +72,17 @@ type RunSpec struct {
 	// model so the run's fragment activity and cycle attribution land in
 	// one execution profile. Profiling never changes simulation results.
 	Prof *prof.Profiler
+
+	// Tune, when non-nil, receives the fully built VM configuration
+	// immediately before the VM is constructed. It is the attachment
+	// point for observability hooks (vm.Config.Poll) and must not
+	// change translation semantics.
+	Tune func(*vm.Config)
+
+	// Attach, when non-nil, receives the constructed VM after the
+	// program is loaded and before it runs, on the goroutine that will
+	// run it — where telemetry sessions install their probes.
+	Attach func(*vm.VM)
 }
 
 // Outcome is the result of one run.
@@ -172,9 +183,15 @@ func Run(spec RunSpec) (*Outcome, error) {
 		}
 	}
 
+	if tune := spec.Tune; tune != nil {
+		tune(&cfg)
+	}
 	v := vm.New(mem.New(), cfg)
 	if err := v.LoadProgram(prog); err != nil {
 		return nil, err
+	}
+	if attach := spec.Attach; attach != nil {
+		attach(v)
 	}
 	if err := v.Run(spec.MaxV); err != nil {
 		return nil, fmt.Errorf("%s on %v: %w", spec.Workload.Name, spec.Machine, err)

@@ -167,10 +167,15 @@ type entry struct {
 	creator any    // token of the session that translated it; nil for loaded entries
 }
 
-// shard is one lock domain of the store.
+// shard is one lock domain of the store. The hit/miss counters are
+// per-shard so the telemetry plane can expose how evenly the
+// first-byte sharding spreads both occupancy and traffic.
 type shard struct {
 	mu sync.Mutex
 	m  map[Key]*entry
+
+	hits   atomic.Uint64
+	misses atomic.Uint64
 }
 
 // Store is the process-wide shared fragment store. A Store is safe for
@@ -221,6 +226,7 @@ func (s *Store) Do(key Key, content []byte, caller any,
 			return nil, false, false, e.err
 		}
 		s.hits.Add(1)
+		sh.hits.Add(1)
 		shared = e.creator != caller
 		if shared {
 			s.sharedHits.Add(1)
@@ -243,6 +249,7 @@ func (s *Store) Do(key Key, content []byte, caller any,
 	e.res = res
 	close(e.ready)
 	s.misses.Add(1)
+	sh.misses.Add(1)
 	return res, false, false, nil
 }
 
@@ -338,6 +345,52 @@ func (s *Store) Stats() Stats {
 		Loaded:     s.loaded.Load(),
 		Dropped:    s.dropped.Load(),
 	}
+}
+
+// ShardStat is the telemetry view of one store shard: how many
+// completed entries it holds and how much singleflight traffic it has
+// absorbed. Shards are addressed by the first key byte, so with
+// SHA-256 keys both columns should stay near-uniform; a hot shard
+// means contention on one mutex.
+type ShardStat struct {
+	// Shard is the shard index in [0, NumShards).
+	Shard int `json:"shard"`
+	// Entries is the number of completed entries currently stored.
+	Entries int `json:"entries"`
+	// Hits and Misses count Do calls resolved by (respectively run
+	// through the translator into) this shard.
+	Hits   uint64 `json:"hits"`
+	Misses uint64 `json:"misses"`
+}
+
+// ShardStats returns a per-shard occupancy and traffic snapshot, one
+// row per shard in index order. Safe for concurrent use; each shard is
+// read under its own lock, so the snapshot is per-shard (not globally)
+// consistent.
+func (s *Store) ShardStats() []ShardStat {
+	out := make([]ShardStat, NumShards)
+	for i := range s.shards {
+		sh := &s.shards[i]
+		n := 0
+		sh.mu.Lock()
+		for _, e := range sh.m {
+			select {
+			case <-e.ready:
+				if e.err == nil {
+					n++
+				}
+			default:
+			}
+		}
+		sh.mu.Unlock()
+		out[i] = ShardStat{
+			Shard:   i,
+			Entries: n,
+			Hits:    sh.hits.Load(),
+			Misses:  sh.misses.Load(),
+		}
+	}
+	return out
 }
 
 // insertLoaded adds a decoded, re-verified entry (Decode's admission

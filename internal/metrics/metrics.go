@@ -249,6 +249,55 @@ type Registry struct {
 	hists    map[string]*Histogram
 	events   []Event // ring once len == maxEvents; eventSeq%maxEvents is the write slot
 	eventSeq int     // total events ever emitted
+
+	// taps is the live-subscriber list (see Subscribe). The slice is
+	// copy-on-write: Subscribe and cancellation install a fresh slice
+	// under mu, so Event can capture the current slice under mu and
+	// invoke it after unlocking without racing mutation.
+	taps    []tap
+	tapsSeq int
+}
+
+// tap is one live event subscriber.
+type tap struct {
+	id int
+	fn func(Event)
+}
+
+// Subscribe registers fn to be called with every subsequently emitted
+// lifecycle event, after its sequence number is stamped and it is
+// recorded in the ring. The returned cancel function removes the
+// subscription (idempotent). On a nil registry Subscribe returns a
+// no-op cancel and fn is never called.
+//
+// fn runs synchronously on the emitting goroutine — the VM's hot loop
+// when the registry is attached to a running VM — so it must be fast
+// and must never block; a subscriber that fans events out to slow
+// consumers must buffer and drop on its own (see
+// internal/telemetry.Broadcaster). fn must not call back into the
+// registry's event API.
+func (r *Registry) Subscribe(fn func(Event)) (cancel func()) {
+	if r == nil || fn == nil {
+		return func() {}
+	}
+	r.mu.Lock()
+	r.tapsSeq++
+	id := r.tapsSeq
+	next := make([]tap, len(r.taps), len(r.taps)+1)
+	copy(next, r.taps)
+	r.taps = append(next, tap{id: id, fn: fn})
+	r.mu.Unlock()
+	return func() {
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		next := make([]tap, 0, len(r.taps))
+		for _, t := range r.taps {
+			if t.id != id {
+				next = append(next, t)
+			}
+		}
+		r.taps = next
+	}
 }
 
 // NewRegistry returns an empty enabled registry.
@@ -312,13 +361,14 @@ func (r *Registry) Histogram(name string) *Histogram {
 // Event appends a fragment lifecycle event, stamping its sequence
 // number. No-op on a nil registry. The buffer is a bounded ring: past
 // maxEvents each new event overwrites the oldest one, and the number of
-// overwritten (dropped) events is reported by EventsDropped.
+// overwritten (dropped) events is reported by EventsDropped. Live
+// subscribers (Subscribe) observe the stamped event after it is
+// recorded, outside the registry lock.
 func (r *Registry) Event(e Event) {
 	if r == nil {
 		return
 	}
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	e.Seq = r.eventSeq
 	if len(r.events) < maxEvents {
 		r.events = append(r.events, e)
@@ -326,6 +376,11 @@ func (r *Registry) Event(e Event) {
 		r.events[r.eventSeq%maxEvents] = e
 	}
 	r.eventSeq++
+	taps := r.taps
+	r.mu.Unlock()
+	for _, t := range taps {
+		t.fn(e)
+	}
 }
 
 // eventsLocked returns the retained events oldest-first. Callers hold r.mu.

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 )
 
@@ -330,4 +331,109 @@ func TestGaugesWithPrefix(t *testing.T) {
 	if len(got) != 2 || got["experiments.wall_ms.gzip"] != 12 || got["experiments.wall_ms.mcf"] != 34 {
 		t.Fatalf("GaugesWithPrefix = %v", got)
 	}
+}
+
+// TestSnapshotConcurrent is the -race stress test behind the telemetry
+// plane's scrape path: 8 writer goroutines hammer every instrument kind
+// plus the event ring (the VM side of a live run) while 4 snapshotters
+// continuously call Snapshot, Events, the quantile accessors, and JSON
+// marshalling (the HTTP side). The assertions are deliberately weak —
+// monotonicity and well-formedness — because the point of the test is
+// what the race detector sees, not the values.
+func TestSnapshotConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var tapped atomic.Uint64
+	cancel := r.Subscribe(func(Event) { tapped.Add(1) })
+	defer cancel()
+
+	const writers, snapshotters, perWriter = 8, 4, 2000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := r.Counter("vm.interp_insts")
+			g := r.Gauge("vm.occupancy")
+			h := r.Histogram("translate.cost_per_fragment")
+			for i := 0; i < perWriter; i++ {
+				c.Inc()
+				r.Counter("vm.trans_v_insts").Add(3)
+				g.Add(0.5)
+				h.Observe(float64(i % 97))
+				r.Event(Event{Kind: EventTranslate, Frag: int32(w), VStart: uint64(i)})
+			}
+		}(w)
+	}
+	var snapWG sync.WaitGroup
+	for s := 0; s < snapshotters; s++ {
+		snapWG.Add(1)
+		go func() {
+			defer snapWG.Done()
+			var lastSeq uint64
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				snap := r.Snapshot()
+				for _, h := range snap.Histograms {
+					if h.Count > 0 && (h.Min > h.Max || h.Mean < h.Min || h.Mean > h.Max) {
+						t.Errorf("histogram %s summary inconsistent: %+v", h.Name, h)
+						return
+					}
+					r.Histogram(h.Name).Quantile(0.95)
+				}
+				if n := r.EventsRecorded(); n < lastSeq {
+					t.Errorf("EventsRecorded went backwards: %d -> %d", lastSeq, n)
+					return
+				} else {
+					lastSeq = n
+				}
+				if _, err := json.Marshal(r); err != nil {
+					t.Errorf("marshal: %v", err)
+					return
+				}
+				r.Events()
+				r.EventsDropped()
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	snapWG.Wait()
+
+	const wantEvents = writers * perWriter
+	if got := r.EventsRecorded(); got != wantEvents {
+		t.Fatalf("EventsRecorded = %d, want %d", got, wantEvents)
+	}
+	if got := tapped.Load(); got != wantEvents {
+		t.Fatalf("tap saw %d events, want %d", got, wantEvents)
+	}
+	if got := r.Counter("vm.interp_insts").Load(); got != writers*perWriter {
+		t.Fatalf("counter = %d, want %d", got, writers*perWriter)
+	}
+	if dropped := r.EventsDropped(); dropped != wantEvents-maxEvents {
+		t.Fatalf("EventsDropped = %d, want %d", dropped, wantEvents-maxEvents)
+	}
+}
+
+// TestSubscribeCancel pins the tap lifecycle: events before Subscribe
+// and after cancel are not delivered, and cancelling twice is safe.
+func TestSubscribeCancel(t *testing.T) {
+	r := NewRegistry()
+	r.Event(Event{Kind: EventTranslate})
+	var got []Event
+	cancel := r.Subscribe(func(e Event) { got = append(got, e) })
+	r.Event(Event{Kind: EventInstall, Frag: 7})
+	cancel()
+	cancel()
+	r.Event(Event{Kind: EventEvict})
+	if len(got) != 1 || got[0].Kind != EventInstall || got[0].Seq != 1 {
+		t.Fatalf("tap saw %+v, want exactly the seq-1 install event", got)
+	}
+	// A nil registry returns a usable no-op cancel.
+	var nilReg *Registry
+	nilReg.Subscribe(func(Event) {})()
 }

@@ -51,11 +51,32 @@ type Profile struct {
 
 // Profile snapshots the aggregation (closing any dangling activation).
 func (p *Profiler) Profile() *Profile {
-	out := &Profile{}
 	if p == nil {
-		return out
+		return &Profile{}
 	}
 	p.Finish()
+	return p.snapshot()
+}
+
+// LiveProfile snapshots the aggregation mid-run, without finishing the
+// profiler: the dangling activation (if any) stays open, so the run
+// continues undisturbed and later snapshots keep accumulating. Cycles
+// of the open activation are included up to the last retired record;
+// its instruction deltas flush only when it closes, so a live snapshot
+// slightly undercounts the active fragment. The snapshot is a deep
+// copy and must be taken on the goroutine driving the profiler (the VM
+// run loop — see vm.Config.Poll); the *Profile it returns is immutable
+// and safe to hand to other goroutines.
+func (p *Profiler) LiveProfile() *Profile {
+	if p == nil {
+		return &Profile{}
+	}
+	return p.snapshot()
+}
+
+// snapshot builds a Profile from the current frame aggregates.
+func (p *Profiler) snapshot() *Profile {
+	out := &Profile{}
 	for key, f := range p.frames {
 		switch key {
 		case KeyDispatch:
@@ -71,7 +92,12 @@ func (p *Profiler) Profile() *Profile {
 			out.PreemptCycles = f.Cycles
 			out.PreemptEntries = f.Entries
 		default:
-			out.Frags = append(out.Frags, *f)
+			// Deep-copy the per-PE slice: the aggregate keeps growing after
+			// a live snapshot, and the snapshot must never alias memory the
+			// run loop still writes.
+			cp := *f
+			cp.PEInsts = append([]uint64(nil), f.PEInsts...)
+			out.Frags = append(out.Frags, cp)
 		}
 		out.TotalCycles += f.Cycles
 	}

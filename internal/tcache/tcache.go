@@ -286,6 +286,49 @@ func (c *Cache) CodeBytes() int {
 	return n
 }
 
+// Occupancy is a point-in-time summary of the cache's population and
+// lifetime management counters, built for the telemetry plane's session
+// introspection (DESIGN.md §13). It is a plain value: take it on the
+// VM's goroutine (the cache is not safe for concurrent use) and hand it
+// to whoever wants it.
+type Occupancy struct {
+	// Slots is the number of fragment ID slots ever allocated (including
+	// slots emptied by Invalidate); Live the fragments currently
+	// installed.
+	Slots int `json:"slots"`
+	Live  int `json:"live"`
+	// CodeBytes is the encoded size of installed fragments; Capacity the
+	// flush threshold (0 = unbounded).
+	CodeBytes int `json:"code_bytes"`
+	Capacity  int `json:"capacity,omitempty"`
+	// PendingLinks counts exit sites still waiting for their targets to
+	// be translated.
+	PendingLinks int `json:"pending_links"`
+	// Patches, Invalidates, and Flushes are the lifetime counters of the
+	// same names.
+	Patches     int `json:"patches"`
+	Invalidates int `json:"invalidates,omitempty"`
+	Flushes     int `json:"flushes,omitempty"`
+}
+
+// Occupancy summarises the cache's current population and counters.
+func (c *Cache) Occupancy() Occupancy {
+	pending := 0
+	for _, sites := range c.pending {
+		pending += len(sites)
+	}
+	return Occupancy{
+		Slots:        c.Len(),
+		Live:         c.Live(),
+		CodeBytes:    c.CodeBytes(),
+		Capacity:     c.capacity,
+		PendingLinks: pending,
+		Patches:      c.Patches,
+		Invalidates:  c.Invalidates,
+		Flushes:      c.Flushes,
+	}
+}
+
 // SetCapacity sets a code-byte budget; installing past it flushes the
 // whole cache first (Dynamo-style preemptive flush, §4.1). Zero restores
 // the paper's unbounded configuration.

@@ -1,0 +1,234 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"github.com/ildp/accdbt/internal/metrics"
+)
+
+// PromContentType is the Content-Type of the Prometheus text exposition
+// format version this package writes.
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// Label is one exposition label pair. Values are escaped on output;
+// names must already be valid label names ([a-zA-Z_][a-zA-Z0-9_]*).
+type Label struct {
+	Name  string
+	Value string
+}
+
+// sample is one exposition line: an optional family-name suffix
+// (_bucket, _sum, _count), its labels, and the value.
+type sample struct {
+	suffix string
+	labels []Label
+	value  float64
+}
+
+// family is one metric family: every sample sharing a base name and a
+// single # TYPE line.
+type family struct {
+	name    string
+	typ     string
+	samples []sample
+}
+
+// Exposition accumulates metric samples grouped into families and
+// renders them in the Prometheus text exposition format (version
+// 0.0.4). Families are emitted sorted by name, each with exactly one
+// `# TYPE` line; samples within a family keep insertion order, so
+// callers that add sessions in a stable order get byte-stable output.
+// An Exposition is built and written by one goroutine per scrape; it is
+// not safe for concurrent use.
+type Exposition struct {
+	families map[string]*family
+}
+
+// NewExposition returns an empty exposition.
+func NewExposition() *Exposition {
+	return &Exposition{families: map[string]*family{}}
+}
+
+// promQuantiles are the quantile points exposed for every histogram,
+// matching the profiler's span summaries.
+var promQuantiles = [...]float64{0.5, 0.95, 0.99}
+
+// SanitizeName maps a dotted instrument name ("vm.store.hits") to a
+// valid Prometheus metric name ("vm_store_hits"): every character
+// outside [a-zA-Z0-9_:] becomes '_', and a leading digit is prefixed
+// with '_'.
+func SanitizeName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name) + 1)
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_' || c == ':':
+			b.WriteByte(c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// escapeLabel escapes a label value per the exposition format:
+// backslash, double quote, and newline.
+func escapeLabel(v string) string {
+	var b strings.Builder
+	b.Grow(len(v))
+	for i := 0; i < len(v); i++ {
+		switch c := v[i]; c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(c)
+		}
+	}
+	return b.String()
+}
+
+// formatValue renders a sample value: integral values print without an
+// exponent or decimal point, +Inf as "+Inf", everything else in Go's
+// shortest 'g' form.
+func formatValue(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	if math.IsInf(v, -1) {
+		return "-Inf"
+	}
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// add appends one sample to the named family, creating the family (and
+// pinning its type) on first use.
+func (e *Exposition) add(name, typ, suffix string, value float64, labels []Label) {
+	f := e.families[name]
+	if f == nil {
+		f = &family{name: name, typ: typ}
+		e.families[name] = f
+	}
+	f.samples = append(f.samples, sample{suffix: suffix, labels: labels, value: value})
+}
+
+// Add appends one sample to the family named name (sanitized), typed
+// typ ("counter" or "gauge"), with the given labels. It is the escape
+// hatch for self-metrics that do not live in a metrics.Registry.
+func (e *Exposition) Add(name, typ string, value float64, labels ...Label) {
+	e.add(SanitizeName(name), typ, "", value, labels)
+}
+
+// AddRegistry renders a registry snapshot into the exposition, tagging
+// every sample with the given labels: counters and gauges one sample
+// each, histograms as cumulative `_bucket{le=...}` series plus `_sum`
+// and `_count` plus a companion `<name>_quantile{q=...}` gauge family
+// interpolated by metrics.Histogram.Quantile, and the event ring's
+// recorded/dropped totals as the `metrics_events_recorded` /
+// `metrics_events_dropped` counters. The event families follow the
+// repo's nonzero-gating convention — they appear only once the ring
+// has recorded something — so a throwaway registry used to render a
+// Stats snapshot never emits duplicate event series.
+func (e *Exposition) AddRegistry(reg *metrics.Registry, labels ...Label) {
+	if reg == nil {
+		return
+	}
+	snap := reg.Snapshot()
+	for _, c := range snap.Counters {
+		e.add(SanitizeName(c.Name), "counter", "", float64(c.Value), labels)
+	}
+	for _, g := range snap.Gauges {
+		e.add(SanitizeName(g.Name), "gauge", "", g.Value, labels)
+	}
+	for _, h := range snap.Histograms {
+		name := SanitizeName(h.Name)
+		var cum uint64
+		for _, b := range h.Buckets {
+			cum += b.Count
+			le := Label{Name: "le", Value: formatValue(b.UpperBound)}
+			e.add(name, "histogram", "_bucket", float64(cum), append(append([]Label(nil), labels...), le))
+		}
+		// The exposition format requires the +Inf bucket to close the
+		// series even when the overflow bucket is empty.
+		if len(h.Buckets) == 0 || !math.IsInf(h.Buckets[len(h.Buckets)-1].UpperBound, 1) {
+			le := Label{Name: "le", Value: "+Inf"}
+			e.add(name, "histogram", "_bucket", float64(cum), append(append([]Label(nil), labels...), le))
+		}
+		e.add(name, "histogram", "_sum", h.Sum, labels)
+		e.add(name, "histogram", "_count", float64(h.Count), labels)
+		for _, q := range promQuantiles {
+			ql := Label{Name: "q", Value: formatValue(q)}
+			e.add(name+"_quantile", "gauge", "",
+				reg.Histogram(h.Name).Quantile(q),
+				append(append([]Label(nil), labels...), ql))
+		}
+	}
+	if rec := reg.EventsRecorded(); rec > 0 {
+		e.add("metrics_events_recorded", "counter", "", float64(rec), labels)
+		e.add("metrics_events_dropped", "counter", "", float64(reg.EventsDropped()), labels)
+	}
+}
+
+// Write renders the exposition: families sorted by name, one # TYPE
+// line each, samples in insertion order.
+func (e *Exposition) Write(w io.Writer) error {
+	names := make([]string, 0, len(e.families))
+	for name := range e.families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		f := e.families[name]
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.typ); err != nil {
+			return err
+		}
+		for _, s := range f.samples {
+			if err := writeSample(w, f.name, s); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// writeSample renders one exposition line.
+func writeSample(w io.Writer, name string, s sample) error {
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteString(s.suffix)
+	if len(s.labels) > 0 {
+		b.WriteByte('{')
+		for i, l := range s.labels {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(l.Name)
+			b.WriteString(`="`)
+			b.WriteString(escapeLabel(l.Value))
+			b.WriteByte('"')
+		}
+		b.WriteByte('}')
+	}
+	b.WriteByte(' ')
+	b.WriteString(formatValue(s.value))
+	b.WriteByte('\n')
+	_, err := io.WriteString(w, b.String())
+	return err
+}

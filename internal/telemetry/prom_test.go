@@ -1,0 +1,140 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/ildp/accdbt/internal/metrics"
+)
+
+// TestExpositionGolden pins the Prometheus text rendering byte for
+// byte: family ordering is sorted and stable, each family gets exactly
+// one # TYPE line even when several sessions contribute samples,
+// histograms render cumulative buckets with a closing +Inf plus sum,
+// count, and a companion quantile family, label values are escaped,
+// and the event ring's drop counter is surfaced (nonzero here — the
+// first registry records past the ring capacity; the second records no
+// events at all, so its event families are gated off entirely).
+func TestExpositionGolden(t *testing.T) {
+	reg1 := metrics.NewRegistry()
+	reg1.Counter("vm.interp_insts").Add(7)
+	for i := 0; i < 4; i++ {
+		reg1.Histogram("translate.cost").Observe(2)
+	}
+	// 8200 events into an 8192-slot ring: 8 dropped.
+	for i := 0; i < 8200; i++ {
+		reg1.Event(metrics.Event{Kind: metrics.EventInstall, Frag: int32(i)})
+	}
+
+	reg2 := metrics.NewRegistry()
+	reg2.Counter("vm.interp_insts").Add(9)
+	reg2.Gauge("tcache.bytes").Set(2.5)
+	// One observation past the top bucket bound lands in the overflow
+	// bucket, whose exposition upper bound is +Inf.
+	reg2.Histogram("span.cycles").Observe(1e9)
+
+	exp := NewExposition()
+	exp.AddRegistry(reg1, Label{Name: "session", Value: "1"})
+	exp.AddRegistry(reg2, Label{Name: "session", Value: "2"})
+	exp.Add("telemetry.weird", "gauge", 1,
+		Label{Name: "path", Value: "a\\b\"c\nd"})
+
+	var sb strings.Builder
+	if err := exp.Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+
+	golden := `# TYPE metrics_events_dropped counter
+metrics_events_dropped{session="1"} 8
+# TYPE metrics_events_recorded counter
+metrics_events_recorded{session="1"} 8200
+# TYPE span_cycles histogram
+span_cycles_bucket{session="2",le="+Inf"} 1
+span_cycles_sum{session="2"} 1000000000
+span_cycles_count{session="2"} 1
+# TYPE span_cycles_quantile gauge
+span_cycles_quantile{session="2",q="0.5"} 1000000000
+span_cycles_quantile{session="2",q="0.95"} 1000000000
+span_cycles_quantile{session="2",q="0.99"} 1000000000
+# TYPE tcache_bytes gauge
+tcache_bytes{session="2"} 2.5
+# TYPE telemetry_weird gauge
+telemetry_weird{path="a\\b\"c\nd"} 1
+# TYPE translate_cost histogram
+translate_cost_bucket{session="1",le="2"} 4
+translate_cost_bucket{session="1",le="+Inf"} 4
+translate_cost_sum{session="1"} 8
+translate_cost_count{session="1"} 4
+# TYPE translate_cost_quantile gauge
+translate_cost_quantile{session="1",q="0.5"} 2
+translate_cost_quantile{session="1",q="0.95"} 2
+translate_cost_quantile{session="1",q="0.99"} 2
+# TYPE vm_interp_insts counter
+vm_interp_insts{session="1"} 7
+vm_interp_insts{session="2"} 9
+`
+	if got := sb.String(); got != golden {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, golden)
+	}
+}
+
+// TestExpositionDeterministic renders the same registry twice and
+// requires byte-identical output (map iteration must never leak into
+// the ordering).
+func TestExpositionDeterministic(t *testing.T) {
+	reg := metrics.NewRegistry()
+	for _, name := range []string{"b.two", "a.one", "c.three", "a.zero"} {
+		reg.Counter(name).Inc()
+		reg.Gauge(name + ".g").Set(1)
+	}
+	render := func() string {
+		exp := NewExposition()
+		exp.AddRegistry(reg, Label{Name: "session", Value: "1"})
+		var sb strings.Builder
+		if err := exp.Write(&sb); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+	first := render()
+	for i := 0; i < 10; i++ {
+		if got := render(); got != first {
+			t.Fatalf("render %d differs:\n%s\nvs\n%s", i, got, first)
+		}
+	}
+}
+
+// TestSanitizeName covers the name-mangling corners.
+func TestSanitizeName(t *testing.T) {
+	for _, tc := range []struct{ in, want string }{
+		{"vm.store.hits", "vm_store_hits"},
+		{"already_fine", "already_fine"},
+		{"9lives", "_9lives"},
+		{"a-b/c d", "a_b_c_d"},
+		{"ns:sub.metric", "ns:sub_metric"},
+	} {
+		if got := SanitizeName(tc.in); got != tc.want {
+			t.Errorf("SanitizeName(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+// TestFormatValue pins the numeric rendering used for both sample
+// values and le/q label values.
+func TestFormatValue(t *testing.T) {
+	for _, tc := range []struct {
+		in   float64
+		want string
+	}{
+		{0, "0"},
+		{4, "4"},
+		{2.5, "2.5"},
+		{0.95, "0.95"},
+		{1e9, "1000000000"},
+		{1e16, "1e+16"},
+	} {
+		if got := formatValue(tc.in); got != tc.want {
+			t.Errorf("formatValue(%v) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}

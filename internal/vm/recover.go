@@ -34,6 +34,12 @@ func (v *VM) fragUsable(f *tcache.Fragment) bool {
 	// entry exits to the VM at this fragment's V-start — a precise
 	// V-instruction boundary — where the loop-top check converts the
 	// request into a *PreemptError.
+	if poll := v.cfg.Poll; poll != nil {
+		// Observation hook: like Stop below, it must fire at chained and
+		// dispatched entries too, or a chained hot loop could starve the
+		// telemetry plane for the whole loop's lifetime.
+		poll()
+	}
 	if stop := v.cfg.Stop; stop != nil && stop() {
 		return false
 	}

@@ -137,6 +137,18 @@ type Config struct {
 	// bit-identically (DESIGN.md §11).
 	Stop func() bool
 
+	// Poll, when non-nil, is the observation hook of the telemetry plane
+	// (DESIGN.md §13): it is invoked at exactly the V-instruction
+	// boundaries where Stop is polled — the top of the interpret/execute
+	// loop and every fragment entry — so an attached observer can
+	// service snapshot requests on the VM's own goroutine with the
+	// architected state precise and no locks on any hot structure. Poll
+	// must only read: it must not mutate VM, cache, or profiler state,
+	// and it must not block unboundedly, or it delays retirement. When
+	// nil (the default) the cost is one nil check per boundary and runs
+	// are bit-identical with and without the build.
+	Poll func()
+
 	// WatchdogWindow, when > 0, arms the livelock watchdog: if the
 	// retired V-instruction count stops advancing while the VM executes
 	// this many instructions of work (translated I-instructions plus
@@ -492,6 +504,9 @@ func (v *VM) Run(maxVInsts int64) (err error) {
 	for !v.cpu.Halted {
 		if maxVInsts > 0 && int64(v.Stats.TotalVInsts()) >= maxVInsts {
 			return v.preempt(ErrBudget)
+		}
+		if poll := v.cfg.Poll; poll != nil {
+			poll()
 		}
 		if stop := v.cfg.Stop; stop != nil && stop() {
 			return v.preempt(ErrPreempted)
