@@ -1,6 +1,6 @@
 # Convenience targets; ci/check.sh is the canonical gate.
 
-.PHONY: build test check lint-example semcheck experiments profile chaos killresume fragstore telemetry monitor
+.PHONY: build test check lint-example semcheck experiments profile chaos killresume fragstore telemetry monitor serve serve-report
 
 build:
 	go build ./...
@@ -59,6 +59,22 @@ telemetry:
 # telemetry plane on http://127.0.0.1:9844 (interrupt to stop).
 monitor:
 	go run ./cmd/ildpmon -addr 127.0.0.1:9844
+
+# Exercise the serving plane end to end: the scheduler test suite
+# (race detector on — admission, quotas, kill, crash barrier, spill,
+# drain/resume, and the 200-session differential soak) plus a verified
+# load drive through the real HTTP surface.
+serve:
+	go test -race ./internal/serve/ -count 1
+	go run ./cmd/ildpload -sessions 60 -clients 16 -verify 10
+
+# Regenerate the committed serving-benchmark report cited by
+# EXPERIMENTS.md note 14 (200 sessions over 32 clients, every 10th
+# final checkpoint differentially verified).
+serve-report:
+	go run ./cmd/ildpload -sessions 200 -clients 32 -workers 8 -verify 10 -json \
+		> reports/serve-load.json
+	go run ./cmd/ildpreport -validate -in reports/serve-load.json
 
 # Exercise the persistent fragment store end to end: the store and VM
 # test suites (race detector on), a decoder fuzz slice, and a cold ->

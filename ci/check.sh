@@ -26,9 +26,10 @@ echo "== ildpanalyze (project linters)"
 # called directly rather than behind redundant nil guards.
 go run ./cmd/ildpanalyze ./internal/... ./cmd/...
 # The opt-in godoc gate: every exported symbol of the cache surface
-# (the per-VM cache and the shared persistent store) and of the
-# telemetry plane carries a doc comment.
-go run ./cmd/ildpanalyze -select exporteddoc ./internal/tcache ./internal/fragstore ./internal/telemetry
+# (the per-VM cache and the shared persistent store), the telemetry
+# plane, and the serving scheduler carries a doc comment.
+go run ./cmd/ildpanalyze -select exporteddoc ./internal/tcache ./internal/fragstore \
+    ./internal/telemetry ./internal/serve
 
 echo "== go vet"
 go vet ./...
@@ -39,9 +40,9 @@ go build ./...
 echo "== go test"
 go test ./...
 
-echo "== go test -race (vm, tcache, fragstore, metrics, telemetry)"
+echo "== go test -race (vm, tcache, fragstore, metrics, telemetry, serve)"
 go test -race ./internal/vm/... ./internal/tcache/... ./internal/fragstore/... \
-    ./internal/metrics/... ./internal/telemetry/...
+    ./internal/metrics/... ./internal/telemetry/... ./internal/serve/...
 
 echo "== chaos smoke (short soak under the race detector)"
 # A fixed-seed slice of the differential chaos oracle: fault-injected
@@ -191,11 +192,162 @@ kill "$serve_pid"
 wait "$serve_pid" 2>/dev/null || true
 rm -rf "$ckpt_dir"
 
+echo "== ildpserve smoke (submit two guests, drain mid-run, resume)"
+# The serving scheduler end to end over real HTTP and real signals:
+# two guests submitted to a fresh server must finish with exit status
+# and total retired V-instruction count identical to uninterrupted
+# ildpvm runs; a long guest still in flight when SIGTERM lands must be
+# preempted at a V-instruction boundary, checkpointed into the spill
+# directory, re-admitted by a successor server via -resume-dir, and
+# still finish identical to its uninterrupted run.
+srv_dir=$(mktemp -d)
+go build -o "$srv_dir/ildpserve" ./cmd/ildpserve
+go build -o "$srv_dir/ildpvm" ./cmd/ildpvm
+
+# jfield FILE KEY -> value of the first `"KEY": value` in indented JSON.
+jfield() {
+    sed -n 's/^ *"'"$2"'": "\{0,1\}\([^",]*\)"\{0,1\},\{0,1\}$/\1/p' "$1" | head -n 1
+}
+# vmline WORKLOAD SCALE -> "exitstatus vinsts" from an uninterrupted run.
+vmline() {
+    "$srv_dir/ildpvm" -workload "$1" -scale "$2" | awk '
+        /^exit status:/ { sub(",", "", $3); ex = $3 }
+        /^V-insts total:/ { v = $3 }
+        END { print ex, v }'
+}
+
+"$srv_dir/ildpserve" -addr 127.0.0.1:0 -quantum 20000 -spill "$srv_dir/spill" \
+    > "$srv_dir/srv1.txt" 2> "$srv_dir/srv1.log" &
+srv_pid=$!
+sport=""
+for _ in $(seq 1 50); do
+    sport=$(sed -n 's#^serving: *http://127\.0\.0\.1:##p' "$srv_dir/srv1.txt")
+    [ -n "$sport" ] && break
+    sleep 0.1
+done
+[ -n "$sport" ] || {
+    echo "ildpserve never reported its address:" >&2
+    cat "$srv_dir/srv1.txt" "$srv_dir/srv1.log" >&2
+    kill "$srv_pid" 2>/dev/null || true
+    exit 1
+}
+surl="http://127.0.0.1:$sport"
+
+for w in gap mcf; do
+    curl -fsS -X POST "$surl/sessions?workload=$w" > "$srv_dir/sub.json"
+    sid=$(jfield "$srv_dir/sub.json" id)
+    for _ in $(seq 1 100); do
+        curl -fsS "$surl/sessions/$sid?wait=2000" > "$srv_dir/view.json"
+        st=$(jfield "$srv_dir/view.json" state)
+        case "$st" in queued|running|ready) continue ;; esac
+        break
+    done
+    [ "$st" = "done" ] || {
+        echo "served $w session ended in state $st:" >&2
+        cat "$srv_dir/view.json" >&2
+        kill "$srv_pid" 2>/dev/null || true
+        exit 1
+    }
+    got="$(jfield "$srv_dir/view.json" exit_status) $(jfield "$srv_dir/view.json" v_insts)"
+    want=$(vmline "$w" 1)
+    if [ "$got" != "$want" ]; then
+        echo "served $w diverged from uninterrupted ildpvm run:" >&2
+        echo "  served (exit v-insts): $got" >&2
+        echo "  ildpvm (exit v-insts): $want" >&2
+        kill "$srv_pid" 2>/dev/null || true
+        exit 1
+    fi
+done
+
+# A long guest: SIGTERM must land while it is still mid-run.
+curl -fsS -X POST "$surl/sessions?workload=vpr&scale=50" > "$srv_dir/sub.json"
+vid=$(jfield "$srv_dir/sub.json" id)
+started=0
+for _ in $(seq 1 100); do
+    curl -fsS "$surl/sessions/$vid" > "$srv_dir/view.json"
+    if [ "$(jfield "$srv_dir/view.json" quanta)" -ge 1 ] 2>/dev/null; then
+        started=1
+        break
+    fi
+    sleep 0.05
+done
+[ "$started" -eq 1 ] || {
+    echo "vpr session never started a quantum" >&2
+    kill "$srv_pid" 2>/dev/null || true
+    exit 1
+}
+kill -TERM "$srv_pid"
+wait "$srv_pid" || {
+    echo "draining ildpserve exited nonzero:" >&2
+    cat "$srv_dir/srv1.txt" "$srv_dir/srv1.log" >&2
+    exit 1
+}
+grep -q "^drained: *1 sessions spilled" "$srv_dir/srv1.txt" || {
+    echo "drain did not spill the in-flight session:" >&2
+    cat "$srv_dir/srv1.txt" >&2
+    exit 1
+}
+
+# Successor: re-admit the spilled session and run it to completion.
+"$srv_dir/ildpserve" -addr 127.0.0.1:0 -quantum 20000 -spill "$srv_dir/spill" \
+    -resume-dir "$srv_dir/spill" \
+    > "$srv_dir/srv2.txt" 2> "$srv_dir/srv2.log" &
+srv_pid=$!
+sport=""
+for _ in $(seq 1 50); do
+    sport=$(sed -n 's#^serving: *http://127\.0\.0\.1:##p' "$srv_dir/srv2.txt")
+    [ -n "$sport" ] && break
+    sleep 0.1
+done
+[ -n "$sport" ] || {
+    echo "successor ildpserve never reported its address:" >&2
+    cat "$srv_dir/srv2.txt" "$srv_dir/srv2.log" >&2
+    kill "$srv_pid" 2>/dev/null || true
+    exit 1
+}
+surl="http://127.0.0.1:$sport"
+grep -q "^resumed: *1 sessions (0 corrupt)" "$srv_dir/srv2.txt" || {
+    echo "successor did not resume the spilled session:" >&2
+    cat "$srv_dir/srv2.txt" >&2
+    kill "$srv_pid" 2>/dev/null || true
+    exit 1
+}
+curl -fsS "$surl/sessions" > "$srv_dir/list.json"
+rid=$(jfield "$srv_dir/list.json" id)
+for _ in $(seq 1 200); do
+    curl -fsS "$surl/sessions/$rid?wait=2000" > "$srv_dir/view.json"
+    st=$(jfield "$srv_dir/view.json" state)
+    case "$st" in queued|running|ready) continue ;; esac
+    break
+done
+[ "$st" = "done" ] || {
+    echo "resumed session ended in state $st:" >&2
+    cat "$srv_dir/view.json" >&2
+    kill "$srv_pid" 2>/dev/null || true
+    exit 1
+}
+got="$(jfield "$srv_dir/view.json" exit_status) $(jfield "$srv_dir/view.json" v_insts)"
+want=$(vmline vpr 50)
+if [ "$got" != "$want" ]; then
+    echo "drained+resumed vpr diverged from uninterrupted ildpvm run:" >&2
+    echo "  served (exit v-insts): $got" >&2
+    echo "  ildpvm (exit v-insts): $want" >&2
+    kill "$srv_pid" 2>/dev/null || true
+    exit 1
+fi
+kill -TERM "$srv_pid"
+wait "$srv_pid" 2>/dev/null || true
+rm -rf "$srv_dir"
+
 echo "== docs gate (ildpreport -check)"
 go run ./cmd/ildpreport -check
 
 echo "== json report smoke (scale-1 table2)"
 go run ./cmd/ildpbench -experiment=table2 -scale=1 -json \
+    | go run ./cmd/ildpreport -validate -in -
+
+echo "== serving load smoke (ildpload -> ildpreport)"
+go run ./cmd/ildpload -sessions 24 -clients 8 -workers 4 -verify 8 -json \
     | go run ./cmd/ildpreport -validate -in -
 
 echo "== profiler smoke (ildpprof selfcheck + trace schema)"

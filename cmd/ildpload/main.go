@@ -1,0 +1,282 @@
+// Command ildpload is the serving load driver: it simulates many
+// concurrent clients submitting guest programs to an ildpserve
+// instance, long-polling each session to completion, retrying typed
+// 429 backpressure with backoff, and optionally differentially
+// verifying a sample of final checkpoints against the pure-interpreter
+// oracle. It reports sessions/sec and the scheduler's quantum/wait
+// latency quantiles — as text, or with -json as a schema-versioned
+// report (experiment "serve") that `ildpreport -validate` accepts and
+// EXPERIMENTS.md cites.
+//
+// By default the driver spins up an in-process server on a loopback
+// port so a single command measures the whole stack; -addr targets an
+// already-running ildpserve instead (its -workers flag is then only a
+// label for the report row).
+//
+// Usage:
+//
+//	ildpload -sessions 200 -clients 32 -workers 8
+//	ildpload -sessions 500 -clients 64 -verify 20 -json > reports/serve-load.json
+//	ildpload -addr 127.0.0.1:9855 -sessions 1000
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/ildp/accdbt/internal/checkpoint"
+	"github.com/ildp/accdbt/internal/emu"
+	"github.com/ildp/accdbt/internal/mem"
+	"github.com/ildp/accdbt/internal/report"
+	"github.com/ildp/accdbt/internal/serve"
+	"github.com/ildp/accdbt/internal/workload"
+)
+
+func main() {
+	addr := flag.String("addr", "", "target an external ildpserve (default: in-process server)")
+	sessions := flag.Int("sessions", 200, "total sessions to submit")
+	clients := flag.Int("clients", 32, "concurrent submitting clients")
+	workers := flag.Int("workers", 8, "worker pool size for the in-process server (and the report row label)")
+	quantum := flag.Int64("quantum", 15_000, "scheduler quantum in V-instructions (in-process server)")
+	maxSessions := flag.Int("max-sessions", 256, "in-process admission bound; drives 429 backpressure when sessions exceed it")
+	scale := flag.Int("scale", 1, "workload scale factor")
+	names := flag.String("workloads", "", "comma-separated workload names (default: all)")
+	verify := flag.Int("verify", 0, "differentially verify the final checkpoint of every Nth session against the interpreter oracle")
+	jsonOut := flag.Bool("json", false, "emit a schema-versioned JSON report (experiment \"serve\") instead of text")
+	flag.Parse()
+
+	wls := workload.Names()
+	if *names != "" {
+		wls = strings.Split(*names, ",")
+	}
+	if *clients > *sessions {
+		*clients = *sessions
+	}
+
+	base := *addr
+	if base == "" {
+		s := serve.New(serve.Options{
+			Workers:       *workers,
+			QuantumVInsts: *quantum,
+			MaxSessions:   *maxSessions,
+		})
+		defer s.Close()
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			fatal(err)
+		}
+		httpSrv := &http.Server{Handler: s.Handler()}
+		go httpSrv.Serve(ln)
+		defer httpSrv.Close()
+		base = ln.Addr().String()
+		fmt.Fprintf(os.Stderr, "ildpload: in-process server on http://%s (%d workers, quantum %d)\n",
+			base, *workers, *quantum)
+	}
+	url := "http://" + base
+
+	type job struct {
+		id       string
+		name     string
+		seed     uint64
+		view     serve.View
+		rejected int
+	}
+	jobs := make([]*job, *sessions)
+	for i := range jobs {
+		jobs[i] = &job{name: wls[i%len(wls)], seed: uint64(i / len(wls) % 8)}
+	}
+
+	var idx, rejections atomic.Int64
+	var wg sync.WaitGroup
+	client := &http.Client{Timeout: 60 * time.Second}
+	start := time.Now()
+	for c := 0; c < *clients; c++ {
+		wg.Add(1)
+		go func(cn int) {
+			defer wg.Done()
+			for {
+				i := int(idx.Add(1)) - 1
+				if i >= len(jobs) {
+					return
+				}
+				j := jobs[i]
+				tenant := fmt.Sprintf("tenant-%d", cn%7)
+				// Submit, honoring typed backpressure with backoff.
+				for attempt := 0; ; attempt++ {
+					resp, err := client.Post(fmt.Sprintf("%s/sessions?workload=%s&scale=%d&seed=%d&tenant=%s",
+						url, j.name, *scale, j.seed, tenant), "application/octet-stream", nil)
+					if err != nil {
+						fatal(err)
+					}
+					if resp.StatusCode == http.StatusAccepted {
+						if err := json.NewDecoder(resp.Body).Decode(&j.view); err != nil {
+							fatal(err)
+						}
+						resp.Body.Close()
+						j.id = j.view.ID
+						break
+					}
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					if resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable {
+						j.rejected++
+						rejections.Add(1)
+						time.Sleep(time.Duration(5*(attempt+1)) * time.Millisecond)
+						continue
+					}
+					fatal(fmt.Errorf("submit %s: HTTP %d", j.name, resp.StatusCode))
+				}
+				// Long-poll to completion.
+				for !j.view.State.Terminal() {
+					resp, err := client.Get(url + "/sessions/" + j.id + "?wait=2000")
+					if err != nil {
+						fatal(err)
+					}
+					if err := json.NewDecoder(resp.Body).Decode(&j.view); err != nil {
+						fatal(err)
+					}
+					resp.Body.Close()
+				}
+				if j.view.State != serve.StateDone {
+					fatal(fmt.Errorf("session %s (%s): %s: %s", j.id, j.name, j.view.State, j.view.Error))
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	// Scheduler snapshot for the latency quantiles.
+	resp, err := client.Get(url + "/stats")
+	if err != nil {
+		fatal(err)
+	}
+	var stats serve.Stats
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		fatal(err)
+	}
+	resp.Body.Close()
+
+	// Differential sample: decode final checkpoints and compare the
+	// guest-visible state against an uninterrupted interpreter run.
+	verified := 0
+	if *verify > 0 {
+		for i := 0; i < len(jobs); i += *verify {
+			j := jobs[i]
+			resp, err := client.Get(url + "/sessions/" + j.id + "/checkpoint")
+			if err != nil {
+				fatal(err)
+			}
+			raw, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != 200 {
+				fatal(fmt.Errorf("checkpoint %s: HTTP %d", j.id, resp.StatusCode))
+			}
+			st, err := checkpoint.Decode(raw)
+			if err != nil {
+				fatal(fmt.Errorf("checkpoint %s: %w", j.id, err))
+			}
+			if err := verifyAgainstOracle(st, j.name, *scale, j.seed); err != nil {
+				fatal(fmt.Errorf("DIVERGENCE session %s (%s seed=%d): %w", j.id, j.name, j.seed, err))
+			}
+			verified++
+		}
+	}
+
+	sps := float64(*sessions) / elapsed.Seconds()
+	quantaPerSession := float64(stats.Quanta) / float64(*sessions)
+	if *jsonOut {
+		bench := fmt.Sprintf("%dx%d", *sessions, stats.Workers)
+		r := &report.Report{
+			Schema: report.SchemaVersion,
+			Meta: report.Meta{
+				Generator:   "ildpload",
+				Scale:       *scale,
+				Threshold:   50,
+				Chain:       "sw_pred.ras",
+				NumAcc:      4,
+				Experiments: []string{"serve"},
+				Workloads:   wls,
+			},
+			Records: []report.Record{
+				{Exp: "serve", Series: "sessions", Bench: bench, Value: float64(*sessions), Unit: "count"},
+				{Exp: "serve", Series: "workers", Bench: bench, Value: float64(stats.Workers), Unit: "count"},
+				{Exp: "serve", Series: "sessions_per_sec", Bench: bench, Value: sps, Unit: "persec"},
+				{Exp: "serve", Series: "quantum_p50_ms", Bench: bench, Value: stats.QuantumP50ms, Unit: "ms"},
+				{Exp: "serve", Series: "quantum_p99_ms", Bench: bench, Value: stats.QuantumP99ms, Unit: "ms"},
+				{Exp: "serve", Series: "wait_p99_ms", Bench: bench, Value: stats.WaitP99ms, Unit: "ms"},
+				{Exp: "serve", Series: "quanta_per_session", Bench: bench, Value: quantaPerSession, Unit: "count"},
+			},
+			Timings: []report.Timing{{Name: "total", Millis: float64(elapsed.Milliseconds())}},
+		}
+		if err := r.Encode(os.Stdout); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	fmt.Printf("sessions:           %d across %d clients (%d workers)\n", *sessions, *clients, stats.Workers)
+	fmt.Printf("wall time:          %v\n", elapsed.Round(time.Millisecond))
+	fmt.Printf("throughput:         %.1f sessions/sec\n", sps)
+	fmt.Printf("quanta:             %d (%.1f per session)\n", stats.Quanta, quantaPerSession)
+	fmt.Printf("quantum latency:    p50 %.2f ms, p95 %.2f ms, p99 %.2f ms\n",
+		stats.QuantumP50ms, stats.QuantumP95ms, stats.QuantumP99ms)
+	fmt.Printf("queue wait:         p50 %.2f ms, p99 %.2f ms\n", stats.WaitP50ms, stats.WaitP99ms)
+	fmt.Printf("backpressure:       %d retried rejections\n", rejections.Load())
+	if *verify > 0 {
+		fmt.Printf("verified:           %d/%d final states bit-identical to interpreter oracle\n",
+			verified, verified)
+	}
+}
+
+// verifyAgainstOracle replays the program on the pure interpreter and
+// compares every guest-visible field of the served final checkpoint.
+func verifyAgainstOracle(st *checkpoint.State, name string, scale int, seed uint64) error {
+	spec, err := workload.ByNameSeeded(name, scale, seed)
+	if err != nil {
+		return err
+	}
+	prog, err := spec.Program()
+	if err != nil {
+		return err
+	}
+	cpu := emu.New(mem.New())
+	if err := cpu.LoadProgram(prog); err != nil {
+		return err
+	}
+	if err := cpu.Run(1_000_000_000); err != nil {
+		return err
+	}
+	if st.Halted != cpu.Halted || st.ExitStatus != cpu.ExitStatus {
+		return fmt.Errorf("halted/exit = %v/%d, want %v/%d", st.Halted, st.ExitStatus, cpu.Halted, cpu.ExitStatus)
+	}
+	if st.PC != cpu.PC {
+		return fmt.Errorf("PC = %#x, want %#x", st.PC, cpu.PC)
+	}
+	if st.Reg != cpu.Reg {
+		return fmt.Errorf("register file differs")
+	}
+	if string(st.Console) != cpu.ConsoleString() {
+		return fmt.Errorf("console differs")
+	}
+	m := mem.New()
+	m.LoadSnapshot(st.Pages)
+	if ok, addr := mem.Equal(m, cpu.Mem); !ok {
+		return fmt.Errorf("memory differs at %#x", addr)
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ildpload:", err)
+	os.Exit(1)
+}

@@ -37,6 +37,11 @@ type tableDef struct {
 	rowHeader string
 	aggLabel  string
 	cols      []columnDef
+	// external marks an experiment measured by an external driver
+	// (ildpload's serving benchmark) rather than report.Run: its
+	// records validate and render like any other, but ExperimentIDs
+	// omits it so `ildpbench -experiment=all` doesn't try to run it.
+	external bool
 }
 
 // tableDefs lists every experiment in canonical render order.
@@ -214,6 +219,21 @@ var tableDefs = []tableDef{
 			{key: "copy_pct_m", header: "copy% M", unit: "percent", agg: aggSpread},
 		},
 	},
+	{
+		exp:       "serve",
+		title:     "Serving benchmark: multi-tenant scheduler throughput and quantum latency (ildpload)",
+		rowHeader: "scenario",
+		external:  true,
+		cols: []columnDef{
+			{key: "sessions", header: "sessions", unit: "count", integer: true},
+			{key: "workers", header: "workers", unit: "count", integer: true},
+			{key: "sessions_per_sec", header: "sess/s", unit: "persec"},
+			{key: "quantum_p50_ms", header: "q p50 ms", unit: "ms"},
+			{key: "quantum_p99_ms", header: "q p99 ms", unit: "ms"},
+			{key: "wait_p99_ms", header: "wait p99 ms", unit: "ms"},
+			{key: "quanta_per_session", header: "quanta/sess", unit: "count"},
+		},
+	},
 }
 
 // defFor returns the table definition for an experiment ID.
@@ -226,11 +246,15 @@ func defFor(exp string) (tableDef, bool) {
 	return tableDef{}, false
 }
 
-// ExperimentIDs returns every defined experiment ID in canonical order.
+// ExperimentIDs returns every experiment ID report.Run can execute, in
+// canonical order; externally-measured experiments (the ildpload
+// serving benchmark) are omitted.
 func ExperimentIDs() []string {
-	out := make([]string, len(tableDefs))
-	for i, d := range tableDefs {
-		out[i] = d.exp
+	out := make([]string, 0, len(tableDefs))
+	for _, d := range tableDefs {
+		if !d.external {
+			out = append(out, d.exp)
+		}
 	}
 	return out
 }

@@ -1,0 +1,397 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"github.com/ildp/accdbt/internal/checkpoint"
+	"github.com/ildp/accdbt/internal/emu"
+	"github.com/ildp/accdbt/internal/mem"
+	"github.com/ildp/accdbt/internal/telemetry"
+	"github.com/ildp/accdbt/internal/vm"
+)
+
+// worker pulls runnable sessions off the queue and runs them for one
+// quantum each until the server drains.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.quit:
+			return
+		case sess := <-s.runq:
+			s.runQuantum(sess)
+		}
+	}
+}
+
+// runQuantum executes one scheduler quantum for sess: restore (or
+// boot), run until the quantum's V-instruction deadline, a wall-clock
+// safety timer, a kill, a drain, or a terminal event, then checkpoint
+// and requeue — or settle a terminal state. A panic anywhere inside the
+// quantum is quarantined into StateCrashed by the deferred barrier; it
+// never unwinds into the worker loop, so sibling sessions and the
+// server survive translator or executor bugs in one guest.
+func (s *Server) runQuantum(sess *Session) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.crashSession(sess, r)
+		}
+	}()
+
+	if sess.kill.Load() {
+		s.finishSession(sess, StateKilled, "killed by client", nil)
+		return
+	}
+	if s.opts.SessionWall > 0 {
+		sess.mu.Lock()
+		expired := time.Since(sess.admitted) > s.opts.SessionWall
+		sess.mu.Unlock()
+		if expired {
+			s.failSession(sess, "session wall-clock timeout")
+			return
+		}
+	}
+
+	if s.hookQuantum != nil {
+		s.hookQuantum(sess)
+	}
+
+	// Load the architected state to resume from: nil for a first
+	// quantum (boot from the program image), an encoded checkpoint
+	// otherwise — possibly read back from a shedding spill. A
+	// checkpoint that no longer decodes is a typed failure of this
+	// session only.
+	st, err := s.loadState(sess)
+	if err != nil {
+		s.failSession(sess, "checkpoint: "+err.Error())
+		return
+	}
+
+	sess.mu.Lock()
+	sess.state = StateRunning
+	startV := sess.vinsts
+	wait := time.Since(sess.enqueued)
+	sess.mu.Unlock()
+	s.reg.Histogram("serve.wait_ms").Observe(float64(wait.Microseconds()) / 1000)
+
+	cfg := vm.DefaultConfig()
+	cfg.SelfHeal = true
+	cfg.Store = s.store
+	cfg.Metrics = sess.reg
+	cfg.Poll = sess.tsess.Poll
+
+	var vv *vm.VM
+	target := int64(startV) + s.opts.QuantumVInsts
+	cfg.Stop = func() bool {
+		return s.draining.Load() || sess.kill.Load() || sess.desched.Load() ||
+			int64(vv.Stats.TotalVInsts()) >= target
+	}
+
+	vv = vm.New(mem.New(), cfg)
+	if st == nil {
+		if err := vv.LoadProgram(sess.prog); err != nil {
+			s.failSession(sess, "load: "+err.Error())
+			return
+		}
+	} else {
+		vv.Restore(st)
+	}
+
+	probe := telemetry.ProbeVM(vv, nil)
+	sess.tsess.SetProbe(probe)
+	sess.tsess.Unpark()
+
+	var wallTimer *time.Timer
+	if s.opts.QuantumWall > 0 {
+		wallTimer = time.AfterFunc(s.opts.QuantumWall, func() { sess.desched.Store(true) })
+		defer wallTimer.Stop()
+	}
+
+	quantumStart := time.Now()
+	runErr := vv.Run(s.opts.SessionVBudget)
+	elapsed := time.Since(quantumStart)
+	if wallTimer != nil {
+		wallTimer.Stop()
+	}
+	// Clear the safety flag before the session can be requeued; a timer
+	// that fired between Stop and here only costs one short next quantum.
+	sess.desched.Store(false)
+	s.reg.Counter("serve.quanta").Inc()
+	s.reg.Histogram("serve.quantum_ms").Observe(float64(elapsed.Microseconds()) / 1000)
+
+	// Deschedule: push the boundary snapshot to the plane so scrapes
+	// see the parked state instantly, then settle the outcome.
+	sess.tsess.Publish(probe())
+	sess.tsess.Park()
+
+	ck := vv.Checkpoint()
+	enc := checkpoint.Encode(ck)
+	sess.mu.Lock()
+	sess.quanta++
+	sess.vinsts = vv.Stats.TotalVInsts()
+	sess.lastRun = time.Now()
+	sess.mu.Unlock()
+
+	switch {
+	case runErr == nil:
+		sess.mu.Lock()
+		sess.halted = ck.Halted
+		sess.exitCode = ck.ExitStatus
+		sess.console = string(ck.Console)
+		sess.mu.Unlock()
+		s.finishSession(sess, StateDone, "", enc)
+	case errors.Is(runErr, vm.ErrBudget):
+		s.failSession(sess, "v-instruction budget exhausted")
+	case errors.Is(runErr, vm.ErrPreempted):
+		if sess.kill.Load() {
+			s.finishSession(sess, StateKilled, "killed by client", nil)
+			return
+		}
+		// Ordinary quantum expiry (or drain): park the checkpoint and
+		// requeue. Under drain the worker loop exits next iteration and
+		// Drain spills the ready set from the session table.
+		sess.mu.Lock()
+		sess.state = StateReady
+		sess.ckpt = enc
+		sess.spilled = false
+		sess.enqueued = time.Now()
+		sess.mu.Unlock()
+		s.mu.Lock()
+		s.resident++
+		s.mu.Unlock()
+		s.reg.Counter("serve.preempts").Inc()
+		s.enqueue(sess)
+		s.shedCold()
+	default:
+		// A guest trap (or an unrecovered VM failure with SelfHeal
+		// exhausted) is this session's problem alone.
+		var trap *emu.Trap
+		if errors.As(runErr, &trap) {
+			s.failSession(sess, "trap: "+trap.Error())
+		} else {
+			s.failSession(sess, runErr.Error())
+		}
+	}
+	s.updateGauges()
+}
+
+// loadState returns the checkpoint to resume sess from: nil for a
+// first quantum, the decoded in-memory checkpoint, or the decoded
+// shedding spill (read back and deleted).
+func (s *Server) loadState(sess *Session) (*checkpoint.State, error) {
+	sess.mu.Lock()
+	enc, spilled := sess.ckpt, sess.spilled
+	sess.ckpt = nil
+	sess.spilled = false
+	sess.mu.Unlock()
+	if spilled {
+		raw, err := os.ReadFile(s.spillPath(sess.ID))
+		if err != nil {
+			return nil, err
+		}
+		os.Remove(s.spillPath(sess.ID))
+		s.reg.Counter("serve.spill_loads").Inc()
+		enc = raw
+	} else if enc != nil {
+		s.mu.Lock()
+		s.resident--
+		s.mu.Unlock()
+	}
+	if enc == nil {
+		return nil, nil
+	}
+	return checkpoint.Decode(enc)
+}
+
+// shedCold enforces MaxResident: while more checkpoints sit in memory
+// than allowed, the coldest ready session (least recently run — the one
+// least likely to be re-scheduled soon) is written to the spill
+// directory and its in-memory bytes are released. Overload therefore
+// degrades by slowing cold sessions' resumes, never by refusing to
+// checkpoint a hot one.
+func (s *Server) shedCold() {
+	if s.opts.MaxResident <= 0 || s.opts.SpillDir == "" {
+		return
+	}
+	for {
+		s.mu.Lock()
+		if s.resident <= s.opts.MaxResident {
+			s.mu.Unlock()
+			return
+		}
+		var coldest *Session
+		var coldestAt time.Time
+		for _, sess := range s.sessions {
+			sess.mu.Lock()
+			candidate := sess.state == StateReady && !sess.spilled && sess.ckpt != nil
+			at := sess.lastRun
+			sess.mu.Unlock()
+			if candidate && (coldest == nil || at.Before(coldestAt)) {
+				coldest, coldestAt = sess, at
+			}
+		}
+		s.mu.Unlock()
+		if coldest == nil {
+			return
+		}
+		if err := s.spillSession(coldest); err != nil {
+			s.log.Error("shed spill failed", "session", coldest.ID, "err", err)
+			return
+		}
+	}
+}
+
+// spillSession writes a ready session's checkpoint to disk and drops
+// the in-memory copy.
+func (s *Server) spillSession(sess *Session) error {
+	if err := os.MkdirAll(s.opts.SpillDir, 0o755); err != nil {
+		return err
+	}
+	sess.mu.Lock()
+	if sess.state != StateReady || sess.spilled || sess.ckpt == nil {
+		sess.mu.Unlock()
+		return nil
+	}
+	enc := sess.ckpt
+	sess.mu.Unlock()
+	if err := os.WriteFile(s.spillPath(sess.ID), enc, 0o644); err != nil {
+		return err
+	}
+	sess.mu.Lock()
+	sess.ckpt = nil
+	sess.spilled = true
+	sess.mu.Unlock()
+	s.mu.Lock()
+	s.resident--
+	s.mu.Unlock()
+	s.reg.Counter("serve.spills").Inc()
+	return nil
+}
+
+// spillPath is the on-disk checkpoint location for a session ID.
+func (s *Server) spillPath(id string) string {
+	return filepath.Join(s.opts.SpillDir, id+".ckpt")
+}
+
+// spillForDrain persists one unfinished session for a successor server:
+// its checkpoint bytes (captured now for sessions that never ran) plus
+// the JSON meta sidecar Resume reads back.
+func (s *Server) spillForDrain(sess *Session) error {
+	sess.mu.Lock()
+	enc, spilled := sess.ckpt, sess.spilled
+	quanta, vinsts := sess.quanta, sess.vinsts
+	sess.mu.Unlock()
+	if !spilled && enc == nil {
+		// Admitted but never scheduled: boot the VM just far enough to
+		// have an architected state worth spilling — load the image and
+		// checkpoint before the first instruction.
+		vv := vm.New(mem.New(), vm.DefaultConfig())
+		if err := vv.LoadProgram(sess.prog); err != nil {
+			return err
+		}
+		enc = checkpoint.Encode(vv.Checkpoint())
+	}
+	if enc != nil {
+		if err := os.WriteFile(s.spillPath(sess.ID), enc, 0o644); err != nil {
+			return err
+		}
+	} // else: already on disk from a shedding spill
+	meta, err := json.Marshal(spillMeta{
+		ID: sess.ID, Tenant: sess.Tenant, Name: sess.Name,
+		Quanta: quanta, VInsts: vinsts,
+	})
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(s.opts.SpillDir, sess.ID+".json"), meta, 0o644)
+}
+
+// readSpillMeta parses one drain sidecar.
+func readSpillMeta(path string) (*spillMeta, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var meta spillMeta
+	if err := json.Unmarshal(raw, &meta); err != nil {
+		return nil, err
+	}
+	if meta.ID == "" {
+		return nil, fmt.Errorf("spill meta %s: missing id", path)
+	}
+	return &meta, nil
+}
+
+// finishSession settles a terminal state, releasing the session's
+// admission slot, closing its done channel, and finishing its plane
+// registration. final, when non-nil, is the encoded final checkpoint
+// served on /sessions/{id}/checkpoint and compared bit-for-bit by the
+// differential harnesses.
+func (s *Server) finishSession(sess *Session, st State, msg string, final []byte) {
+	sess.mu.Lock()
+	if sess.state.Terminal() {
+		sess.mu.Unlock()
+		return
+	}
+	sess.state = st
+	sess.errMsg = msg
+	sess.final = final
+	hadResident := sess.ckpt != nil
+	hadSpill := sess.spilled
+	sess.ckpt = nil
+	sess.spilled = false
+	done := sess.done
+	sess.mu.Unlock()
+	if hadSpill {
+		os.Remove(s.spillPath(sess.ID))
+	}
+
+	s.mu.Lock()
+	s.live--
+	s.byTenant[sess.Tenant]--
+	if s.byTenant[sess.Tenant] <= 0 {
+		delete(s.byTenant, sess.Tenant)
+	}
+	if hadResident {
+		s.resident--
+	}
+	s.mu.Unlock()
+
+	switch st {
+	case StateDone:
+		s.reg.Counter("serve.completed").Inc()
+	case StateFailed:
+		s.reg.Counter("serve.failed").Inc()
+	case StateKilled:
+		s.reg.Counter("serve.killed").Inc()
+	case StateCrashed:
+		s.reg.Counter("serve.crashed").Inc()
+	}
+	// The plane session gets a final marker; its cached snapshot (the
+	// last published quantum boundary) remains the served state.
+	sess.tsess.Finish()
+	close(done)
+	s.updateGauges()
+	if msg != "" {
+		s.log.Info("session finished", "session", sess.ID, "state", string(st), "cause", msg)
+	} else {
+		s.log.Info("session finished", "session", sess.ID, "state", string(st))
+	}
+}
+
+// failSession settles StateFailed with a cause.
+func (s *Server) failSession(sess *Session, msg string) {
+	s.finishSession(sess, StateFailed, msg, nil)
+}
+
+// crashSession is the crash barrier's landing: the panic value becomes
+// the quarantined session's failure cause.
+func (s *Server) crashSession(sess *Session, r any) {
+	s.log.Error("session crashed", "session", sess.ID, "panic", fmt.Sprint(r))
+	s.finishSession(sess, StateCrashed, fmt.Sprintf("panic: %v", r), nil)
+}

@@ -71,6 +71,7 @@ type Plane struct {
 	mu       sync.Mutex
 	sessions map[int]*Session
 	nextID   int
+	closed   bool
 
 	mux *http.ServeMux
 }
@@ -130,11 +131,27 @@ func (p *Plane) Register(cfg SessionConfig) *Session {
 		store:    cfg.Store,
 	}
 	p.sessions[s.id] = s
+	closed := p.closed
 	p.mu.Unlock()
 	id := s.ID()
-	s.cancelTap = cfg.Registry.Subscribe(func(e metrics.Event) {
-		p.bc.Publish(StreamEvent{Session: id, Event: e})
-	})
+	// A closed plane's broadcaster only counts drops, so registering
+	// after Close skips the tap rather than subscribing to a dead
+	// stream. Re-check under the lock before publishing the cancel:
+	// a Close racing this registration must not leave a live tap
+	// behind.
+	if !closed {
+		cancel := cfg.Registry.Subscribe(func(e metrics.Event) {
+			p.bc.Publish(StreamEvent{Session: id, Event: e})
+		})
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			cancel()
+		} else {
+			s.cancelTap = cancel
+			p.mu.Unlock()
+		}
+	}
 	p.log.Info("session registered", "session", id, "name", cfg.Name,
 		"workload", cfg.Workload, "machine", cfg.Machine)
 	return s
@@ -148,12 +165,14 @@ func (p *Plane) Deregister(s *Session) {
 	if s == nil {
 		return
 	}
-	if s.cancelTap != nil {
-		s.cancelTap()
-	}
 	p.mu.Lock()
+	cancel := s.cancelTap
+	s.cancelTap = nil
 	delete(p.sessions, s.id)
 	p.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
 	p.log.Info("session deregistered", "session", s.ID())
 }
 
@@ -169,8 +188,32 @@ func (p *Plane) Sessions() []*Session {
 	return out
 }
 
-// Close shuts the broadcaster down, closing every /events stream.
-func (p *Plane) Close() { p.bc.Close() }
+// Close shuts the plane down: it detaches every session's registry tap
+// (so session registries stop feeding a dead stream and the closures
+// they hold become collectable), then closes the broadcaster, which
+// stops the dispatcher goroutine and closes every /events client
+// channel, releasing their buffers. Close is idempotent; sessions
+// registered afterwards are tracked but not tapped.
+func (p *Plane) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	taps := make([]func(), 0, len(p.sessions))
+	for _, s := range p.sessions {
+		if s.cancelTap != nil {
+			taps = append(taps, s.cancelTap)
+			s.cancelTap = nil
+		}
+	}
+	p.mu.Unlock()
+	for _, cancel := range taps {
+		cancel()
+	}
+	p.bc.Close()
+}
 
 // sessionLabels builds the label set identifying a session's samples.
 func sessionLabels(s *Session) []Label {

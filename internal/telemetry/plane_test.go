@@ -7,6 +7,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/httptest"
+	"runtime"
 	"strings"
 	"testing"
 	"time"
@@ -331,5 +332,85 @@ func TestPlaneSSEReplay(t *testing.T) {
 	// Ten events recorded, the last four replayed: frags 6..9.
 	if first.Event.Frag != 6 {
 		t.Errorf("first replayed frag = %d, want 6", first.Event.Frag)
+	}
+}
+
+// TestPlaneCloseGoroutineLeak proves Close is a full shutdown: the SSE
+// dispatcher goroutine stops, every client buffer is released, and
+// every session's registry tap is detached — so a long-lived owner (the
+// serve scheduler) can open and close planes without accreting
+// goroutines. The assertion is before/after runtime.NumGoroutine with a
+// settle loop, since HTTP connection goroutines exit asynchronously.
+func TestPlaneCloseGoroutineLeak(t *testing.T) {
+	// Let goroutines from earlier tests in the package finish exiting
+	// before taking the baseline.
+	settle := func() int {
+		n := runtime.NumGoroutine()
+		for i := 0; i < 50; i++ {
+			time.Sleep(10 * time.Millisecond)
+			if m := runtime.NumGoroutine(); m >= n {
+				return n
+			} else {
+				n = m
+			}
+		}
+		return n
+	}
+	before := settle()
+
+	reg := metrics.NewRegistry()
+	p := New(Options{ClientBuf: 8})
+	p.Register(SessionConfig{Name: "leak", Workload: "w", Registry: reg})
+	srv := httptest.NewServer(p.Handler())
+
+	var closers []func()
+	for i := 0; i < 3; i++ {
+		sc, closeFn := sseClient(t, srv.URL+"/events")
+		closers = append(closers, closeFn)
+		_ = sc
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for p.Broadcaster().Subscribers() < 3 {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d SSE clients attached", p.Broadcaster().Subscribers())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	reg.Event(metrics.Event{Kind: metrics.EventInstall, Frag: 1})
+
+	p.Close()
+	p.Close() // idempotent
+
+	// The session tap must be detached: an event published after Close
+	// never reaches the broadcaster, not even as an intake drop.
+	pub, inDrop := p.Broadcaster().Published(), p.Broadcaster().InDropped()
+	reg.Event(metrics.Event{Kind: metrics.EventInstall, Frag: 2})
+	if got := p.Broadcaster().Published(); got != pub {
+		t.Errorf("published after Close: %d -> %d, tap still live", pub, got)
+	}
+	if got := p.Broadcaster().InDropped(); got != inDrop {
+		t.Errorf("intake drops after Close: %d -> %d, tap still live", inDrop, got)
+	}
+
+	// Closing the plane closes every subscriber channel, so the three
+	// streaming handlers return and srv.Close can join them.
+	for _, closeFn := range closers {
+		closeFn()
+	}
+	srv.Close()
+
+	leakDeadline := time.Now().Add(10 * time.Second)
+	for {
+		http.DefaultClient.CloseIdleConnections()
+		if n := runtime.NumGoroutine(); n <= before {
+			return
+		}
+		if time.Now().After(leakDeadline) {
+			buf := make([]byte, 1<<20)
+			buf = buf[:runtime.Stack(buf, true)]
+			t.Fatalf("goroutines leaked: before=%d after=%d\n%s",
+				before, runtime.NumGoroutine(), buf)
+		}
+		time.Sleep(20 * time.Millisecond)
 	}
 }

@@ -73,6 +73,13 @@ type Session struct {
 	// the only word the VM goroutine reads when nobody is looking.
 	want atomic.Bool
 
+	// parked marks a session whose VM is not currently executing (a
+	// scheduler descheduled it between quanta): no goroutine will reach
+	// a poll boundary, so State serves the cached snapshot immediately
+	// instead of waiting out its probe timeout. The owner publishes a
+	// final snapshot with Publish before parking.
+	parked atomic.Bool
+
 	mu      sync.Mutex
 	probe   func() Live
 	last    Live
@@ -170,6 +177,36 @@ func (s *Session) service0() {
 	s.service()
 }
 
+// Publish caches a snapshot captured by the session's owner (a
+// scheduler that just checkpointed the VM at a quantum boundary) and
+// wakes every State waiter. It is the push-mode complement to the
+// pull probe: between scheduler quanta no goroutine reaches a poll
+// boundary, so the owner pushes the descheduled state instead.
+func (s *Session) Publish(live Live) {
+	s.mu.Lock()
+	s.last, s.lastAt, s.hasLast = live, time.Now(), true
+	waiters := s.waiters
+	s.waiters = nil
+	s.want.Store(false)
+	s.mu.Unlock()
+	for _, w := range waiters {
+		close(w)
+	}
+}
+
+// Park marks the session descheduled: until Unpark, State returns the
+// cached snapshot immediately rather than arming the probe and waiting
+// for a poll boundary that cannot arrive. Call Publish first so the
+// cache holds the state the session was descheduled with.
+func (s *Session) Park() { s.parked.Store(true) }
+
+// Unpark re-enables the pull probe; the scheduler calls it when the
+// session's next quantum starts executing (with Poll installed).
+func (s *Session) Unpark() { s.parked.Store(false) }
+
+// Parked reports whether the session is currently parked.
+func (s *Session) Parked() bool { return s.parked.Load() }
+
 // Finish captures a final snapshot via the current probe (on the
 // caller's goroutine, which must be the VM goroutine) and marks the
 // session done. Waiters are woken; later State calls return the final
@@ -211,6 +248,14 @@ func (s *Session) State(wait time.Duration) (live Live, at time.Time, fresh, ok 
 		live, at, ok = s.last, s.lastAt, s.hasLast
 		s.mu.Unlock()
 		return live, at, true, ok
+	}
+	if s.parked.Load() {
+		// Descheduled: no VM goroutine will service a probe, so waiting
+		// would only stall the scrape. The cached snapshot is exactly the
+		// state the session was parked with.
+		live, at, ok = s.last, s.lastAt, s.hasLast
+		s.mu.Unlock()
+		return live, at, false, ok
 	}
 	w := make(chan struct{})
 	s.waiters = append(s.waiters, w)

@@ -123,6 +123,14 @@ func (t *xlat) analyze() {
 		if !nd.exitPEI && ow < n && t.nodes[ow].isPEI && chained != ow {
 			nd.exitPEI = true
 		}
+		// Exposure rule 4: a def with no users is a singleton strand, so
+		// its accumulator is freed immediately and may be reassigned
+		// before a PEI that still precedes the register's redefinition —
+		// at which point neither a GPR nor an accumulator holds the
+		// value. Any PEI in the window therefore forces a GPR home.
+		if !nd.exitPEI && nd.uses == 0 && bothIn(i, ow) {
+			nd.exitPEI = true
+		}
 	}
 }
 

@@ -505,3 +505,45 @@ func TestEmptySuperblock(t *testing.T) {
 		t.Error("all-NOP superblock accepted")
 	}
 }
+
+// TestNoUserDefBeforePEIGetsGPRHome pins exposure rule 4 (found by
+// FuzzSemCheck): a def with no users keeps its value only in an
+// accumulator, and that accumulator is freed at strand end — so if a
+// PEI precedes the register's redefinition, the value must be copied
+// to its GPR or a trap at the PEI cannot recover precise state.
+func TestNoUserDefBeforePEIGetsGPRHome(t *testing.T) {
+	// r17's def has no users, the ldq is a PEI inside its window, and
+	// the final lda redefines r17 (so it is not live-out either).
+	src := `
+        .org 0x1000
+        ldah r17, 0x3030(r16)
+        ldq  r1, 0(r16)
+        lda  r17, 8(r16)
+`
+	sb := sbFromAsm(t, src, 0x1000, EndMaxSize, 0x100c)
+	res := mustTranslate(t, sb, Config{Form: ildp.Basic, NumAcc: 4, Chain: NoPred})
+	if got := res.Usage[ildp.UsageNoUserGlobal]; got != 1 {
+		t.Fatalf("no-user->global defs = %d, want 1 (usage=%v)", got, res.Usage)
+	}
+	// The copy must land before the PEI: at the load, r17 is current in
+	// the register file, so its recovery pairs stay empty.
+	sawCopy := false
+	for _, inst := range res.Insts {
+		if inst.Kind == ildp.KindLoad {
+			if !sawCopy {
+				t.Fatal("no copy-to-GPR for the no-user def before the PEI")
+			}
+			break
+		}
+		if inst.Kind == ildp.KindCopyToGPR && inst.Dest == 17 {
+			sawCopy = true
+		}
+	}
+	for i, pairs := range res.PEIRecover {
+		for _, p := range pairs {
+			if p.Reg == 17 {
+				t.Errorf("PEI %d still expects r17 in accumulator %d", i, p.Acc)
+			}
+		}
+	}
+}
