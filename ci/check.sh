@@ -339,6 +339,196 @@ kill -TERM "$srv_pid"
 wait "$srv_pid" 2>/dev/null || true
 rm -rf "$srv_dir"
 
+echo "== disk-chaos smoke (ildpserve under injected ENOSPC on the spill path)"
+# Every spill write fails with injected ENOSPC (-io-chaos rate 1).
+# The server must keep serving healthy guests bit-identical to their
+# uninterrupted runs, degrade each failed persistence operation into a
+# typed, logged fault, and still complete a SIGTERM drain with exit 0
+# — the in-flight session becomes a typed failure, not a hang and not
+# a torn file.
+chaos_dir=$(mktemp -d)
+go build -o "$chaos_dir/ildpserve" ./cmd/ildpserve
+go build -o "$chaos_dir/ildpvm" ./cmd/ildpvm
+go build -o "$chaos_dir/ildpchaos" ./cmd/ildpchaos
+vmline() {
+    "$chaos_dir/ildpvm" -workload "$1" -scale "$2" | awk '
+        /^exit status:/ { sub(",", "", $3); ex = $3 }
+        /^V-insts total:/ { v = $3 }
+        END { print ex, v }'
+}
+"$chaos_dir/ildpserve" -addr 127.0.0.1:0 -quantum 20000 -max-resident 1 \
+    -spill "$chaos_dir/spill" -io-chaos 7 -io-chaos-rate 1 -io-chaos-kinds enospc \
+    > "$chaos_dir/srv.txt" 2> "$chaos_dir/srv.log" &
+srv_pid=$!
+sport=""
+for _ in $(seq 1 50); do
+    sport=$(sed -n 's#^serving: *http://127\.0\.0\.1:##p' "$chaos_dir/srv.txt")
+    [ -n "$sport" ] && break
+    sleep 0.1
+done
+[ -n "$sport" ] || {
+    echo "chaos ildpserve never reported its address:" >&2
+    cat "$chaos_dir/srv.txt" "$chaos_dir/srv.log" >&2
+    kill "$srv_pid" 2>/dev/null || true
+    exit 1
+}
+surl="http://127.0.0.1:$sport"
+# A long guest to be mid-flight at SIGTERM...
+curl -fsS -X POST "$surl/sessions?workload=vpr&scale=50" > "$chaos_dir/sub.json"
+vid=$(jfield "$chaos_dir/sub.json" id)
+for _ in $(seq 1 100); do
+    curl -fsS "$surl/sessions/$vid" > "$chaos_dir/view.json"
+    [ "$(jfield "$chaos_dir/view.json" quanta)" -ge 1 ] 2>/dev/null && break
+    sleep 0.05
+done
+# ...and a healthy sibling that must finish exactly despite the chaos.
+curl -fsS -X POST "$surl/sessions?workload=mcf" > "$chaos_dir/sub.json"
+sid=$(jfield "$chaos_dir/sub.json" id)
+for _ in $(seq 1 100); do
+    curl -fsS "$surl/sessions/$sid?wait=2000" > "$chaos_dir/view.json"
+    st=$(jfield "$chaos_dir/view.json" state)
+    case "$st" in queued|running|ready) continue ;; esac
+    break
+done
+[ "$st" = "done" ] || {
+    echo "healthy mcf session under disk chaos ended in state $st:" >&2
+    cat "$chaos_dir/view.json" "$chaos_dir/srv.log" >&2
+    kill "$srv_pid" 2>/dev/null || true
+    exit 1
+}
+got="$(jfield "$chaos_dir/view.json" exit_status) $(jfield "$chaos_dir/view.json" v_insts)"
+want=$(vmline mcf 1)
+if [ "$got" != "$want" ]; then
+    echo "mcf under disk chaos diverged from uninterrupted ildpvm run:" >&2
+    echo "  served (exit v-insts): $got" >&2
+    echo "  ildpvm (exit v-insts): $want" >&2
+    kill "$srv_pid" 2>/dev/null || true
+    exit 1
+fi
+kill -TERM "$srv_pid"
+wait "$srv_pid" || {
+    echo "draining chaos ildpserve exited nonzero:" >&2
+    cat "$chaos_dir/srv.txt" "$chaos_dir/srv.log" >&2
+    exit 1
+}
+grep -q "^drained: *0 sessions spilled" "$chaos_dir/srv.txt" || {
+    echo "full-ENOSPC drain claimed to spill sessions:" >&2
+    cat "$chaos_dir/srv.txt" >&2
+    exit 1
+}
+grep -q 'persistence fault.*drain spill' "$chaos_dir/srv.log" || {
+    echo "drain under ENOSPC logged no typed persistence fault:" >&2
+    cat "$chaos_dir/srv.log" >&2
+    exit 1
+}
+
+echo "== memory-bomb smoke (typed resource kill, sibling bit-identical, bundle replay)"
+# The membomb guest strides stores across fresh pages; under -max-pages
+# it must die with a precise typed resource trap (exit status 2), its
+# failure must be recorded as a flight bundle, and ildpchaos -replay
+# must re-execute that bundle to the bit-identical failure.
+rc=0
+"$chaos_dir/ildpvm" -workload membomb -max-pages 64 \
+    -bundle "$chaos_dir/bomb.bundle" \
+    > "$chaos_dir/bomb.txt" 2> "$chaos_dir/bomb.log" || rc=$?
+[ "$rc" -eq 2 ] || {
+    echo "governed membomb exited $rc, want the trap status 2" >&2
+    cat "$chaos_dir/bomb.txt" "$chaos_dir/bomb.log" >&2
+    exit 1
+}
+grep -q "memory resource fault" "$chaos_dir/bomb.log" || {
+    echo "governed membomb died without a typed resource fault:" >&2
+    cat "$chaos_dir/bomb.log" >&2
+    exit 1
+}
+"$chaos_dir/ildpchaos" -replay "$chaos_dir/bomb.bundle" > "$chaos_dir/replay.txt" || {
+    echo "bundle replay diverged from the recorded failure:" >&2
+    cat "$chaos_dir/replay.txt" >&2
+    exit 1
+}
+grep -q "reproduced the resource failure bit-identically" "$chaos_dir/replay.txt" || {
+    echo "bundle replay did not report the bit-identical verdict:" >&2
+    cat "$chaos_dir/replay.txt" >&2
+    exit 1
+}
+# The served flavour: the bomb is killed typed while a sibling tenant's
+# guest finishes bit-identical to its oracle, and the server records a
+# replayable bundle for the kill.
+"$chaos_dir/ildpserve" -addr 127.0.0.1:0 -quantum 10000 -max-pages 64 \
+    -bundle-dir "$chaos_dir/bundles" \
+    > "$chaos_dir/gov.txt" 2> "$chaos_dir/gov.log" &
+srv_pid=$!
+sport=""
+for _ in $(seq 1 50); do
+    sport=$(sed -n 's#^serving: *http://127\.0\.0\.1:##p' "$chaos_dir/gov.txt")
+    [ -n "$sport" ] && break
+    sleep 0.1
+done
+[ -n "$sport" ] || {
+    echo "governed ildpserve never reported its address:" >&2
+    cat "$chaos_dir/gov.txt" "$chaos_dir/gov.log" >&2
+    kill "$srv_pid" 2>/dev/null || true
+    exit 1
+}
+surl="http://127.0.0.1:$sport"
+curl -fsS -X POST "$surl/sessions?workload=membomb&tenant=bomber" > "$chaos_dir/sub.json"
+bid=$(jfield "$chaos_dir/sub.json" id)
+curl -fsS -X POST "$surl/sessions?workload=gap&tenant=calm" > "$chaos_dir/sub.json"
+gid=$(jfield "$chaos_dir/sub.json" id)
+for _ in $(seq 1 100); do
+    curl -fsS "$surl/sessions/$bid?wait=2000" > "$chaos_dir/bomb.json"
+    st=$(jfield "$chaos_dir/bomb.json" state)
+    case "$st" in queued|running|ready) continue ;; esac
+    break
+done
+[ "$st" = "failed" ] || {
+    echo "served membomb ended in state $st, want failed:" >&2
+    cat "$chaos_dir/bomb.json" >&2
+    kill "$srv_pid" 2>/dev/null || true
+    exit 1
+}
+grep -q '"error": "resource:' "$chaos_dir/bomb.json" || {
+    echo "served membomb failure is not a typed resource kill:" >&2
+    cat "$chaos_dir/bomb.json" >&2
+    kill "$srv_pid" 2>/dev/null || true
+    exit 1
+}
+for _ in $(seq 1 100); do
+    curl -fsS "$surl/sessions/$gid?wait=2000" > "$chaos_dir/gap.json"
+    st=$(jfield "$chaos_dir/gap.json" state)
+    case "$st" in queued|running|ready) continue ;; esac
+    break
+done
+[ "$st" = "done" ] || {
+    echo "sibling gap session ended in state $st:" >&2
+    cat "$chaos_dir/gap.json" >&2
+    kill "$srv_pid" 2>/dev/null || true
+    exit 1
+}
+got="$(jfield "$chaos_dir/gap.json" exit_status) $(jfield "$chaos_dir/gap.json" v_insts)"
+want=$(vmline gap 1)
+if [ "$got" != "$want" ]; then
+    echo "sibling gap diverged from uninterrupted ildpvm run:" >&2
+    echo "  served (exit v-insts): $got" >&2
+    echo "  ildpvm (exit v-insts): $want" >&2
+    kill "$srv_pid" 2>/dev/null || true
+    exit 1
+fi
+[ -f "$chaos_dir/bundles/$bid.bundle" ] || {
+    echo "governed server recorded no bundle for the resource kill" >&2
+    kill "$srv_pid" 2>/dev/null || true
+    exit 1
+}
+"$chaos_dir/ildpchaos" -replay "$chaos_dir/bundles/$bid.bundle" > "$chaos_dir/replay2.txt" || {
+    echo "served kill's bundle replay diverged:" >&2
+    cat "$chaos_dir/replay2.txt" >&2
+    kill "$srv_pid" 2>/dev/null || true
+    exit 1
+}
+kill -TERM "$srv_pid"
+wait "$srv_pid" 2>/dev/null || true
+rm -rf "$chaos_dir"
+
 echo "== docs gate (ildpreport -check)"
 go run ./cmd/ildpreport -check
 

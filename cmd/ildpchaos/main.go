@@ -10,11 +10,18 @@
 // cache); the final state must still be bit-identical to the
 // uninterrupted oracle.
 //
+// With -replay BUNDLE the tool re-executes a flight-recorder repro
+// bundle (recorded by `ildpvm -bundle` or `ildpserve -bundle-dir`) and
+// demands the bit-identical failure — same kind, same V-PC, same
+// counters. Exit 0 means the failure reproduced exactly; exit 1 names
+// the first divergence.
+//
 // Usage:
 //
 //	ildpchaos -seeds 50 -workload gzip -machines all -kinds all
 //	ildpchaos -seeds 1 -seed-base 424242 -machines ildp-modified -kinds bitflip -v
 //	ildpchaos -kill -seeds 50 -kills 3
+//	ildpchaos -replay crash.bundle
 package main
 
 import (
@@ -26,6 +33,7 @@ import (
 
 	"github.com/ildp/accdbt/internal/experiments"
 	"github.com/ildp/accdbt/internal/faultinject"
+	"github.com/ildp/accdbt/internal/flight"
 	"github.com/ildp/accdbt/internal/telemetry"
 	"github.com/ildp/accdbt/internal/workload"
 )
@@ -92,6 +100,7 @@ func main() {
 	verbose := flag.Bool("v", false, "print one line per run instead of only failures")
 	kill := flag.Bool("kill", false, "run the kill-and-resume harness instead of fault injection")
 	kills := flag.Int("kills", 3, "maximum preemptions per run (with -kill; actual count is seed-chosen)")
+	replay := flag.String("replay", "", "re-execute a flight-recorder bundle and demand the bit-identical failure")
 	logLevel := flag.String("log-level", "info", "log level: debug | info | warn | error")
 	logFormat := flag.String("log-format", "text", "log format: text | json")
 	flag.Parse()
@@ -101,6 +110,11 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ildpchaos:", err)
 		os.Exit(2)
+	}
+
+	if *replay != "" {
+		replayBundle(*replay)
+		return
 	}
 
 	machines, err := parseMachines(*machinesFlag)
@@ -162,6 +176,34 @@ func main() {
 	if failures > 0 {
 		os.Exit(1)
 	}
+}
+
+// replayBundle re-executes a flight-recorder bundle and checks the
+// outcome against the recorded failure. A reproduced failure exits 0;
+// any divergence (or an unreadable bundle) exits 1 naming the cause.
+func replayBundle(path string) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	b, err := flight.Decode(raw)
+	if err != nil {
+		fatal(fmt.Errorf("decoding %s: %w", path, err))
+	}
+	fmt.Printf("bundle: %s failure at V-PC %#x: %s\n", b.Kind, b.VPC, b.Cause)
+	for _, ev := range b.Events {
+		fmt.Printf("  event: %s\n", ev)
+	}
+	res, err := flight.Replay(b)
+	if err != nil {
+		fatal(fmt.Errorf("replaying %s: %w", path, err))
+	}
+	if err := res.Matches(b); err != nil {
+		logger.Error("replay diverged from the recorded failure", "err", err)
+		os.Exit(1)
+	}
+	fmt.Printf("replay: reproduced the %s failure bit-identically at V-PC %#x (%d counters agree)\n",
+		res.Kind, res.VPC, len(res.Counters))
 }
 
 // killResumeSweep drives RunKillResume over the seed range, cycling

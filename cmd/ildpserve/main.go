@@ -15,12 +15,20 @@
 //	GET    /metrics /events /vms /healthz /readyz   telemetry plane (DESIGN.md §13)
 //
 // Admission is bounded: beyond -max-sessions (or a tenant's
-// -tenant-quota) submissions receive typed 429s; during drain they
-// receive 503s. On SIGINT/SIGTERM the server drains gracefully — it
-// stops admitting, preempts every running quantum at a V-instruction
-// boundary, checkpoints all unfinished sessions into -spill, and exits
-// 0; a successor started with -resume-dir re-admits them and continues
-// bit-identically (DESIGN.md §14).
+// -tenant-quota or -tenant-pages) submissions receive typed 429s;
+// during drain they receive 503s. On SIGINT/SIGTERM the server drains
+// gracefully — it stops admitting, preempts every running quantum at a
+// V-instruction boundary, checkpoints all unfinished sessions into
+// -spill, and exits 0; a successor started with -resume-dir re-admits
+// them and continues bit-identically (DESIGN.md §14).
+//
+// Hostile-world hardening (DESIGN.md §15): -max-pages governs each
+// guest's resident page count (a memory bomb dies with a typed
+// resource failure at its precise V-PC), -bundle-dir records every
+// session failure as a replayable flight-recorder bundle, and
+// -io-chaos injects deterministic disk faults on the spill path for
+// chaos drills — all spill, checkpoint, and bundle writes are atomic
+// (write-temp-rename), so a torn file is never parsed as state.
 //
 // Usage:
 //
@@ -40,6 +48,7 @@ import (
 	"syscall"
 	"time"
 
+	"github.com/ildp/accdbt/internal/iofs"
 	"github.com/ildp/accdbt/internal/serve"
 	"github.com/ildp/accdbt/internal/telemetry"
 )
@@ -56,6 +65,12 @@ func main() {
 	maxResident := flag.Int("max-resident", 0, "bound on in-memory checkpoints before cold sessions spill (0 = unlimited)")
 	spillDir := flag.String("spill", "", "spill directory for overload shedding and graceful drain")
 	resumeDir := flag.String("resume-dir", "", "re-admit sessions a previous server drained into this directory")
+	maxPages := flag.Int("max-pages", 0, "per-session guest page limit; exceeding it is a typed resource kill (0 = ungoverned)")
+	tenantPages := flag.Int("tenant-pages", 0, "bound on resident guest pages per tenant: admission beyond it is a 429, growth past it a typed kill (0 = unlimited)")
+	bundleDir := flag.String("bundle-dir", "", "write a flight-recorder repro bundle here for every session failure (replay with ildpchaos -replay)")
+	chaosSeed := flag.Uint64("io-chaos", 0, "inject deterministic I/O faults on the spill path with this seed (0 = off; testing only)")
+	chaosRate := flag.Int("io-chaos-rate", 8, "with -io-chaos, mean operations between injected faults")
+	chaosKinds := flag.String("io-chaos-kinds", "", "with -io-chaos, comma-separated fault kinds (enospc,eio,torn_write,partial_read,rename_fail; empty = all)")
 	logLevel := flag.String("log-level", "info", "log level: debug | info | warn | error")
 	logFormat := flag.String("log-format", "text", "log format: text | json")
 	flag.Parse()
@@ -66,17 +81,34 @@ func main() {
 		os.Exit(2)
 	}
 
+	var fsys iofs.FS
+	if *chaosSeed != 0 {
+		kinds, err := iofs.KindsByNames(*chaosKinds)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ildpserve:", err)
+			os.Exit(2)
+		}
+		fsys = iofs.NewFaulty(iofs.OS{}, iofs.Config{
+			Seed: *chaosSeed, Rate: *chaosRate, Kinds: kinds,
+		})
+		fmt.Printf("io-chaos:           seed %d, rate 1/%d\n", *chaosSeed, *chaosRate)
+	}
+
 	s := serve.New(serve.Options{
-		Workers:        *workers,
-		QuantumVInsts:  *quantum,
-		MaxSessions:    *maxSessions,
-		TenantQuota:    *tenantQuota,
-		SessionVBudget: *budget,
-		SessionWall:    *timeout,
-		QuantumWall:    *quantumWall,
-		MaxResident:    *maxResident,
-		SpillDir:       *spillDir,
-		Logger:         logger,
+		Workers:         *workers,
+		QuantumVInsts:   *quantum,
+		MaxSessions:     *maxSessions,
+		TenantQuota:     *tenantQuota,
+		SessionVBudget:  *budget,
+		SessionWall:     *timeout,
+		QuantumWall:     *quantumWall,
+		MaxResident:     *maxResident,
+		SpillDir:        *spillDir,
+		SessionMaxPages: *maxPages,
+		TenantPageQuota: *tenantPages,
+		BundleDir:       *bundleDir,
+		FS:              fsys,
+		Logger:          logger,
 	})
 
 	if *resumeDir != "" {

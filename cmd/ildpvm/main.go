@@ -17,6 +17,12 @@
 // -cache-stats reports hit/miss/load counters. See docs/FORMAT.md for
 // the on-disk format.
 //
+// The guest can be governed with -max-pages: exceeding the resident
+// page cap raises a precise, typed resource trap at the faulting V-PC
+// (exit status 2). With -bundle FILE any failing run — a guest trap, a
+// resource kill — is recorded as a flight-recorder repro bundle that
+// `ildpchaos -replay FILE` re-executes to the identical failure.
+//
 // With -serve ADDR the process attaches the live telemetry plane
 // (DESIGN.md §13): Prometheus exposition on /metrics, an SSE event
 // stream on /events, session introspection on /vms, and health checks
@@ -31,10 +37,12 @@
 //	ildpvm -workload gzip -max 100000 -checkpoint state.ckpt
 //	ildpvm -resume state.ckpt
 //	ildpvm -workload gzip -cachefile gzip.fs -cache-stats
+//	ildpvm -workload membomb -max-pages 64 -bundle crash.bundle
 //	ildpvm -workload gzip -serve 127.0.0.1:9844
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -56,8 +64,10 @@ import (
 	"github.com/ildp/accdbt/internal/checkpoint"
 	"github.com/ildp/accdbt/internal/emu"
 	"github.com/ildp/accdbt/internal/faultinject"
+	"github.com/ildp/accdbt/internal/flight"
 	"github.com/ildp/accdbt/internal/fragstore"
 	"github.com/ildp/accdbt/internal/ildp"
+	"github.com/ildp/accdbt/internal/iofs"
 	"github.com/ildp/accdbt/internal/mem"
 	"github.com/ildp/accdbt/internal/metrics"
 	"github.com/ildp/accdbt/internal/prof"
@@ -97,6 +107,8 @@ func main() {
 	ckptFile := flag.String("checkpoint", "", "write a checkpoint of the final architected state to this file (pairs with -deadline or -max)")
 	resumeFile := flag.String("resume", "", "restore architected state from this checkpoint file and continue (replaces -workload/-src/-img)")
 	watchdog := flag.Int64("watchdog", 0, "livelock watchdog window in work units (0 = off)")
+	maxPages := flag.Int("max-pages", 0, "guest page limit; exceeding it raises a precise resource trap at the faulting V-PC (0 = ungoverned)")
+	bundleFile := flag.String("bundle", "", "on a failing run (trap, resource kill, crash), write a flight-recorder repro bundle to this file (replay with ildpchaos -replay)")
 	cacheFile := flag.String("cachefile", "", "persistent translation cache: load this file if it exists, share the store with the run, save it back on exit")
 	cacheStats := flag.Bool("cache-stats", false, "report shared-store statistics (attaches an in-memory store even without -cachefile)")
 	cacheProve := flag.Bool("cache-prove", false, "with -cachefile, also re-prove loaded fragments with the symbolic equivalence checker")
@@ -123,6 +135,7 @@ func main() {
 	var prog *alphaprog.Program
 	var name string
 	var resumeState *checkpoint.State
+	var resumeRaw []byte // encoded resume checkpoint, kept for -bundle
 	if *resumeFile != "" {
 		data, err := os.ReadFile(*resumeFile)
 		if err != nil {
@@ -132,6 +145,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		resumeRaw = data
 		name = *resumeFile
 	} else {
 		prog, name = loadProgram(*wl, *srcFile, *imgFile, *scale)
@@ -141,6 +155,7 @@ func main() {
 	cfg.HotThreshold = *threshold
 	cfg.NumAcc = *numAcc
 	cfg.FuseMemOps = *fuse
+	cfg.MaxPages = *maxPages
 	cfg.WatchdogWindow = *watchdog
 	if *deadline > 0 {
 		var expired atomic.Bool
@@ -266,13 +281,17 @@ func main() {
 		sess.Attach(v, profiler)
 	}
 	var pe *vm.PreemptError
-	if err := v.Run(*maxV); err != nil && !errors.As(err, &pe) {
+	if runErr := v.Run(*maxV); runErr != nil && !errors.As(runErr, &pe) {
+		if *bundleFile != "" {
+			writeBundle(*bundleFile, v, cfg, runErr, prog, resumeRaw, *maxV, name)
+		}
 		var tr *emu.Trap
-		if errors.As(err, &tr) {
-			logger.Error("trap", "vpc", fmt.Sprintf("%#x", tr.PC), "cause", tr.Cause)
+		if errors.As(runErr, &tr) {
+			kind, _ := flight.Classify(runErr)
+			logger.Error(kind, "vpc", fmt.Sprintf("%#x", tr.PC), "cause", tr.Cause)
 			os.Exit(2)
 		}
-		fatal(err)
+		fatal(runErr)
 	}
 	if sess != nil {
 		sess.Finish()
@@ -334,8 +353,10 @@ func main() {
 				v.Stats.StoreHits, v.Stats.StoreSharedHits, v.Stats.StoreMisses)
 		}
 		if *cacheFile != "" {
+			// Atomic write-temp-rename: a crash or a full disk partway
+			// through the save never clobbers a good existing cache file.
 			data := store.Encode()
-			if err := os.WriteFile(*cacheFile, data, 0o644); err != nil {
+			if err := iofs.AtomicWriteFile(iofs.OS{}, *cacheFile, data, 0o644); err != nil {
 				fatal(err)
 			}
 			fmt.Printf("cache file:         %d fragments, %d bytes -> %s\n",
@@ -344,7 +365,7 @@ func main() {
 	}
 	if *ckptFile != "" {
 		data := checkpoint.Encode(v.Checkpoint())
-		if err := os.WriteFile(*ckptFile, data, 0o644); err != nil {
+		if err := iofs.AtomicWriteFile(iofs.OS{}, *ckptFile, data, 0o644); err != nil {
 			fatal(err)
 		}
 		fmt.Printf("checkpoint:         %d bytes -> %s\n", len(data), *ckptFile)
@@ -359,6 +380,41 @@ func main() {
 	if pe != nil {
 		os.Exit(3)
 	}
+}
+
+// writeBundle records a failing run as a flight-recorder repro bundle
+// (DESIGN.md §15) that `ildpchaos -replay` re-executes to the identical
+// failure. Clean halts and ordinary preemptions are never bundled.
+func writeBundle(path string, v *vm.VM, cfg vm.Config, runErr error,
+	prog *alphaprog.Program, resumeRaw []byte, budget int64, name string) {
+	kind, failure := flight.Classify(runErr)
+	if !failure {
+		return
+	}
+	b := &flight.Bundle{
+		Kind:       kind,
+		VPC:        v.CPU().PC,
+		Cause:      runErr.Error(),
+		Config:     flight.CaptureConfig(cfg),
+		Faults:     cfg.Faults,
+		Budget:     budget,
+		Checkpoint: resumeRaw,
+		Counters:   v.Checkpoint().Counters,
+		Events:     []string{"program: " + name, "failure: " + runErr.Error()},
+	}
+	if resumeRaw == nil && prog != nil {
+		var buf bytes.Buffer
+		if err := prog.Save(&buf); err != nil {
+			logger.Error("bundle: encoding program image", "err", err)
+			return
+		}
+		b.Program = buf.Bytes()
+	}
+	if err := iofs.AtomicWriteFile(iofs.OS{}, path, flight.Encode(b), 0o644); err != nil {
+		logger.Error("bundle: writing", "path", path, "err", err)
+		return
+	}
+	fmt.Printf("bundle:             %s failure recorded -> %s\n", kind, path)
 }
 
 func loadProgram(wl, src, img string, scale int) (*alphaprog.Program, string) {

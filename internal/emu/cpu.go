@@ -66,7 +66,9 @@ func New(m *mem.Memory) *CPU {
 // accessible in Strict mode.
 func (c *CPU) LoadProgram(p *alphaprog.Program) error {
 	for _, seg := range p.Segments {
-		c.Mem.Map(seg.Addr, uint64(len(seg.Data)))
+		if err := c.Mem.Map(seg.Addr, uint64(len(seg.Data))); err != nil {
+			return err
+		}
 		if err := c.Mem.Write8s(seg.Addr, seg.Data); err != nil {
 			return err
 		}

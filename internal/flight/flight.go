@@ -1,0 +1,739 @@
+// Package flight is the crash-repro flight recorder (DESIGN.md §15): on
+// any session or run failure — a guest trap, a resource-governance
+// kill, budget exhaustion, a quarantined panic, or an injected I/O fault
+// — the system emits a versioned, CRC-guarded bundle holding everything
+// a deterministic re-execution needs: the guest image, the translation
+// and governance config fingerprint, the VM fault-injection schedule (if
+// chaos was active), the checkpoint the failing segment started from,
+// the flattened counters at failure, and an informational event tail.
+//
+// Replay reconstructs the VM from the bundle and re-executes the failing
+// segment; Matches then demands the bit-identical failure — same kind,
+// same V-PC, same execution counters — which is what turns "a guest died
+// in production" into an executable, checkable artifact
+// (`ildpchaos -replay BUNDLE`).
+//
+// The on-disk format follows the repo's canonical-codec discipline
+// (docs/FORMAT.md): fixed-width little-endian fields, sorted nonzero
+// counters, a CRC-64/ECMA trailer verified before structural parsing,
+// typed *Error decode failures, and Encode(Decode(b)) == b for every
+// accepted b.
+package flight
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc64"
+	"sort"
+
+	"github.com/ildp/accdbt/internal/alphaprog"
+	"github.com/ildp/accdbt/internal/checkpoint"
+	"github.com/ildp/accdbt/internal/emu"
+	"github.com/ildp/accdbt/internal/faultinject"
+	"github.com/ildp/accdbt/internal/ildp"
+	"github.com/ildp/accdbt/internal/mem"
+	"github.com/ildp/accdbt/internal/translate"
+	"github.com/ildp/accdbt/internal/vm"
+)
+
+// Version is the current bundle format version.
+const Version = 1
+
+// magic identifies a flight-recorder bundle stream.
+var magic = [8]byte{'A', 'C', 'C', 'D', 'B', 'T', 'F', 'R'}
+
+// Failure kinds recorded in Bundle.Kind and produced by Classify.
+const (
+	// KindTrap is a precise guest trap (access, alignment, arithmetic).
+	KindTrap = "trap"
+	// KindResource is a page-limit governance kill: a precise trap whose
+	// cause is *mem.ResourceFault.
+	KindResource = "resource"
+	// KindBudget is cumulative V-instruction budget exhaustion.
+	KindBudget = "budget"
+	// KindCrash is a panic quarantined by a crash barrier.
+	KindCrash = "crash"
+	// KindIOFault is a host-side persistence failure (spill, checkpoint,
+	// or cache I/O). The guest itself did not fail: Replay verifies the
+	// recorded architected state instead of re-executing.
+	KindIOFault = "io_fault"
+	// KindDone is a clean halt — never bundled, but Classify and Replay
+	// report it so a non-reproducing failure is loudly visible.
+	KindDone = "done"
+	// KindError is any other terminal error.
+	KindError = "error"
+)
+
+// VMConfig is the translation + governance fingerprint a replay needs
+// to rebuild the exact VM. It deliberately excludes hooks, sinks,
+// metrics, and the shared store: none of them change architected
+// behaviour (the store only dedups translation work), and excluding
+// them keeps bundles self-contained.
+type VMConfig struct {
+	Form           ildp.Form
+	NumAcc         int
+	Chain          translate.ChainMode
+	Straighten     bool
+	FuseMemOps     bool
+	TCacheBytes    int
+	MaxPages       int
+	Verify         bool
+	SemCheck       bool
+	Paranoid       bool
+	SelfHeal       bool
+	RetryBudget    int
+	WatchdogWindow int64
+	HotThreshold   int
+	MaxSuperblock  int
+	RASSize        int
+}
+
+// CaptureConfig extracts the replay fingerprint from a live vm.Config.
+func CaptureConfig(cfg vm.Config) VMConfig {
+	return VMConfig{
+		Form:           cfg.Form,
+		NumAcc:         cfg.NumAcc,
+		Chain:          cfg.Chain,
+		Straighten:     cfg.Straighten,
+		FuseMemOps:     cfg.FuseMemOps,
+		TCacheBytes:    cfg.TCacheBytes,
+		MaxPages:       cfg.MaxPages,
+		Verify:         cfg.Verify,
+		SemCheck:       cfg.SemCheck,
+		Paranoid:       cfg.Paranoid,
+		SelfHeal:       cfg.SelfHeal,
+		RetryBudget:    cfg.RetryBudget,
+		WatchdogWindow: cfg.WatchdogWindow,
+		HotThreshold:   cfg.HotThreshold,
+		MaxSuperblock:  cfg.MaxSuperblock,
+		RASSize:        cfg.RASSize,
+	}
+}
+
+// VM expands the fingerprint back into a vm.Config (hooks and sinks
+// nil).
+func (c VMConfig) VM() vm.Config {
+	return vm.Config{
+		Form:           c.Form,
+		NumAcc:         c.NumAcc,
+		Chain:          c.Chain,
+		Straighten:     c.Straighten,
+		FuseMemOps:     c.FuseMemOps,
+		TCacheBytes:    c.TCacheBytes,
+		MaxPages:       c.MaxPages,
+		Verify:         c.Verify,
+		SemCheck:       c.SemCheck,
+		Paranoid:       c.Paranoid,
+		SelfHeal:       c.SelfHeal,
+		RetryBudget:    c.RetryBudget,
+		WatchdogWindow: c.WatchdogWindow,
+		HotThreshold:   c.HotThreshold,
+		MaxSuperblock:  c.MaxSuperblock,
+		RASSize:        c.RASSize,
+	}
+}
+
+// Bundle is one recorded failure. Program or Checkpoint (or both) must
+// be present: Replay restores the checkpoint when it has one, else
+// boots the program from its image.
+type Bundle struct {
+	// Kind is the failure class (Kind* constants).
+	Kind string
+	// VPC is the architected V-PC at failure — the trap PC for precise
+	// traps, the boundary PC otherwise.
+	VPC uint64
+	// Cause is the human-readable failure cause.
+	Cause string
+	// Config is the replay fingerprint.
+	Config VMConfig
+	// Faults is the VM-level fault-injection schedule active during the
+	// failing run, nil when chaos was off. Replaying it reproduces the
+	// exact same injected faults (they are a pure function of the seed).
+	Faults *faultinject.Config
+	// Budget is the V-instruction cap the failing segment ran under
+	// (vm.Run's argument; 0 = unlimited). Essential for KindBudget.
+	Budget int64
+	// Program is the alphaprog image (may be nil when Checkpoint is
+	// set — a resumed session's memory lives in its checkpoint).
+	Program []byte
+	// Checkpoint is the encoded architected state the failing segment
+	// started from; nil means the segment booted from Program.
+	Checkpoint []byte
+	// Counters is the flattened VM accounting at the moment of failure
+	// (vm.Checkpoint().Counters). Matches compares it modulo the
+	// store-dependent exclusions.
+	Counters map[string]uint64
+	// Events is the informational event tail (admission, quanta, the
+	// failure line). Never compared.
+	Events []string
+}
+
+// Decode failure causes, matched with errors.Is against the returned
+// *Error.
+var (
+	ErrBadMagic  = errors.New("bad magic")
+	ErrVersion   = errors.New("unsupported version")
+	ErrTruncated = errors.New("truncated")
+	ErrChecksum  = errors.New("checksum mismatch")
+	ErrCanonical = errors.New("non-canonical encoding")
+	ErrTrailing  = errors.New("trailing bytes after checksum")
+)
+
+// Error is the typed decode failure: the byte offset where decoding
+// stopped, the failure class (one of the Err sentinels), and detail.
+type Error struct {
+	Off    int
+	Cause  error
+	Detail string
+}
+
+func (e *Error) Error() string {
+	if e.Detail == "" {
+		return fmt.Sprintf("flight: %v at offset %d", e.Cause, e.Off)
+	}
+	return fmt.Sprintf("flight: %v at offset %d: %s", e.Cause, e.Off, e.Detail)
+}
+
+// Unwrap exposes the failure class for errors.Is.
+func (e *Error) Unwrap() error { return e.Cause }
+
+var crcTable = crc64.MakeTable(crc64.ECMA)
+
+// flag bits of the encoded config flags byte.
+const (
+	flagStraighten = 1 << 0
+	flagFuseMemOps = 1 << 1
+	flagVerify     = 1 << 2
+	flagSemCheck   = 1 << 3
+	flagParanoid   = 1 << 4
+	flagSelfHeal   = 1 << 5
+	flagsKnown     = flagStraighten | flagFuseMemOps | flagVerify |
+		flagSemCheck | flagParanoid | flagSelfHeal
+)
+
+// Encode serializes the bundle. The output is deterministic: encoding
+// the same bundle twice yields identical bytes.
+func Encode(b *Bundle) []byte {
+	var out []byte
+	u32 := func(v uint32) { out = binary.LittleEndian.AppendUint32(out, v) }
+	u64 := func(v uint64) { out = binary.LittleEndian.AppendUint64(out, v) }
+	blob := func(data []byte) { u32(uint32(len(data))); out = append(out, data...) }
+
+	out = append(out, magic[:]...)
+	u32(Version)
+	out = append(out, byte(len(b.Kind)))
+	out = append(out, b.Kind...)
+	u64(b.VPC)
+	blob([]byte(b.Cause))
+
+	c := b.Config
+	out = append(out, byte(c.Form), byte(c.Chain))
+	u32(uint32(c.NumAcc))
+	var flags byte
+	if c.Straighten {
+		flags |= flagStraighten
+	}
+	if c.FuseMemOps {
+		flags |= flagFuseMemOps
+	}
+	if c.Verify {
+		flags |= flagVerify
+	}
+	if c.SemCheck {
+		flags |= flagSemCheck
+	}
+	if c.Paranoid {
+		flags |= flagParanoid
+	}
+	if c.SelfHeal {
+		flags |= flagSelfHeal
+	}
+	out = append(out, flags)
+	u64(uint64(c.TCacheBytes))
+	u64(uint64(c.MaxPages))
+	u32(uint32(c.RetryBudget))
+	u64(uint64(c.WatchdogWindow))
+	u32(uint32(c.HotThreshold))
+	u32(uint32(c.MaxSuperblock))
+	u32(uint32(c.RASSize))
+
+	if f := b.Faults; f != nil {
+		out = append(out, 1)
+		u64(f.Seed)
+		u32(uint32(f.EntryRate))
+		u32(uint32(f.TranslateRate))
+		u32(uint32(f.MaxFaults))
+		out = append(out, byte(len(f.Kinds)))
+		for _, k := range f.Kinds {
+			out = append(out, byte(k))
+		}
+	} else {
+		out = append(out, 0)
+	}
+
+	u64(uint64(b.Budget))
+	blob(b.Program)
+	blob(b.Checkpoint)
+
+	names := make([]string, 0, len(b.Counters))
+	for name, v := range b.Counters {
+		if v != 0 {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	u32(uint32(len(names)))
+	for _, name := range names {
+		out = append(out, byte(len(name)))
+		out = append(out, name...)
+		u64(b.Counters[name])
+	}
+
+	u32(uint32(len(b.Events)))
+	for _, ev := range b.Events {
+		blob([]byte(ev))
+	}
+
+	u64(crc64.Checksum(out, crcTable))
+	return out
+}
+
+// decoder is a bounds-checked little-endian reader over the stream.
+type decoder struct {
+	b   []byte
+	off int
+}
+
+func (d *decoder) fail(cause error, format string, args ...any) *Error {
+	return &Error{Off: d.off, Cause: cause, Detail: fmt.Sprintf(format, args...)}
+}
+
+func (d *decoder) take(n int, what string) ([]byte, *Error) {
+	if n < 0 || len(d.b)-d.off < n {
+		return nil, d.fail(ErrTruncated, "%s wants %d bytes, %d remain", what, n, len(d.b)-d.off)
+	}
+	out := d.b[d.off : d.off+n]
+	d.off += n
+	return out, nil
+}
+
+func (d *decoder) u8(what string) (byte, *Error) {
+	b, err := d.take(1, what)
+	if err != nil {
+		return 0, err
+	}
+	return b[0], nil
+}
+
+func (d *decoder) u32(what string) (uint32, *Error) {
+	b, err := d.take(4, what)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(b), nil
+}
+
+func (d *decoder) u64(what string) (uint64, *Error) {
+	b, err := d.take(8, what)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(b), nil
+}
+
+func (d *decoder) blob(what string) ([]byte, *Error) {
+	n, err := d.u32(what + " length")
+	if err != nil {
+		return nil, err
+	}
+	return d.take(int(n), what)
+}
+
+// Decode parses a bundle stream. Any malformation — truncation, a
+// flipped bit (caught by the checksum), a version skew, non-canonical
+// ordering, or trailing garbage — returns a typed *Error and a nil
+// Bundle; a non-nil Bundle is always complete and internally
+// consistent.
+func Decode(b []byte) (*Bundle, error) {
+	d := &decoder{b: b}
+
+	m, derr := d.take(len(magic), "magic")
+	if derr != nil {
+		return nil, derr
+	}
+	if [8]byte(m) != magic {
+		d.off = 0
+		return nil, d.fail(ErrBadMagic, "got %q", m)
+	}
+	// The checksum is verified before any structural parsing so that a
+	// flipped bit anywhere reports ErrChecksum, not a misleading
+	// structural error — and so a torn bundle file is never half-parsed.
+	if len(b) < len(magic)+4+8 {
+		return nil, d.fail(ErrTruncated, "stream shorter than header+checksum")
+	}
+	payload, trailer := b[:len(b)-8], b[len(b)-8:]
+	if got, want := binary.LittleEndian.Uint64(trailer), crc64.Checksum(payload, crcTable); got != want {
+		d.off = len(payload)
+		return nil, d.fail(ErrChecksum, "got %#x, want %#x", got, want)
+	}
+	d.b = payload
+
+	ver, derr := d.u32("version")
+	if derr != nil {
+		return nil, derr
+	}
+	if ver != Version {
+		return nil, d.fail(ErrVersion, "got %d, support %d", ver, Version)
+	}
+
+	bu := &Bundle{Counters: map[string]uint64{}}
+	kindLen, derr := d.u8("kind length")
+	if derr != nil {
+		return nil, derr
+	}
+	if kindLen == 0 {
+		return nil, d.fail(ErrCanonical, "empty kind")
+	}
+	kindB, derr := d.take(int(kindLen), "kind")
+	if derr != nil {
+		return nil, derr
+	}
+	bu.Kind = string(kindB)
+	if bu.VPC, derr = d.u64("vpc"); derr != nil {
+		return nil, derr
+	}
+	cause, derr := d.blob("cause")
+	if derr != nil {
+		return nil, derr
+	}
+	bu.Cause = string(cause)
+
+	form, derr := d.u8("form")
+	if derr != nil {
+		return nil, derr
+	}
+	chain, derr := d.u8("chain")
+	if derr != nil {
+		return nil, derr
+	}
+	bu.Config.Form = ildp.Form(form)
+	bu.Config.Chain = translate.ChainMode(chain)
+	numAcc, derr := d.u32("num acc")
+	if derr != nil {
+		return nil, derr
+	}
+	bu.Config.NumAcc = int(numAcc)
+	flags, derr := d.u8("config flags")
+	if derr != nil {
+		return nil, derr
+	}
+	if flags&^byte(flagsKnown) != 0 {
+		return nil, d.fail(ErrCanonical, "unknown flag bits %#x", flags&^byte(flagsKnown))
+	}
+	bu.Config.Straighten = flags&flagStraighten != 0
+	bu.Config.FuseMemOps = flags&flagFuseMemOps != 0
+	bu.Config.Verify = flags&flagVerify != 0
+	bu.Config.SemCheck = flags&flagSemCheck != 0
+	bu.Config.Paranoid = flags&flagParanoid != 0
+	bu.Config.SelfHeal = flags&flagSelfHeal != 0
+	tcb, derr := d.u64("tcache bytes")
+	if derr != nil {
+		return nil, derr
+	}
+	bu.Config.TCacheBytes = int(tcb)
+	mp, derr := d.u64("max pages")
+	if derr != nil {
+		return nil, derr
+	}
+	bu.Config.MaxPages = int(mp)
+	rb, derr := d.u32("retry budget")
+	if derr != nil {
+		return nil, derr
+	}
+	bu.Config.RetryBudget = int(rb)
+	wd, derr := d.u64("watchdog window")
+	if derr != nil {
+		return nil, derr
+	}
+	bu.Config.WatchdogWindow = int64(wd)
+	ht, derr := d.u32("hot threshold")
+	if derr != nil {
+		return nil, derr
+	}
+	bu.Config.HotThreshold = int(ht)
+	msb, derr := d.u32("max superblock")
+	if derr != nil {
+		return nil, derr
+	}
+	bu.Config.MaxSuperblock = int(msb)
+	ras, derr := d.u32("ras size")
+	if derr != nil {
+		return nil, derr
+	}
+	bu.Config.RASSize = int(ras)
+
+	havefaults, derr := d.u8("faults present")
+	if derr != nil {
+		return nil, derr
+	}
+	switch havefaults {
+	case 0:
+	case 1:
+		f := &faultinject.Config{}
+		if f.Seed, derr = d.u64("fault seed"); derr != nil {
+			return nil, derr
+		}
+		er, derr := d.u32("entry rate")
+		if derr != nil {
+			return nil, derr
+		}
+		f.EntryRate = int(er)
+		tr, derr := d.u32("translate rate")
+		if derr != nil {
+			return nil, derr
+		}
+		f.TranslateRate = int(tr)
+		mf, derr := d.u32("max faults")
+		if derr != nil {
+			return nil, derr
+		}
+		f.MaxFaults = int(mf)
+		nk, derr := d.u8("fault kind count")
+		if derr != nil {
+			return nil, derr
+		}
+		for i := 0; i < int(nk); i++ {
+			kb, derr := d.u8("fault kind")
+			if derr != nil {
+				return nil, derr
+			}
+			f.Kinds = append(f.Kinds, faultinject.Kind(kb))
+		}
+		bu.Faults = f
+	default:
+		return nil, d.fail(ErrCanonical, "faults-present byte %d", havefaults)
+	}
+
+	budget, derr := d.u64("budget")
+	if derr != nil {
+		return nil, derr
+	}
+	bu.Budget = int64(budget)
+	prog, derr := d.blob("program")
+	if derr != nil {
+		return nil, derr
+	}
+	if len(prog) > 0 {
+		bu.Program = append([]byte(nil), prog...)
+	}
+	ckpt, derr := d.blob("checkpoint")
+	if derr != nil {
+		return nil, derr
+	}
+	if len(ckpt) > 0 {
+		bu.Checkpoint = append([]byte(nil), ckpt...)
+	}
+	if bu.Program == nil && bu.Checkpoint == nil {
+		return nil, d.fail(ErrCanonical, "bundle has neither program nor checkpoint")
+	}
+
+	nCounters, derr := d.u32("counter count")
+	if derr != nil {
+		return nil, derr
+	}
+	if int64(nCounters)*10 > int64(len(d.b)-d.off) {
+		return nil, d.fail(ErrTruncated, "%d counters cannot fit in %d bytes", nCounters, len(d.b)-d.off)
+	}
+	prevName := ""
+	for i := uint32(0); i < nCounters; i++ {
+		nameLen, derr := d.u8("counter name length")
+		if derr != nil {
+			return nil, derr
+		}
+		if nameLen == 0 {
+			return nil, d.fail(ErrCanonical, "empty counter name")
+		}
+		nameB, derr := d.take(int(nameLen), "counter name")
+		if derr != nil {
+			return nil, derr
+		}
+		name := string(nameB)
+		if i > 0 && name <= prevName {
+			return nil, d.fail(ErrCanonical, "counter %q not sorted after %q", name, prevName)
+		}
+		prevName = name
+		v, derr := d.u64("counter value")
+		if derr != nil {
+			return nil, derr
+		}
+		if v == 0 {
+			return nil, d.fail(ErrCanonical, "zero-valued counter %q", name)
+		}
+		bu.Counters[name] = v
+	}
+
+	nEvents, derr := d.u32("event count")
+	if derr != nil {
+		return nil, derr
+	}
+	if int64(nEvents)*4 > int64(len(d.b)-d.off) {
+		return nil, d.fail(ErrTruncated, "%d events cannot fit in %d bytes", nEvents, len(d.b)-d.off)
+	}
+	for i := uint32(0); i < nEvents; i++ {
+		ev, derr := d.blob("event")
+		if derr != nil {
+			return nil, derr
+		}
+		bu.Events = append(bu.Events, string(ev))
+	}
+
+	if d.off != len(d.b) {
+		return nil, d.fail(ErrTrailing, "%d bytes", len(d.b)-d.off)
+	}
+	return bu, nil
+}
+
+// Classify maps a terminal vm.Run error to its failure kind. The bool
+// reports whether the outcome is bundle-worthy (a failure, not a clean
+// halt or an ordinary preemption).
+func Classify(err error) (kind string, failure bool) {
+	switch {
+	case err == nil:
+		return KindDone, false
+	case func() bool { var rf *mem.ResourceFault; return errors.As(err, &rf) }():
+		return KindResource, true
+	case func() bool { var tr *emu.Trap; return errors.As(err, &tr) }():
+		return KindTrap, true
+	case errors.Is(err, vm.ErrBudget):
+		return KindBudget, true
+	case errors.Is(err, vm.ErrPreempted):
+		return KindError, false
+	default:
+		return KindError, true
+	}
+}
+
+// Result is the outcome of a Replay.
+type Result struct {
+	// Kind is the failure class the re-execution reached.
+	Kind string
+	// VPC is the architected V-PC at the re-executed failure.
+	VPC uint64
+	// Cause is the re-executed failure's error text.
+	Cause string
+	// Counters is the flattened VM accounting at the re-executed
+	// failure.
+	Counters map[string]uint64
+}
+
+// storeDependent names the counters excluded from Matches: the shared
+// fragment store dedups translation work across sessions, so a replay
+// without the neighbouring sessions legitimately translates more (or
+// less) than the original run did. Everything architecturally
+// meaningful — retirement, traps, recoveries, fragment entries — is
+// store-independent and compared exactly.
+var storeDependent = map[string]bool{
+	"stats.StoreHits":       true,
+	"stats.StoreMisses":     true,
+	"stats.StoreSharedHits": true,
+	"stats.TranslateCost":   true,
+}
+
+// Replay re-executes the bundle's failing segment: it rebuilds the VM
+// from the config fingerprint (and fault schedule), restores the
+// checkpoint (or boots the program), runs under the recorded budget
+// with a crash barrier, and classifies the outcome. KindIOFault
+// bundles record a host-side failure, not a guest one, so Replay
+// verifies the recorded architected state instead of running.
+func Replay(b *Bundle) (*Result, error) {
+	if b.Kind == "" {
+		return nil, errors.New("flight: bundle has no kind")
+	}
+	m := mem.New()
+	cfg := b.Config.VM()
+	cfg.Faults = b.Faults
+	v := vm.New(m, cfg)
+	if len(b.Checkpoint) > 0 {
+		st, err := checkpoint.Decode(b.Checkpoint)
+		if err != nil {
+			return nil, fmt.Errorf("flight: bundle checkpoint: %w", err)
+		}
+		v.Restore(st)
+	} else {
+		prog, err := alphaprog.Load(bytes.NewReader(b.Program))
+		if err != nil {
+			return nil, fmt.Errorf("flight: bundle program: %w", err)
+		}
+		if err := v.LoadProgram(prog); err != nil {
+			return nil, fmt.Errorf("flight: load program: %w", err)
+		}
+	}
+
+	res := &Result{}
+	if b.Kind == KindIOFault {
+		// Host-side failure: the recorded state is the evidence. Verify
+		// it reconstructs exactly (the checkpoint CRC already proved the
+		// bytes; this proves the bundle's own fields agree with them).
+		res.Kind = KindIOFault
+		res.VPC = v.CPU().PC
+		res.Counters = v.Checkpoint().Counters
+		return res, nil
+	}
+
+	runErr := func() (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				res.Kind = KindCrash
+				res.Cause = fmt.Sprintf("panic: %v", r)
+				err = nil
+			}
+		}()
+		return v.Run(b.Budget)
+	}()
+	if res.Kind != KindCrash {
+		kind, _ := Classify(runErr)
+		res.Kind = kind
+		if runErr != nil {
+			res.Cause = runErr.Error()
+		}
+	}
+	res.VPC = v.CPU().PC
+	res.Counters = v.Checkpoint().Counters
+	return res, nil
+}
+
+// Matches checks that a replay reproduced the recorded failure: same
+// kind, same V-PC, and identical counters modulo the store-dependent
+// exclusions. A nil return is the bit-identical verdict; otherwise the
+// error names the first divergence.
+func (r *Result) Matches(b *Bundle) error {
+	if r.Kind != b.Kind {
+		return fmt.Errorf("flight: kind diverges: replay %s, bundle %s", r.Kind, b.Kind)
+	}
+	if r.VPC != b.VPC {
+		return fmt.Errorf("flight: V-PC diverges: replay %#x, bundle %#x", r.VPC, b.VPC)
+	}
+	names := map[string]bool{}
+	for name := range r.Counters {
+		names[name] = true
+	}
+	for name := range b.Counters {
+		names[name] = true
+	}
+	sorted := make([]string, 0, len(names))
+	for name := range names {
+		sorted = append(sorted, name)
+	}
+	sort.Strings(sorted)
+	for _, name := range sorted {
+		if storeDependent[name] {
+			continue
+		}
+		if got, want := r.Counters[name], b.Counters[name]; got != want {
+			return fmt.Errorf("flight: counter %s diverges: replay %d, bundle %d", name, got, want)
+		}
+	}
+	return nil
+}

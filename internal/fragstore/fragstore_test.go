@@ -462,6 +462,81 @@ func putU32(b []byte, v uint32) {
 	}
 }
 
+// TestLoadReportMidEntryTruncation pins down the LoadReport accounting
+// contract under the two ways a cache file loses bytes mid-entry.
+//
+// A torn file — the prefix a crashed or faulted writer leaves behind —
+// must be rejected whole with a typed error, never half-parsed: the
+// whole-file CRC (or the truncated-trailer check) fires before any
+// entry is admitted. A file that is intact at the transport layer but
+// carries internally truncated entries must instead degrade per entry:
+// each damaged entry is dropped and counted, every healthy entry loads,
+// and Entries always reconciles with Loaded + Dropped().
+func TestLoadReportMidEntryTruncation(t *testing.T) {
+	s := populate(t)
+	total := s.Len()
+	enc := s.Encode()
+	spans := entrySpans(t, enc)
+	if len(spans) < 3 {
+		t.Fatalf("want >= 3 entries to corrupt independently, have %d", len(spans))
+	}
+
+	// Every prefix that ends inside an entry is a torn file: typed
+	// rejection, nil store, nothing admitted.
+	for i, sp := range spans {
+		cut := sp.off + sp.n/2
+		st, _, err := fragstore.Decode(enc[:cut], fragstore.LoadOptions{})
+		if st != nil || err == nil {
+			t.Fatalf("entry %d: torn prefix of %d bytes parsed (err %v)", i, cut, err)
+		}
+		var fe *fragstore.Error
+		if !errors.As(err, &fe) {
+			t.Fatalf("entry %d: torn prefix error %T is not typed", i, err)
+		}
+		if !errors.Is(err, fragstore.ErrTruncated) && !errors.Is(err, fragstore.ErrChecksum) {
+			t.Fatalf("entry %d: torn prefix error %v is neither truncation nor checksum", i, err)
+		}
+	}
+
+	// Two independently damaged entries in one transport-intact file:
+	// truncate one body (length field and entry CRC repaired, so only
+	// structural parsing can object) and bit-flip another without
+	// repairing its entry CRC. Both drops are counted under their own
+	// cause, all other entries load, and the totals reconcile.
+	sp := spans[2]
+	const cut = 3
+	bad := bytes.Clone(enc[:sp.off+sp.n-cut])
+	bad = append(bad, enc[sp.off+sp.n:]...)
+	putU32(bad[sp.off-4:], uint32(sp.n-cut))
+	fixEntryCRC(bad, span{sp.off, sp.n - cut})
+	bad[spans[0].off+spans[0].n/2] ^= 0x20 // before spans[2]: offset unshifted
+	fixFileCRC(bad)
+
+	st, rep, err := fragstore.Decode(bad, fragstore.LoadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.DroppedMalformed != 1 || rep.DroppedCRC != 1 {
+		t.Fatalf("drops = %v, want 1 malformed + 1 CRC", rep)
+	}
+	if rep.Entries != total || rep.Loaded != total-2 || rep.Dropped() != 2 {
+		t.Fatalf("accounting does not reconcile: %v (total %d)", rep, total)
+	}
+	if st.Len() != rep.Loaded {
+		t.Fatalf("store holds %d entries, report says %d loaded", st.Len(), rep.Loaded)
+	}
+
+	// The survivors are genuinely intact: the degraded store re-encodes
+	// into a file that loads cleanly with nothing further dropped.
+	st2, rep2, err := fragstore.Decode(st.Encode(), fragstore.LoadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Dropped() != 0 || st2.Len() != st.Len() {
+		t.Fatalf("survivors reload dirty: %v (%d entries)", rep2, st2.Len())
+	}
+}
+
 // TestDecodeDropsUnprovableEntry corrupts a fragment's instruction
 // stream in a way every checksum accepts — the result record is not
 // covered by the content key, and the entry CRC is recomputed — so only

@@ -1,0 +1,84 @@
+package mem
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestLimitGovernsAllocation checks that a governed memory refuses the
+// allocation that would exceed its page limit, with a typed
+// ResourceFault, while accesses to already-resident pages keep working.
+func TestLimitGovernsAllocation(t *testing.T) {
+	m := New()
+	m.Limit = 2
+	if err := m.Write8(0*PageSize, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Write8(1*PageSize, 2); err != nil {
+		t.Fatal(err)
+	}
+	err := m.Write8(2*PageSize, 3)
+	var rf *ResourceFault
+	if !errors.As(err, &rf) {
+		t.Fatalf("third page allocation: got %v, want *ResourceFault", err)
+	}
+	if rf.Addr != 2*PageSize || !rf.Write || rf.Pages != 2 || rf.Limit != 2 {
+		t.Fatalf("fault fields = %+v", rf)
+	}
+	// Resident pages stay usable after the fault.
+	if v, err := m.Read8(0); err != nil || v != 1 {
+		t.Fatalf("resident page read = %d, %v", v, err)
+	}
+	if _, err := m.Read8(3 * PageSize); !errors.As(err, &rf) {
+		t.Fatalf("read past limit: got %v, want *ResourceFault", err)
+	}
+	if !rf.Write {
+		// reads report Write=false
+	} else {
+		t.Fatalf("read fault reported Write=true")
+	}
+	if m.PageCount() != 2 {
+		t.Fatalf("PageCount = %d, want 2", m.PageCount())
+	}
+}
+
+// TestMapRespectsLimit checks Map's error return and its partial-map
+// semantics: pages mapped before the fault stay mapped.
+func TestMapRespectsLimit(t *testing.T) {
+	m := New()
+	m.Limit = 3
+	if err := m.Map(0, 2*PageSize); err != nil {
+		t.Fatal(err)
+	}
+	err := m.Map(0x100000, 2*PageSize)
+	var rf *ResourceFault
+	if !errors.As(err, &rf) {
+		t.Fatalf("over-limit map: got %v, want *ResourceFault", err)
+	}
+	if m.PageCount() != 3 {
+		t.Fatalf("PageCount after partial map = %d, want 3", m.PageCount())
+	}
+	if !m.Mapped(0x100000) {
+		t.Fatal("first page of failed map should be mapped")
+	}
+}
+
+// TestLoadSnapshotExemptFromLimit checks that checkpoint restore is not
+// governed: a snapshot with more pages than the limit still loads (the
+// limit then applies to further growth).
+func TestLoadSnapshotExemptFromLimit(t *testing.T) {
+	src := New()
+	if err := src.Map(0, 4*PageSize); err != nil {
+		t.Fatal(err)
+	}
+	dst := New()
+	dst.Limit = 2
+	dst.LoadSnapshot(src.Snapshot())
+	if dst.PageCount() != 4 {
+		t.Fatalf("PageCount after restore = %d, want 4", dst.PageCount())
+	}
+	var rf *ResourceFault
+	if err := dst.Write8(0x900000, 1); !errors.As(err, &rf) {
+		t.Fatalf("growth after over-limit restore: got %v, want *ResourceFault", err)
+	}
+}

@@ -29,6 +29,27 @@ func (f *AccessFault) Error() string {
 	return fmt.Sprintf("memory access fault: %s of unmapped address %#x", kind, f.Addr)
 }
 
+// ResourceFault reports an allocation that would exceed the memory's
+// page Limit: a governed guest tried to grow its resident set past its
+// cap. The VM turns it into a precise trap at the faulting V-PC, so a
+// memory-bombing guest dies with a typed error at a replayable point
+// instead of taking the host process down.
+type ResourceFault struct {
+	Addr  uint64
+	Write bool
+	Pages int // pages resident when the allocation was refused
+	Limit int // the cap that was hit
+}
+
+func (f *ResourceFault) Error() string {
+	kind := "read"
+	if f.Write {
+		kind = "write"
+	}
+	return fmt.Sprintf("memory resource fault: %s at %#x would exceed page limit (%d/%d pages)",
+		kind, f.Addr, f.Pages, f.Limit)
+}
+
 // AlignmentFault reports a misaligned access.
 type AlignmentFault struct {
 	Addr uint64
@@ -46,6 +67,11 @@ type Memory struct {
 	// Strict, when true, makes access to unmapped pages fault rather than
 	// allocate.
 	Strict bool
+	// Limit, when positive, caps the number of resident pages: an access
+	// that would allocate page Limit+1 raises a ResourceFault instead.
+	// Zero means ungoverned. LoadSnapshot is exempt — restoring a
+	// checkpoint reinstates exactly the pages it recorded.
+	Limit int
 }
 
 // New returns an empty relaxed-mode memory.
@@ -61,6 +87,9 @@ func (m *Memory) page(addr uint64, write bool, allocate bool) (*[PageSize]byte, 
 		if m.Strict && !allocate {
 			return nil, &AccessFault{Addr: addr, Write: write}
 		}
+		if m.Limit > 0 && len(m.pages) >= m.Limit {
+			return nil, &ResourceFault{Addr: addr, Write: write, Pages: len(m.pages), Limit: m.Limit}
+		}
 		p = new([PageSize]byte)
 		m.pages[pn] = p
 	}
@@ -68,16 +97,18 @@ func (m *Memory) page(addr uint64, write bool, allocate bool) (*[PageSize]byte, 
 }
 
 // Map ensures [addr, addr+size) is mapped (zero-filled), regardless of
-// Strict mode.
-func (m *Memory) Map(addr, size uint64) {
+// Strict mode. It fails with a ResourceFault when mapping would exceed
+// the page Limit; pages mapped before the fault stay mapped.
+func (m *Memory) Map(addr, size uint64) error {
 	if size == 0 {
-		return
+		return nil
 	}
 	for pn := addr >> PageBits; pn <= (addr+size-1)>>PageBits; pn++ {
-		if _, err := m.page(pn<<PageBits, false, true); err != nil {
-			panic("unreachable: allocate=true never faults")
+		if _, err := m.page(pn<<PageBits, true, true); err != nil {
+			return err
 		}
 	}
+	return nil
 }
 
 // Mapped reports whether addr falls on a mapped page.

@@ -1,15 +1,17 @@
 package serve
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
-	"os"
 	"path/filepath"
 	"time"
 
 	"github.com/ildp/accdbt/internal/checkpoint"
 	"github.com/ildp/accdbt/internal/emu"
+	"github.com/ildp/accdbt/internal/flight"
+	"github.com/ildp/accdbt/internal/iofs"
 	"github.com/ildp/accdbt/internal/mem"
 	"github.com/ildp/accdbt/internal/telemetry"
 	"github.com/ildp/accdbt/internal/vm"
@@ -37,8 +39,21 @@ func (s *Server) worker() {
 // never unwinds into the worker loop, so sibling sessions and the
 // server survive translator or executor bugs in one guest.
 func (s *Server) runQuantum(sess *Session) {
+	// segRaw is the encoded checkpoint this quantum resumed from (nil on
+	// a boot quantum); the crash barrier and the failure paths bundle it
+	// so the failing segment can be replayed from its exact start state.
+	var segRaw []byte
 	defer func() {
 		if r := recover(); r != nil {
+			s.emitBundle(sess, &flight.Bundle{
+				Kind:       flight.KindCrash,
+				Cause:      fmt.Sprintf("panic: %v", r),
+				Config:     flight.CaptureConfig(s.quantumConfig()),
+				Budget:     s.opts.SessionVBudget,
+				Program:    s.progBytes(sess),
+				Checkpoint: segRaw,
+				Events:     []string{"panic quarantined by the crash barrier"},
+			})
 			s.crashSession(sess, r)
 		}
 	}()
@@ -66,11 +81,12 @@ func (s *Server) runQuantum(sess *Session) {
 	// otherwise — possibly read back from a shedding spill. A
 	// checkpoint that no longer decodes is a typed failure of this
 	// session only.
-	st, err := s.loadState(sess)
+	st, raw, err := s.loadState(sess)
 	if err != nil {
 		s.failSession(sess, "checkpoint: "+err.Error())
 		return
 	}
+	segRaw = raw
 
 	sess.mu.Lock()
 	sess.state = StateRunning
@@ -79,8 +95,7 @@ func (s *Server) runQuantum(sess *Session) {
 	sess.mu.Unlock()
 	s.reg.Histogram("serve.wait_ms").Observe(float64(wait.Microseconds()) / 1000)
 
-	cfg := vm.DefaultConfig()
-	cfg.SelfHeal = true
+	cfg := s.quantumConfig()
 	cfg.Store = s.store
 	cfg.Metrics = sess.reg
 	cfg.Poll = sess.tsess.Poll
@@ -134,8 +149,34 @@ func (s *Server) runQuantum(sess *Session) {
 	sess.mu.Lock()
 	sess.quanta++
 	sess.vinsts = vv.Stats.TotalVInsts()
+	sess.pages = vv.Pages()
 	sess.lastRun = time.Now()
+	quanta := sess.quanta
 	sess.mu.Unlock()
+
+	// bundleFor shapes this quantum's failure into a flight-recorder
+	// bundle: the segment-start state, the config fingerprint, and the
+	// architected position and counters at the failure.
+	bundleFor := func(kind string, cause string) *flight.Bundle {
+		b := &flight.Bundle{
+			Kind:       kind,
+			VPC:        vv.CPU().PC,
+			Cause:      cause,
+			Config:     flight.CaptureConfig(cfg),
+			Budget:     s.opts.SessionVBudget,
+			Checkpoint: segRaw,
+			Counters:   ck.Counters,
+			Events: []string{
+				fmt.Sprintf("session %s tenant %q name %q", sess.ID, sess.Tenant, sess.Name),
+				fmt.Sprintf("quantum %d, %d v-insts retired", quanta, vv.Stats.TotalVInsts()),
+				"failure: " + cause,
+			},
+		}
+		if segRaw == nil {
+			b.Program = s.progBytes(sess)
+		}
+		return b
+	}
 
 	switch {
 	case runErr == nil:
@@ -146,11 +187,21 @@ func (s *Server) runQuantum(sess *Session) {
 		sess.mu.Unlock()
 		s.finishSession(sess, StateDone, "", enc)
 	case errors.Is(runErr, vm.ErrBudget):
+		s.emitBundle(sess, bundleFor(flight.KindBudget, runErr.Error()))
 		s.failSession(sess, "v-instruction budget exhausted")
 	case errors.Is(runErr, vm.ErrPreempted):
 		if sess.kill.Load() {
 			s.finishSession(sess, StateKilled, "killed by client", nil)
 			return
+		}
+		if msg := s.tenantPageOverage(sess); msg != "" {
+			// The tenant's resident-page sum crossed its quota during
+			// this quantum: the session that pushed it over dies typed at
+			// the boundary. No bundle — the kill is a cross-session
+			// policy decision, not a replayable guest failure.
+			s.reg.Counter("serve.resource_kills").Inc()
+			s.failSession(sess, msg)
+			break
 		}
 		// Ordinary quantum expiry (or drain): park the checkpoint and
 		// requeue. Under drain the worker loop exits next iteration and
@@ -169,32 +220,86 @@ func (s *Server) runQuantum(sess *Session) {
 		s.shedCold()
 	default:
 		// A guest trap (or an unrecovered VM failure with SelfHeal
-		// exhausted) is this session's problem alone.
+		// exhausted) is this session's problem alone. Resource-governor
+		// traps are classified apart from ordinary guest traps so the
+		// kill shows up in resource accounting.
+		var rf *mem.ResourceFault
 		var trap *emu.Trap
-		if errors.As(runErr, &trap) {
+		switch {
+		case errors.As(runErr, &rf):
+			s.reg.Counter("serve.resource_kills").Inc()
+			s.emitBundle(sess, bundleFor(flight.KindResource, runErr.Error()))
+			s.failSession(sess, "resource: "+runErr.Error())
+		case errors.As(runErr, &trap):
+			s.emitBundle(sess, bundleFor(flight.KindTrap, runErr.Error()))
 			s.failSession(sess, "trap: "+trap.Error())
-		} else {
+		default:
+			s.emitBundle(sess, bundleFor(flight.KindError, runErr.Error()))
 			s.failSession(sess, runErr.Error())
 		}
 	}
 	s.updateGauges()
 }
 
+// quantumConfig is the VM configuration every quantum runs under and
+// every recorded bundle fingerprints; hooks and sinks are attached by
+// runQuantum itself.
+func (s *Server) quantumConfig() vm.Config {
+	cfg := vm.DefaultConfig()
+	cfg.SelfHeal = true
+	cfg.MaxPages = s.opts.SessionMaxPages
+	return cfg
+}
+
+// progBytes serialises the session's program image for a bundle; nil
+// for resumed sessions (their memory lives in the checkpoint) or if the
+// image fails to encode.
+func (s *Server) progBytes(sess *Session) []byte {
+	if sess.prog == nil {
+		return nil
+	}
+	var buf bytes.Buffer
+	if err := sess.prog.Save(&buf); err != nil {
+		return nil
+	}
+	return buf.Bytes()
+}
+
+// tenantPageOverage reports a non-empty kill message when sess's tenant
+// has grown past its resident-page quota.
+func (s *Server) tenantPageOverage(sess *Session) string {
+	if s.opts.TenantPageQuota <= 0 {
+		return ""
+	}
+	s.mu.Lock()
+	total := s.tenantPagesLocked(sess.Tenant)
+	s.mu.Unlock()
+	if total <= s.opts.TenantPageQuota {
+		return ""
+	}
+	return fmt.Sprintf("resource: tenant %q resident pages %d exceed quota %d",
+		sess.Tenant, total, s.opts.TenantPageQuota)
+}
+
 // loadState returns the checkpoint to resume sess from: nil for a
 // first quantum, the decoded in-memory checkpoint, or the decoded
-// shedding spill (read back and deleted).
-func (s *Server) loadState(sess *Session) (*checkpoint.State, error) {
+// shedding spill (read back and deleted). It also returns the raw
+// encoded bytes for the flight recorder. A spill the filesystem tears
+// or truncates never parses — the checkpoint CRC rejects it — so the
+// error is always typed, never silent corruption.
+func (s *Server) loadState(sess *Session) (*checkpoint.State, []byte, error) {
 	sess.mu.Lock()
 	enc, spilled := sess.ckpt, sess.spilled
 	sess.ckpt = nil
 	sess.spilled = false
 	sess.mu.Unlock()
 	if spilled {
-		raw, err := os.ReadFile(s.spillPath(sess.ID))
+		raw, err := s.fs.ReadFile(s.spillPath(sess.ID))
 		if err != nil {
-			return nil, err
+			s.noteIOFault("spill read", sess.ID, err)
+			return nil, nil, err
 		}
-		os.Remove(s.spillPath(sess.ID))
+		s.fs.Remove(s.spillPath(sess.ID))
 		s.reg.Counter("serve.spill_loads").Inc()
 		enc = raw
 	} else if enc != nil {
@@ -203,9 +308,13 @@ func (s *Server) loadState(sess *Session) (*checkpoint.State, error) {
 		s.mu.Unlock()
 	}
 	if enc == nil {
-		return nil, nil
+		return nil, nil, nil
 	}
-	return checkpoint.Decode(enc)
+	st, err := checkpoint.Decode(enc)
+	if err != nil {
+		return nil, nil, err
+	}
+	return st, enc, nil
 }
 
 // shedCold enforces MaxResident: while more checkpoints sit in memory
@@ -240,16 +349,20 @@ func (s *Server) shedCold() {
 			return
 		}
 		if err := s.spillSession(coldest); err != nil {
-			s.log.Error("shed spill failed", "session", coldest.ID, "err", err)
+			// Shedding failure is non-fatal: the checkpoint stays
+			// resident (the atomic write never clobbered anything) and
+			// the session runs on; only the pressure-relief is lost.
+			s.noteIOFault("shed spill", coldest.ID, err)
 			return
 		}
 	}
 }
 
-// spillSession writes a ready session's checkpoint to disk and drops
-// the in-memory copy.
+// spillSession writes a ready session's checkpoint to disk — via the
+// write-temp/fsync/rename protocol, so a fault mid-write never leaves
+// a torn file at the spill path — and drops the in-memory copy.
 func (s *Server) spillSession(sess *Session) error {
-	if err := os.MkdirAll(s.opts.SpillDir, 0o755); err != nil {
+	if err := s.fs.MkdirAll(s.opts.SpillDir, 0o755); err != nil {
 		return err
 	}
 	sess.mu.Lock()
@@ -259,7 +372,7 @@ func (s *Server) spillSession(sess *Session) error {
 	}
 	enc := sess.ckpt
 	sess.mu.Unlock()
-	if err := os.WriteFile(s.spillPath(sess.ID), enc, 0o644); err != nil {
+	if err := iofs.AtomicWriteFile(s.fs, s.spillPath(sess.ID), enc, 0o644); err != nil {
 		return err
 	}
 	sess.mu.Lock()
@@ -297,10 +410,14 @@ func (s *Server) spillForDrain(sess *Session) error {
 		enc = checkpoint.Encode(vv.Checkpoint())
 	}
 	if enc != nil {
-		if err := os.WriteFile(s.spillPath(sess.ID), enc, 0o644); err != nil {
+		if err := iofs.AtomicWriteFile(s.fs, s.spillPath(sess.ID), enc, 0o644); err != nil {
 			return err
 		}
 	} // else: already on disk from a shedding spill
+	// The sidecar is written second: a crash or fault between the two
+	// writes leaves a checkpoint no sidecar names, which the successor's
+	// Resume counts as an orphan and sweeps — never a half-adopted
+	// session.
 	meta, err := json.Marshal(spillMeta{
 		ID: sess.ID, Tenant: sess.Tenant, Name: sess.Name,
 		Quanta: quanta, VInsts: vinsts,
@@ -308,12 +425,12 @@ func (s *Server) spillForDrain(sess *Session) error {
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(filepath.Join(s.opts.SpillDir, sess.ID+".json"), meta, 0o644)
+	return iofs.AtomicWriteFile(s.fs, filepath.Join(s.opts.SpillDir, sess.ID+".json"), meta, 0o644)
 }
 
 // readSpillMeta parses one drain sidecar.
-func readSpillMeta(path string) (*spillMeta, error) {
-	raw, err := os.ReadFile(path)
+func readSpillMeta(fsys iofs.FS, path string) (*spillMeta, error) {
+	raw, err := fsys.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
@@ -348,7 +465,7 @@ func (s *Server) finishSession(sess *Session, st State, msg string, final []byte
 	done := sess.done
 	sess.mu.Unlock()
 	if hadSpill {
-		os.Remove(s.spillPath(sess.ID))
+		s.fs.Remove(s.spillPath(sess.ID))
 	}
 
 	s.mu.Lock()
@@ -394,4 +511,69 @@ func (s *Server) failSession(sess *Session, msg string) {
 func (s *Server) crashSession(sess *Session, r any) {
 	s.log.Error("session crashed", "session", sess.ID, "panic", fmt.Sprint(r))
 	s.finishSession(sess, StateCrashed, fmt.Sprintf("panic: %v", r), nil)
+}
+
+// noteIOFault counts and logs one failed persistence operation. Every
+// such failure is a session-local, typed degradation — the scheduler
+// and sibling sessions run on.
+func (s *Server) noteIOFault(op, id string, err error) {
+	s.reg.Counter("serve.io_faults").Inc()
+	s.log.Warn("persistence fault", "op", op, "session", id, "err", err)
+}
+
+// emitBundle writes a flight-recorder bundle for a failing session to
+// BundleDir. Recording is best-effort evidence capture: a bundle that
+// cannot be written (including under injected I/O faults — the write
+// goes through the same filesystem) is logged and dropped, never
+// allowed to turn one failure into two.
+func (s *Server) emitBundle(sess *Session, b *flight.Bundle) {
+	if s.opts.BundleDir == "" {
+		return
+	}
+	if len(b.Program) == 0 && len(b.Checkpoint) == 0 {
+		return // no state source; nothing a replay could execute
+	}
+	if err := s.fs.MkdirAll(s.opts.BundleDir, 0o755); err != nil {
+		s.noteIOFault("bundle dir", sess.ID, err)
+		return
+	}
+	path := filepath.Join(s.opts.BundleDir, sess.ID+".bundle")
+	if err := iofs.AtomicWriteFile(s.fs, path, flight.Encode(b), 0o644); err != nil {
+		s.noteIOFault("bundle write", sess.ID, err)
+		return
+	}
+	s.reg.Counter("serve.bundles").Inc()
+	s.log.Info("flight bundle recorded", "session", sess.ID, "kind", b.Kind, "path", path)
+}
+
+// bundleDrainFailure records an io_fault bundle for a session whose
+// drain spill failed: the resident checkpoint bytes are the evidence —
+// the exact architected state the fault prevented from reaching disk.
+func (s *Server) bundleDrainFailure(sess *Session, cause error) {
+	if s.opts.BundleDir == "" {
+		return
+	}
+	sess.mu.Lock()
+	enc := sess.ckpt
+	sess.mu.Unlock()
+	if enc == nil {
+		return
+	}
+	st, err := checkpoint.Decode(enc)
+	if err != nil {
+		return
+	}
+	s.emitBundle(sess, &flight.Bundle{
+		Kind:       flight.KindIOFault,
+		VPC:        st.PC,
+		Cause:      cause.Error(),
+		Config:     flight.CaptureConfig(s.quantumConfig()),
+		Budget:     s.opts.SessionVBudget,
+		Checkpoint: enc,
+		Counters:   st.Counters,
+		Events: []string{
+			fmt.Sprintf("session %s tenant %q name %q", sess.ID, sess.Tenant, sess.Name),
+			"drain spill failed: " + cause.Error(),
+		},
+	})
 }

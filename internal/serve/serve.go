@@ -15,11 +15,11 @@ import (
 	"fmt"
 	"io"
 	"log/slog"
-	"os"
 	"path/filepath"
 	"runtime"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -27,6 +27,7 @@ import (
 	"github.com/ildp/accdbt/internal/alphaprog"
 	"github.com/ildp/accdbt/internal/checkpoint"
 	"github.com/ildp/accdbt/internal/fragstore"
+	"github.com/ildp/accdbt/internal/iofs"
 	"github.com/ildp/accdbt/internal/metrics"
 	"github.com/ildp/accdbt/internal/telemetry"
 )
@@ -84,6 +85,27 @@ type Options struct {
 	// SpillDir receives overload spills and the drain checkpoint set.
 	// Required when MaxResident > 0 or Drain must preserve sessions.
 	SpillDir string
+	// FS is the filesystem every persistence path goes through — spill,
+	// drain, resume, and bundle writes. nil means the durable host
+	// filesystem (iofs.OS); the disk-chaos harnesses inject an
+	// iofs.Faulty here (DESIGN.md §15).
+	FS iofs.FS
+	// BundleDir, when set, receives a flight-recorder crash-repro
+	// bundle (internal/flight) for failed sessions: guest traps,
+	// resource kills, budget exhaustion, quarantined panics, and drain
+	// spills lost to I/O faults. Empty disables recording.
+	BundleDir string
+	// SessionMaxPages caps each session's guest-resident pages
+	// (vm.Config.MaxPages): the offending guest dies with a precise,
+	// typed resource trap at its faulting V-PC while siblings run on.
+	// 0 is ungoverned.
+	SessionMaxPages int
+	// TenantPageQuota bounds the sum of last-observed resident pages
+	// across a tenant's live sessions. Admission past the quota is
+	// rejected with ErrTenantQuota; a running tenant that grows past it
+	// has the session whose quantum pushed it over failed, typed, at
+	// that quantum boundary. 0 is unlimited.
+	TenantPageQuota int
 	// Plane is the telemetry plane sessions register with; nil creates
 	// a private one (owned and closed by the server).
 	Plane *telemetry.Plane
@@ -103,6 +125,7 @@ type Server struct {
 	store    *fragstore.Store
 	log      *slog.Logger
 	reg      *metrics.Registry // scheduler instruments, registered on the plane
+	fs       iofs.FS           // every persistence path goes through this
 
 	draining atomic.Bool // preempts running quanta and rejects admissions
 
@@ -146,6 +169,7 @@ func New(opts Options) *Server {
 		store:    opts.Store,
 		log:      log,
 		reg:      metrics.NewRegistry(),
+		fs:       iofs.Default(opts.FS),
 		sessions: make(map[string]*Session),
 		byTenant: make(map[string]int),
 		runq:     make(chan *Session, opts.MaxSessions),
@@ -197,6 +221,12 @@ func (s *Server) Submit(prog *alphaprog.Program, tenant, name string) (*Session,
 		s.reg.Counter("serve.rejected.quota").Inc()
 		return nil, ErrTenantQuota
 	}
+	if s.opts.TenantPageQuota > 0 && s.tenantPagesLocked(tenant) >= s.opts.TenantPageQuota {
+		s.mu.Unlock()
+		s.reg.Counter("serve.rejected.pages").Inc()
+		return nil, fmt.Errorf("%w: tenant %q holds its page quota (%d pages)",
+			ErrTenantQuota, tenant, s.opts.TenantPageQuota)
+	}
 	s.nextID++
 	sess := &Session{
 		ID:       strconv.Itoa(s.nextID),
@@ -238,6 +268,24 @@ func (s *Server) enqueue(sess *Session) {
 	}
 }
 
+// tenantPagesLocked sums the last-observed guest-resident pages across
+// a tenant's live sessions — the quantity TenantPageQuota governs.
+// The caller holds s.mu.
+func (s *Server) tenantPagesLocked(tenant string) int {
+	total := 0
+	for _, sess := range s.sessions {
+		if sess.Tenant != tenant {
+			continue
+		}
+		sess.mu.Lock()
+		if !sess.state.Terminal() {
+			total += sess.pages
+		}
+		sess.mu.Unlock()
+	}
+	return total
+}
+
 // Session looks up a session by ID.
 func (s *Server) Session(id string) (*Session, error) {
 	s.mu.Lock()
@@ -271,58 +319,82 @@ func (s *Server) SessionViews() []View {
 // Stats is the scheduler snapshot served on /stats and consumed by the
 // load driver.
 type Stats struct {
-	Workers      int     `json:"workers"`
-	QueueDepth   int     `json:"queue_depth"`
-	Live         int     `json:"live"`
-	Admitted     uint64  `json:"admitted"`
-	Completed    uint64  `json:"completed"`
-	Failed       uint64  `json:"failed"`
-	Killed       uint64  `json:"killed"`
-	Crashed      uint64  `json:"crashed"`
-	Rejected     uint64  `json:"rejected"`
-	Quanta       uint64  `json:"quanta"`
-	Spills       uint64  `json:"spills"`
-	QuantumP50ms float64 `json:"quantum_p50_ms"`
-	QuantumP95ms float64 `json:"quantum_p95_ms"`
-	QuantumP99ms float64 `json:"quantum_p99_ms"`
-	WaitP50ms    float64 `json:"wait_p50_ms"`
-	WaitP99ms    float64 `json:"wait_p99_ms"`
+	Workers    int    `json:"workers"`
+	QueueDepth int    `json:"queue_depth"`
+	Live       int    `json:"live"`
+	Admitted   uint64 `json:"admitted"`
+	Completed  uint64 `json:"completed"`
+	Failed     uint64 `json:"failed"`
+	Killed     uint64 `json:"killed"`
+	Crashed    uint64 `json:"crashed"`
+	Rejected   uint64 `json:"rejected"`
+	Quanta     uint64 `json:"quanta"`
+	Spills     uint64 `json:"spills"`
+	// ResourceKills counts sessions failed by the page governor: a
+	// per-session MaxPages trap or a tenant page-quota boundary kill.
+	ResourceKills uint64 `json:"resource_kills"`
+	// IOFaults counts persistence operations (spill, load, drain,
+	// bundle) that failed; each is a typed, session-local degradation.
+	IOFaults uint64 `json:"io_faults"`
+	// Bundles counts flight-recorder bundles written to BundleDir.
+	Bundles uint64 `json:"bundles"`
+	// PagesResident is the current sum of last-observed guest pages
+	// across live sessions.
+	PagesResident int     `json:"pages_resident"`
+	QuantumP50ms  float64 `json:"quantum_p50_ms"`
+	QuantumP95ms  float64 `json:"quantum_p95_ms"`
+	QuantumP99ms  float64 `json:"quantum_p99_ms"`
+	WaitP50ms     float64 `json:"wait_p50_ms"`
+	WaitP99ms     float64 `json:"wait_p99_ms"`
 }
 
 // Stats snapshots the scheduler counters and latency quantiles.
 func (s *Server) Stats() Stats {
 	s.mu.Lock()
 	live := s.live
+	var pages int
+	for _, sess := range s.sessions {
+		sess.mu.Lock()
+		if !sess.state.Terminal() {
+			pages += sess.pages
+		}
+		sess.mu.Unlock()
+	}
 	s.mu.Unlock()
 	qh := s.reg.Histogram("serve.quantum_ms")
 	wh := s.reg.Histogram("serve.wait_ms")
 	rejected := s.reg.Counter("serve.rejected.full").Load() +
 		s.reg.Counter("serve.rejected.quota").Load() +
+		s.reg.Counter("serve.rejected.pages").Load() +
 		s.reg.Counter("serve.rejected.draining").Load()
 	return Stats{
-		Workers:      s.opts.Workers,
-		QueueDepth:   len(s.runq),
-		Live:         live,
-		Admitted:     s.reg.Counter("serve.admitted").Load(),
-		Completed:    s.reg.Counter("serve.completed").Load(),
-		Failed:       s.reg.Counter("serve.failed").Load(),
-		Killed:       s.reg.Counter("serve.killed").Load(),
-		Crashed:      s.reg.Counter("serve.crashed").Load(),
-		Rejected:     rejected,
-		Quanta:       s.reg.Counter("serve.quanta").Load(),
-		Spills:       s.reg.Counter("serve.spills").Load(),
-		QuantumP50ms: qh.Quantile(0.50),
-		QuantumP95ms: qh.Quantile(0.95),
-		QuantumP99ms: qh.Quantile(0.99),
-		WaitP50ms:    wh.Quantile(0.50),
-		WaitP99ms:    wh.Quantile(0.99),
+		Workers:       s.opts.Workers,
+		QueueDepth:    len(s.runq),
+		Live:          live,
+		Admitted:      s.reg.Counter("serve.admitted").Load(),
+		Completed:     s.reg.Counter("serve.completed").Load(),
+		Failed:        s.reg.Counter("serve.failed").Load(),
+		Killed:        s.reg.Counter("serve.killed").Load(),
+		Crashed:       s.reg.Counter("serve.crashed").Load(),
+		Rejected:      rejected,
+		Quanta:        s.reg.Counter("serve.quanta").Load(),
+		Spills:        s.reg.Counter("serve.spills").Load(),
+		ResourceKills: s.reg.Counter("serve.resource_kills").Load(),
+		IOFaults:      s.reg.Counter("serve.io_faults").Load(),
+		Bundles:       s.reg.Counter("serve.bundles").Load(),
+		PagesResident: pages,
+		QuantumP50ms:  qh.Quantile(0.50),
+		QuantumP95ms:  qh.Quantile(0.95),
+		QuantumP99ms:  qh.Quantile(0.99),
+		WaitP50ms:     wh.Quantile(0.50),
+		WaitP99ms:     wh.Quantile(0.99),
 	}
 }
 
 // updateGauges refreshes the scheduler gauges from the session table.
 func (s *Server) updateGauges() {
 	s.mu.Lock()
-	var queued, running, ready, spilled int
+	var queued, running, ready, spilled, pages int
 	for _, sess := range s.sessions {
 		sess.mu.Lock()
 		switch sess.state {
@@ -336,6 +408,9 @@ func (s *Server) updateGauges() {
 				spilled++
 			}
 		}
+		if !sess.state.Terminal() {
+			pages += sess.pages
+		}
 		sess.mu.Unlock()
 	}
 	live := s.live
@@ -346,6 +421,7 @@ func (s *Server) updateGauges() {
 	s.reg.Gauge("serve.sessions_ready").Set(float64(ready))
 	s.reg.Gauge("serve.sessions_spilled").Set(float64(spilled))
 	s.reg.Gauge("serve.sessions_live").Set(float64(live))
+	s.reg.Gauge("serve.pages_resident").Set(float64(pages))
 }
 
 // Draining reports whether the server has begun draining.
@@ -386,14 +462,15 @@ func (s *Server) Drain() (int, error) {
 	if s.opts.SpillDir == "" {
 		return 0, fmt.Errorf("serve: %d sessions in flight but no spill dir configured", len(pending))
 	}
-	if err := os.MkdirAll(s.opts.SpillDir, 0o755); err != nil {
+	if err := s.fs.MkdirAll(s.opts.SpillDir, 0o755); err != nil {
 		return 0, err
 	}
 	spilled := 0
 	for _, sess := range pending {
 		if err := s.spillForDrain(sess); err != nil {
+			s.noteIOFault("drain spill", sess.ID, err)
+			s.bundleDrainFailure(sess, err)
 			s.failSession(sess, "drain spill: "+err.Error())
-			s.log.Error("drain spill failed", "session", sess.ID, "err", err)
 			continue
 		}
 		spilled++
@@ -431,22 +508,29 @@ type spillMeta struct {
 // version — any typed checkpoint error) becomes a session admitted
 // directly into StateFailed carrying the decode error, mirroring a 409:
 // the client sees exactly why its session is gone, and the server keeps
-// serving. Resume returns (resumed, corrupt) counts.
+// serving. A checkpoint without its JSON sidecar — the wreckage of a
+// drain that crashed between its two writes — is counted as an orphan
+// (serve.resume.orphans) and swept, as are interrupted atomic-write
+// temporaries. Resume returns (resumed, corrupt) counts.
 func (s *Server) Resume(dir string) (int, int, error) {
-	metas, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	metas, err := s.fs.Glob(filepath.Join(dir, "*.json"))
 	if err != nil {
 		return 0, 0, err
 	}
 	sort.Strings(metas)
+	sidecars := make(map[string]bool, len(metas))
+	for _, m := range metas {
+		sidecars[m] = true
+	}
 	resumed, corrupt := 0, 0
 	for _, metaPath := range metas {
-		meta, err := readSpillMeta(metaPath)
+		meta, err := readSpillMeta(s.fs, metaPath)
 		if err != nil {
 			s.log.Error("resume: bad meta", "path", metaPath, "err", err)
 			corrupt++
 			continue
 		}
-		raw, err := os.ReadFile(filepath.Join(dir, meta.ID+".ckpt"))
+		raw, err := s.fs.ReadFile(filepath.Join(dir, meta.ID+".ckpt"))
 		var decodeErr error
 		if err != nil {
 			decodeErr = err
@@ -465,8 +549,31 @@ func (s *Server) Resume(dir string) (int, int, error) {
 		// The checkpoint now lives in memory under a fresh session ID;
 		// consume the spill files so a later drain of this server can't
 		// collide with (or double-resume) the previous generation's.
-		os.Remove(filepath.Join(dir, meta.ID+".ckpt"))
-		os.Remove(metaPath)
+		s.fs.Remove(filepath.Join(dir, meta.ID+".ckpt"))
+		s.fs.Remove(metaPath)
+	}
+	// Orphan sweep: a drain interrupted between its checkpoint write and
+	// its sidecar write leaves a .ckpt no sidecar names. There is no
+	// session identity to adopt it under, so it is counted and removed —
+	// never silently accumulated, never parsed.
+	if cks, err := s.fs.Glob(filepath.Join(dir, "*.ckpt")); err == nil {
+		sort.Strings(cks)
+		for _, p := range cks {
+			id := strings.TrimSuffix(filepath.Base(p), ".ckpt")
+			if sidecars[filepath.Join(dir, id+".json")] {
+				continue // corrupt pair left in place above, not an orphan
+			}
+			s.reg.Counter("serve.resume.orphans").Inc()
+			s.log.Warn("resume: orphan checkpoint without sidecar", "path", p)
+			s.fs.Remove(p)
+		}
+	}
+	// Interrupted atomic writes leave .tmp files; they were never
+	// renamed into place, so they name nothing and are swept.
+	if tmps, err := s.fs.Glob(filepath.Join(dir, "*"+iofs.TempSuffix)); err == nil {
+		for _, p := range tmps {
+			s.fs.Remove(p)
+		}
 	}
 	s.updateGauges()
 	return resumed, corrupt, nil

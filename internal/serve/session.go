@@ -73,6 +73,7 @@ type Session struct {
 	final    []byte // final checkpoint once terminal
 	quanta   int
 	vinsts   uint64 // cumulative V-instructions retired
+	pages    int    // guest-resident pages at the last quantum boundary
 	halted   bool
 	exitCode uint64
 	console  string
@@ -91,6 +92,7 @@ type View struct {
 	Error      string `json:"error,omitempty"`
 	Quanta     int    `json:"quanta"`
 	VInsts     uint64 `json:"v_insts"`
+	Pages      int    `json:"pages"`
 	Halted     bool   `json:"halted"`
 	ExitStatus uint64 `json:"exit_status"`
 	Console    string `json:"console,omitempty"`
@@ -109,6 +111,7 @@ func (s *Session) view() View {
 		Error:      s.errMsg,
 		Quanta:     s.quanta,
 		VInsts:     s.vinsts,
+		Pages:      s.pages,
 		Halted:     s.halted,
 		ExitStatus: s.exitCode,
 		Console:    s.console,

@@ -29,6 +29,9 @@ type Live struct {
 	ExitStatus uint64 `json:"exit_status"`
 	// TCache is the translation-cache occupancy at the boundary.
 	TCache tcache.Occupancy `json:"tcache"`
+	// Pages is the guest-resident page count at the boundary, the
+	// quantity governed by vm.Config.MaxPages (DESIGN.md §15).
+	Pages int `json:"pages"`
 	// Hot is the live hot-fragment profile, nil when the session runs
 	// without a profiler.
 	Hot *prof.Profile `json:"-"`
@@ -287,6 +290,7 @@ func ProbeVM(v *vm.VM, p *prof.Profiler) func() Live {
 			Halted:     cpu.Halted,
 			ExitStatus: cpu.ExitStatus,
 			TCache:     v.TCache().Occupancy(),
+			Pages:      v.Pages(),
 		}
 		if p.Enabled() {
 			live.Hot = p.LiveProfile()

@@ -1,0 +1,118 @@
+package vm
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/ildp/accdbt/internal/emu"
+	"github.com/ildp/accdbt/internal/mem"
+	"github.com/ildp/accdbt/internal/workload"
+)
+
+// runMembomb runs the membomb guest under the given config and returns
+// the VM and its terminal error.
+func runMembomb(t *testing.T, cfg Config) (*VM, error) {
+	t.Helper()
+	spec, err := workload.ByName("membomb", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := mem.New()
+	v := New(m, cfg)
+	if err := v.LoadProgram(spec.MustProgram()); err != nil {
+		t.Fatal(err)
+	}
+	return v, v.Run(50_000_000)
+}
+
+// TestResourceTrapInterpreted checks the governed interpreter path: the
+// memory bomb dies with a typed, precise *mem.ResourceFault trap and the
+// trap is counted in Stats.ResourceTraps.
+func TestResourceTrapInterpreted(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxPages = 64
+	cfg.HotThreshold = 1 << 30 // never translate: pure interpreter
+	v, err := runMembomb(t, cfg)
+	var trap *emu.Trap
+	if !errors.As(err, &trap) {
+		t.Fatalf("want precise trap, got %v", err)
+	}
+	var rf *mem.ResourceFault
+	if !errors.As(err, &rf) {
+		t.Fatalf("trap cause = %v, want *mem.ResourceFault", trap.Cause)
+	}
+	if rf.Limit != 64 {
+		t.Errorf("fault limit = %d, want 64", rf.Limit)
+	}
+	if v.CPU().PC != trap.PC {
+		t.Errorf("architected PC %#x != trap PC %#x (imprecise)", v.CPU().PC, trap.PC)
+	}
+	if v.Stats.ResourceTraps != 1 {
+		t.Errorf("ResourceTraps = %d, want 1", v.Stats.ResourceTraps)
+	}
+	if v.Pages() != 64 {
+		t.Errorf("resident pages = %d, want exactly the cap (64)", v.Pages())
+	}
+}
+
+// TestResourceTrapTranslated checks the governed translated path: with a
+// hot threshold low enough that the bomb loop runs as a fragment, the
+// resource trap is still typed and bit-identical to the interpreter's —
+// same V-PC, same architected registers, same memory image.
+func TestResourceTrapTranslated(t *testing.T) {
+	interp := DefaultConfig()
+	interp.MaxPages = 128
+	interp.HotThreshold = 1 << 30
+	vi, erri := runMembomb(t, interp)
+
+	trans := DefaultConfig()
+	trans.MaxPages = 128
+	trans.HotThreshold = 4
+	vt, errt := runMembomb(t, trans)
+
+	if vt.Stats.TransVInsts == 0 {
+		t.Fatal("bomb loop never ran translated; test is vacuous")
+	}
+	var ti, tt *emu.Trap
+	if !errors.As(erri, &ti) || !errors.As(errt, &tt) {
+		t.Fatalf("want traps on both paths, got interp=%v translated=%v", erri, errt)
+	}
+	var rf *mem.ResourceFault
+	if !errors.As(errt, &rf) {
+		t.Fatalf("translated trap cause = %v, want *mem.ResourceFault", tt.Cause)
+	}
+	if ti.PC != tt.PC {
+		t.Errorf("trap V-PC diverges: interp %#x, translated %#x", ti.PC, tt.PC)
+	}
+	if vt.Stats.ResourceTraps != 1 {
+		t.Errorf("translated ResourceTraps = %d, want 1", vt.Stats.ResourceTraps)
+	}
+	for r := 0; r < 32; r++ {
+		if vi.CPU().Reg[r] != vt.CPU().Reg[r] {
+			t.Errorf("reg %d diverges: interp %#x, translated %#x", r, vi.CPU().Reg[r], vt.CPU().Reg[r])
+		}
+	}
+	if ok, addr := mem.Equal(vi.CPU().Mem, vt.CPU().Mem); !ok {
+		t.Errorf("memory diverges at %#x", addr)
+	}
+}
+
+// TestUngovernedMembombHalts checks the bomb is bounded without a limit,
+// so differential harnesses can run it to completion.
+func TestUngovernedMembombHalts(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.HotThreshold = 4
+	v, err := runMembomb(t, cfg)
+	if err != nil {
+		t.Fatalf("ungoverned membomb: %v", err)
+	}
+	if !v.CPU().Halted {
+		t.Fatal("not halted")
+	}
+	if v.Pages() < 512 {
+		t.Errorf("resident pages = %d, want >= 512", v.Pages())
+	}
+	if v.Stats.ResourceTraps != 0 {
+		t.Errorf("ResourceTraps = %d on ungoverned run", v.Stats.ResourceTraps)
+	}
+}

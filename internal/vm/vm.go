@@ -73,6 +73,15 @@ type Config struct {
 	// whole cache (0 = unbounded, as in the paper).
 	TCacheBytes int
 
+	// MaxPages, when > 0, caps the guest's resident memory pages
+	// (mem.Memory.Limit): the access that would allocate page MaxPages+1
+	// raises a precise *mem.ResourceFault trap at the faulting V-PC, on
+	// both the interpreted and translated paths, counted in
+	// Stats.ResourceTraps. Checkpoint restore is exempt — a resumed
+	// guest gets exactly the pages its checkpoint recorded, and the cap
+	// governs further growth (DESIGN.md §15).
+	MaxPages int
+
 	// Verify runs the static fragment verifier over every translation
 	// before it is installed (paranoid mode): a fragment that violates the
 	// I-ISA invariants aborts execution with a diagnostic report instead
@@ -251,6 +260,10 @@ type Stats struct {
 	Preemptions   uint64 // stop-hook or budget preemptions taken
 	WatchdogTrips uint64 // livelock watchdog quarantines
 
+	// Resource-governance statistics (DESIGN.md §15). Zero unless
+	// Config.MaxPages is set and the guest hit its cap.
+	ResourceTraps uint64 // precise traps raised by the page-limit governor
+
 	// Shared-fragment-store statistics (docs/FORMAT.md). All zero
 	// unless Config.Store is set. A hit reuses an existing artifact
 	// without translating (TranslateCost is not charged); a shared hit
@@ -354,6 +367,12 @@ func (s *Stats) Publish(reg *metrics.Registry) {
 	if s.Preemptions != 0 || s.WatchdogTrips != 0 {
 		u("vm.preempt.preemptions", s.Preemptions)
 		u("vm.preempt.watchdog_trips", s.WatchdogTrips)
+	}
+	// The resource-trap counter appears only on runs the page governor
+	// actually stopped, so ungoverned registries stay byte-identical
+	// with and without this build.
+	if s.ResourceTraps != 0 {
+		u("vm.resource_traps", s.ResourceTraps)
 	}
 	// Store counters appear only on runs that actually consulted a
 	// shared fragment store, so store-less registries stay
@@ -473,6 +492,9 @@ func New(m *mem.Memory, cfg Config) *VM {
 	if cfg.Faults != nil {
 		v.inj = faultinject.New(*cfg.Faults)
 	}
+	if cfg.MaxPages > 0 {
+		m.Limit = cfg.MaxPages
+	}
 	return v
 }
 
@@ -485,6 +507,25 @@ func (v *VM) TCache() *tcache.Cache { return v.tc }
 
 // LoadProgram loads an assembled program and sets the entry point.
 func (v *VM) LoadProgram(p *alphaprog.Program) error { return v.cpu.LoadProgram(p) }
+
+// Pages returns the guest's resident page count — the gauge the serve
+// scheduler's spill-pressure logic and the telemetry plane read.
+func (v *VM) Pages() int { return v.mem.PageCount() }
+
+// noteRunError classifies a terminal run error before it propagates:
+// precise traps whose cause is the page-limit governor are counted in
+// Stats.ResourceTraps so governance kills are visible in telemetry and
+// checkpoints (the reflection flattening carries the counter).
+func (v *VM) noteRunError(err error) error {
+	if err == nil {
+		return nil
+	}
+	var rf *mem.ResourceFault
+	if errors.As(err, &rf) {
+		v.Stats.ResourceTraps++
+	}
+	return err
+}
 
 // Run executes until the program halts, a trap propagates, or maxVInsts
 // V-ISA instructions have retired (0 = unlimited). Out-of-domain
@@ -516,7 +557,7 @@ func (v *VM) Run(maxVInsts int64) (err error) {
 				v.inFallback = false
 				exitPC, err := v.execTranslated(frag)
 				if err != nil {
-					return err
+					return v.noteRunError(err)
 				}
 				if v.cpu.Halted {
 					return nil
@@ -528,7 +569,7 @@ func (v *VM) Run(maxVInsts int64) (err error) {
 			}
 		}
 		if err := v.interpStep(); err != nil {
-			return err
+			return v.noteRunError(err)
 		}
 	}
 	return nil

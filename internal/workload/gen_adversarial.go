@@ -1,0 +1,50 @@
+package workload
+
+import "fmt"
+
+// genMembomb is the hostile guest of the resource-governance tests
+// (DESIGN.md §15): it strides a store across fresh 4 KiB pages, so every
+// iteration grows the resident set by one page. Under vm.Config.MaxPages
+// the first touch past the cap raises a precise *mem.ResourceFault trap;
+// ungoverned, the bomb is bounded (512×scale pages) so differential
+// harnesses can still run it to completion against the oracle. The
+// stored values come from an LCG seeded by the data seed, and a read-back
+// pass checksums every 64th page, so the memory image is data-dependent
+// and any divergence is visible to mem.Equal.
+func genMembomb(scale int, seed uint64) string {
+	pages := 512 * scale
+	return prologue + fmt.Sprintf(`
+	; stride a store across %d fresh pages — one page per iteration
+	ldiq  s0, %d
+	ldiq  s1, 0x200000        ; page cursor
+	ldiq  s2, %#x             ; LCG state (data seed)
+	ldiq  t2, 0x343FD
+bomb:
+	mulq  s2, t2, s2
+	addq  s2, #57, s2
+	stq   s2, 0(s1)           ; first touch allocates the page
+	lda   s1, 4096(s1)
+	subq  s0, #1, s0
+	bne   s0, bomb
+
+	; read-back checksum over every 64th page
+	ldiq  s0, %d
+	ldiq  s1, 0x200000
+	clr   v0
+bsum:
+	ldq   t0, 0(s1)
+	addq  v0, t0, v0
+	ldiq  t1, 0x40000         ; 64 pages
+	addq  s1, t1, s1
+	ldiq  t3, 64
+	subq  s0, t3, s0
+	bgt   s0, bsum
+	ldiq  t4, bsink
+	stq   v0, 0(t4)
+	br    done
+`, pages, pages, dataSeed(0x0B0B0B0B, seed, 13), pages) + epilogue + `
+	.data 0x180000
+bsink:
+	.quad 0
+`
+}

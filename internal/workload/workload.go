@@ -69,8 +69,20 @@ var generators = map[string]struct {
 	"vpr":     {genVPR, "FPGA routing: grid walks with data-dependent branches"},
 }
 
+// adversarial holds hostile guests used by the hardening tests and CI
+// smokes (DESIGN.md §15). They resolve through ByName/ByNameSeeded like
+// any benchmark but are deliberately excluded from Names()/All(): they
+// are attack tools, not SPEC stand-ins, and must not perturb Table-2
+// sweeps or the generated experiment reports.
+var adversarial = map[string]struct {
+	gen  generator
+	desc string
+}{
+	"membomb": {genMembomb, "memory bomb: strides a store across fresh pages until governed"},
+}
+
 // Names returns all workload names in SPEC order (alphabetical, as in
-// Table 2).
+// Table 2). Adversarial guests (membomb) are excluded; see ByName.
 func Names() []string {
 	out := make([]string, 0, len(generators))
 	for name := range generators {
@@ -91,6 +103,9 @@ func ByName(name string, scale int) (*Spec, error) {
 // canonical dataset used in EXPERIMENTS.md.
 func ByNameSeeded(name string, scale int, seed uint64) (*Spec, error) {
 	g, ok := generators[name]
+	if !ok {
+		g, ok = adversarial[name]
+	}
 	if !ok {
 		return nil, fmt.Errorf("workload: unknown benchmark %q", name)
 	}
